@@ -1,0 +1,240 @@
+// litmus_cli — run a Litmus assessment from CSV files.
+//
+//   litmus_cli export-demo <dir>
+//       writes demo topology.csv / series.csv (a simulated region with a
+//       real +1.5-sigma change at the first RNC at bin 0) so the tool can
+//       be tried end-to-end without any carrier data.
+//
+//   litmus_cli assess --topology topo.csv --series series.csv
+//                     --study 2[,5,...] --kpi voice_retainability
+//                     --change-bin 0
+//                     [--controls 3,4,...]          explicit control group
+//                     [--select region|msc|zip]     or predicate selection
+//                     [--before-days 14] [--after-days 14]
+//       prints the per-element verdicts, the vote, and the baselines'
+//       reads for comparison.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "io/changes.h"
+#include "io/csv.h"
+#include "io/store.h"
+#include "litmus/batch.h"
+#include "litmus/did.h"
+#include "litmus/report.h"
+#include "litmus/study_only.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+
+using namespace litmus;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  litmus_cli export-demo <dir>\n"
+               "  litmus_cli assess --topology FILE --series FILE --study "
+               "IDS --kpi NAME --change-bin N\n"
+               "              [--controls IDS | --select region|msc|zip]\n"
+               "              [--before-days N] [--after-days N]\n"
+               "  litmus_cli batch --topology FILE --series FILE --changes "
+               "FILE\n");
+  return 2;
+}
+
+std::vector<net::ElementId> parse_ids(const std::string& csv) {
+  std::vector<net::ElementId> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const auto v = io::parse_int(tok);
+    if (!v || *v <= 0) throw std::runtime_error("bad element id: " + tok);
+    out.push_back(net::ElementId{static_cast<std::uint32_t>(*v)});
+  }
+  return out;
+}
+
+int export_demo(const std::string& dir) {
+  net::Topology topo =
+      net::build_small_region(net::Region::kNortheast, 20130209, 5, 6);
+  const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+
+  sim::UpstreamEvent change;
+  change.source = rncs[0];
+  change.start_bin = 0;
+  change.sigma_shift = +1.5;
+  sim::KpiGenerator gen(topo, {.seed = 20130209});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::FoliageFactor>());
+  gen.add_factor(std::make_shared<sim::NetworkEventFactor>(
+      topo, std::vector<sim::UpstreamEvent>{change}));
+
+  {
+    std::ofstream out(dir + "/topology.csv");
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s/topology.csv\n", dir.c_str());
+      return 1;
+    }
+    io::save_topology_csv(out, topo);
+  }
+  {
+    std::ofstream out(dir + "/series.csv");
+    for (const auto rnc : rncs) {
+      for (const auto kpi_id : {kpi::KpiId::kVoiceRetainability,
+                                kpi::KpiId::kDataRetainability}) {
+        const ts::TimeSeries s =
+            gen.kpi_series(rnc, kpi_id, -14 * 24, 28 * 24);
+        io::save_series_csv(out, rnc, kpi_id, s);
+      }
+    }
+  }
+  {
+    std::ofstream out(dir + "/changes.csv");
+    chg::ChangeLog log;
+    chg::ChangeRecord record;
+    record.element = rncs[0];
+    record.type = chg::ChangeType::kFeatureActivation;
+    record.bin = 0;
+    record.expectation = chg::Expectation::kImprovement;
+    record.target_kpi = kpi::KpiId::kVoiceRetainability;
+    record.parameter = "son=on";
+    record.description = "demo feature activation";
+    log.add(record);
+    io::save_changes_csv(out, log);
+  }
+  std::printf("wrote %s/{topology,series,changes}.csv\n", dir.c_str());
+  std::printf("try: litmus_cli assess --topology %s/topology.csv --series "
+              "%s/series.csv --study %u --kpi voice_retainability "
+              "--change-bin 0 --select msc\n",
+              dir.c_str(), dir.c_str(), rncs[0].value);
+  return 0;
+}
+
+int assess(const std::map<std::string, std::string>& args) {
+  const auto need = [&](const char* key) -> const std::string& {
+    const auto it = args.find(key);
+    if (it == args.end())
+      throw std::runtime_error(std::string("missing --") + key);
+    return it->second;
+  };
+
+  std::ifstream topo_in(need("topology"));
+  if (!topo_in) throw std::runtime_error("cannot open topology file");
+  const net::Topology topo = io::load_topology_csv(topo_in);
+
+  std::ifstream series_in(need("series"));
+  if (!series_in) throw std::runtime_error("cannot open series file");
+  io::SeriesStore store;
+  const std::size_t points = io::load_series_csv(series_in, store);
+  std::printf("loaded %zu elements, %zu series (%zu points)\n", topo.size(),
+              store.size(), points);
+
+  const std::vector<net::ElementId> study = parse_ids(need("study"));
+  const auto kpi_id = kpi::parse_kpi(need("kpi"));
+  if (!kpi_id) throw std::runtime_error("unknown KPI name");
+  const auto change_bin = io::parse_int(need("change-bin"));
+  if (!change_bin) throw std::runtime_error("bad --change-bin");
+
+  core::AssessmentConfig cfg;
+  if (const auto it = args.find("before-days"); it != args.end())
+    cfg.before_bins = static_cast<std::size_t>(std::stoi(it->second)) * 24;
+  if (const auto it = args.find("after-days"); it != args.end())
+    cfg.after_bins = static_cast<std::size_t>(std::stoi(it->second)) * 24;
+  core::Assessor assessor(topo, store.provider(), cfg);
+
+  core::ChangeAssessment a;
+  if (const auto it = args.find("controls"); it != args.end()) {
+    a = assessor.assess(study, parse_ids(it->second), *kpi_id, *change_bin);
+  } else {
+    std::string mode = "region";
+    if (const auto sel = args.find("select"); sel != args.end())
+      mode = sel->second;
+    core::ControlPredicate pred;
+    if (mode == "region")
+      pred = core::all_of({core::same_region(), core::same_technology()});
+    else if (mode == "msc")
+      pred = core::all_of({core::same_upstream(net::ElementKind::kMsc),
+                           core::same_technology()});
+    else if (mode == "zip")
+      pred = core::all_of({core::same_zip(), core::same_technology()});
+    else
+      throw std::runtime_error("unknown --select mode: " + mode);
+    a = assessor.assess_with_selection(study, pred, *kpi_id, *change_bin);
+  }
+
+  std::printf("%s\n", core::format_assessment(a, topo).c_str());
+
+  // Baselines, for context.
+  const core::StudyOnlyAnalyzer so;
+  const core::DiDAnalyzer did;
+  std::printf("baseline reads (first study element):\n");
+  const core::ElementWindows w =
+      assessor.windows_for(study[0], a.control_group, *kpi_id, *change_bin);
+  std::printf("  study-only: %s, DiD: %s\n",
+              to_string(so.assess(w, *kpi_id).verdict),
+              to_string(did.assess(w, *kpi_id).verdict));
+  return 0;
+}
+
+int batch(const std::map<std::string, std::string>& args) {
+  const auto need = [&](const char* key) -> const std::string& {
+    const auto it = args.find(key);
+    if (it == args.end())
+      throw std::runtime_error(std::string("missing --") + key);
+    return it->second;
+  };
+
+  std::ifstream topo_in(need("topology"));
+  if (!topo_in) throw std::runtime_error("cannot open topology file");
+  const net::Topology topo = io::load_topology_csv(topo_in);
+
+  std::ifstream series_in(need("series"));
+  if (!series_in) throw std::runtime_error("cannot open series file");
+  io::SeriesStore store;
+  io::load_series_csv(series_in, store);
+
+  std::ifstream changes_in(need("changes"));
+  if (!changes_in) throw std::runtime_error("cannot open changes file");
+  chg::ChangeLog log;
+  const std::size_t n = io::load_changes_csv(changes_in, log);
+  std::printf("loaded %zu change record(s)\n", n);
+
+  const core::BatchReport report =
+      core::assess_change_log(log, topo, store.provider());
+  std::printf("%s", core::format_batch_report(report, topo).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "export-demo") {
+      if (argc != 3) return usage();
+      return export_demo(argv[2]);
+    }
+    if (cmd == "assess" || cmd == "batch") {
+      std::map<std::string, std::string> args;
+      for (int i = 2; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0) return usage();
+        args[argv[i] + 2] = argv[i + 1];
+      }
+      return cmd == "assess" ? assess(args) : batch(args);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,88 @@
+// Extension bench (paper Section 6, future work): device-dimension
+// assessment. A firmware rollout to one device class regresses its service;
+// simultaneously a severe storm degrades the whole market. Per-device
+// study-only reads blame the weather window; Litmus's device-vs-device
+// comparison on the same towers isolates the firmware's effect.
+#include <cstdio>
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "device/device_assessor.h"
+#include "litmus/study_only.h"
+#include "simkit/generator.h"
+#include "simkit/seasonality.h"
+#include "simkit/weather.h"
+#include "tsmath/stats.h"
+
+using namespace litmus;
+
+int main() {
+  std::printf("=== Device-dimension Litmus: bad firmware rollout during a "
+              "storm ===\n\n");
+
+  net::Topology topo = net::build_small_region(net::Region::kMidwest, 777,
+                                               /*rncs=*/2, /*nodebs=*/8);
+  const auto towers = topo.of_kind(net::ElementKind::kNodeB);
+
+  sim::KpiGenerator gen(topo, {.seed = 777});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  // Storm over the market, days 1-3 after the rollout.
+  auto storm = sim::make_event(sim::WeatherKind::kSevereStorm,
+                               topo.get(towers[0]).location, 24, 2 * 24);
+  gen.add_factor(std::make_shared<sim::WeatherFactor>(
+      std::vector<sim::WeatherEvent>{storm}));
+
+  dev::SegmentedGenerator seg(gen, dev::DeviceCatalog::standard());
+  // The rollout: class 2's new firmware regresses voice by ~1.2 sigma.
+  dev::DeviceEvent rollout;
+  rollout.device = dev::DeviceClassId{2};
+  rollout.start_bin = 0;
+  rollout.sigma_shift = -1.2;
+  seg.add_event(rollout);
+
+  const auto& cat = seg.catalog();
+  const auto kpi_id = kpi::KpiId::kVoiceRetainability;
+  std::printf("device classes and their absolute before->after shifts "
+              "(mean across %zu towers):\n", towers.size());
+  for (const auto& cls : cat.all()) {
+    double before = 0, after = 0;
+    for (const auto t : towers) {
+      const auto s = seg.kpi_series(t, cls.id, kpi_id, -14 * 24, 28 * 24);
+      before += ts::mean(s.slice_bins(-14 * 24, 0));
+      after += ts::mean(s.slice_bins(0, 14 * 24));
+    }
+    before /= towers.size();
+    after /= towers.size();
+    std::printf("  %-10s %-10s fw=%-6s  delta=%+0.5f%s\n",
+                cls.vendor.c_str(), cls.model.c_str(), cls.firmware.c_str(),
+                after - before,
+                cls.id == rollout.device ? "   <- upgraded class" : "");
+  }
+
+  const dev::DeviceImpactAssessor assessor(seg);
+  const dev::DeviceAssessment a =
+      assessor.assess(rollout.device, towers, kpi_id, 0);
+  std::printf("\nLitmus device-vs-device verdict for the upgraded class: %s "
+              "(%zu/%zu towers degraded)\n",
+              to_string(a.summary.verdict), a.summary.degradations,
+              towers.size());
+
+  // Sanity: the non-upgraded classes read no-impact. The upgraded class is
+  // excluded from their control groups — it just changed, so it is inside
+  // the rollout's impact scope and not a valid control (Section 3.3).
+  const std::vector<dev::DeviceClassId> exclude{rollout.device};
+  std::size_t clean = 0;
+  for (const auto& cls : cat.all()) {
+    if (cls.id == rollout.device) continue;
+    if (assessor.assess(cls.id, towers, kpi_id, 0, exclude).summary.verdict ==
+        core::Verdict::kNoImpact)
+      ++clean;
+  }
+  std::printf("non-upgraded classes judged no-impact: %zu/3\n", clean);
+  std::printf("\nexpected shape: only the upgraded class flags degradation "
+              "despite the storm hitting every class. %s\n",
+              (a.summary.verdict == core::Verdict::kDegradation && clean == 3)
+                  ? "[reproduced]"
+                  : "[NOT reproduced]");
+  return 0;
+}

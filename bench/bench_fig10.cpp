@@ -1,0 +1,112 @@
+// Fig 10 / case study 5.3: hurricane Sandy as a stress test of SON
+// (Self-Optimizing Network) features. Every tower degrades in absolute
+// terms during the hurricane; the SON-enabled towers (study group) degrade
+// *less* because automatic neighbor discovery and load balancing reroute
+// around failures. Study-only analysis sees only the absolute degradation;
+// Litmus surfaces the relative improvement that justified the network-wide
+// SON rollout.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "figutil.h"
+#include "litmus/assessor.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+#include "simkit/weather.h"
+
+int main() {
+  using namespace litmus;
+  std::printf("=== Fig 10: SON vs non-SON towers during hurricane Sandy "
+              "===\n\n");
+
+  net::Topology topo = net::build_small_region(net::Region::kNortheast, 151,
+                                               /*rncs=*/3, /*nodebs_per_rnc=*/10);
+  const auto towers = topo.of_kind(net::ElementKind::kNodeB);
+
+  // Study group: SON-enabled towers; control: the rest.
+  std::vector<net::ElementId> study, controls;
+  for (const auto t : towers)
+    (topo.get(t).config.son_enabled ? study : controls).push_back(t);
+  std::printf("SON-enabled (study): %zu towers; non-SON (control): %zu "
+              "towers\n\n",
+              study.size(), controls.size());
+
+  // Hurricane: days 0-4 after the (long-deployed) SON activation point.
+  // The assessment window is centered on landfall.
+  const std::int64_t landfall = 0;
+  sim::WeatherEvent sandy =
+      sim::make_event(sim::WeatherKind::kHurricane,
+                      topo.get(towers[0]).location, landfall, 4 * 24);
+  sandy.outage_probability = 0.0;  // keep series complete for the figure
+
+  // SON's true benefit: +1.2 sigma mitigation at SON towers while the
+  // hurricane stresses the network.
+  std::vector<sim::UpstreamEvent> mitigations;
+  for (const auto t : study) {
+    sim::UpstreamEvent m;
+    m.source = t;
+    m.start_bin = landfall;
+    m.end_bin = landfall + 6 * 24;
+    m.sigma_shift = +1.2;
+    mitigations.push_back(m);
+  }
+
+  sim::KpiGenerator gen(topo, {.seed = 1515});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::WeatherFactor>(
+      std::vector<sim::WeatherEvent>{sandy}));
+  gen.add_factor(
+      std::make_shared<sim::NetworkEventFactor>(topo, mitigations));
+
+  core::Assessor assessor(
+      topo,
+      [&gen](net::ElementId e, kpi::KpiId k, std::int64_t s, std::size_t n) {
+        return gen.kpi_series(e, k, s, n);
+      },
+      core::AssessmentConfig{
+          .before_bins = 10 * 24, .after_bins = 6 * 24, .guard_bins = 0,
+          .regression = {}});
+
+  for (const auto kpi_id : {kpi::KpiId::kVoiceAccessibility,
+                            kpi::KpiId::kVoiceRetainability}) {
+    // Group-mean daily series, as in the figure.
+    std::vector<ts::TimeSeries> study_daily, ctrl_daily;
+    for (const auto t : study)
+      study_daily.push_back(figutil::daily(
+          gen.kpi_series(t, kpi_id, landfall - 10 * 24, 16 * 24)));
+    for (const auto t : controls)
+      ctrl_daily.push_back(figutil::daily(
+          gen.kpi_series(t, kpi_id, landfall - 10 * 24, 16 * 24)));
+    std::printf("--- %s (daily group means, relative; hurricane days 0-3) "
+                "---\n",
+                std::string(kpi::to_string(kpi_id)).c_str());
+    figutil::print_daily_series(
+        {"SON_study_group", "nonSON_control"},
+        {kpi::pointwise_mean(study_daily), kpi::pointwise_mean(ctrl_daily)});
+
+    const core::ChangeAssessment a =
+        assessor.assess(study, controls, kpi_id, landfall);
+    std::size_t so_degr = 0;
+    core::StudyOnlyAnalyzer study_only;
+    for (const auto s : study) {
+      const auto w = assessor.windows_for(s, controls, kpi_id, landfall);
+      if (study_only.assess(w, kpi_id).verdict == core::Verdict::kDegradation)
+        ++so_degr;
+    }
+    std::printf("\nstudy-only: %zu/%zu SON towers look degraded (absolute "
+                "view). Litmus vote: %s (%zu improvements / %zu votes)\n",
+                so_degr, study.size(), to_string(a.summary.verdict),
+                a.summary.improvements,
+                a.summary.improvements + a.summary.degradations +
+                    a.summary.no_impacts);
+    std::printf("paper shape: absolute degradation everywhere, relative "
+                "improvement at SON towers. %s\n\n",
+                a.summary.verdict == core::Verdict::kImprovement
+                    ? "[reproduced]"
+                    : "[NOT reproduced]");
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Fig 3: two years of daily voice retainability for cell towers in the
+// Northeastern US. The paper observes a yearly seasonal pattern — a
+// performance dip from April to August (leaves budding) and an improvement
+// from September to January (leaves falling) — superimposed on a slow
+// carrier-improvement trend, and explicitly notes the pattern's absence in
+// the Southeast. This bench regenerates both series and quantifies the
+// contrast with a seasonal-strength statistic.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "figutil.h"
+#include "kpi/aggregate.h"
+#include "simkit/clock.h"
+#include "simkit/generator.h"
+#include "simkit/seasonality.h"
+#include "tsmath/seasonal.h"
+
+namespace {
+
+litmus::ts::TimeSeries regional_daily_retainability(litmus::net::Region region,
+                                                    std::uint64_t seed) {
+  using namespace litmus;
+  net::Topology topo = net::build_small_region(region, seed, 2, 10);
+  sim::KpiGenerator gen(topo, {.seed = seed});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::FoliageFactor>());
+  gen.add_factor(std::make_shared<sim::CarrierTrendFactor>());
+
+  const auto towers = topo.of_kind(net::ElementKind::kNodeB);
+  std::vector<ts::TimeSeries> daily;
+  for (const auto t : towers) {
+    const ts::TimeSeries hourly = gen.kpi_series(
+        t, kpi::KpiId::kVoiceRetainability, 0, 2 * sim::kHoursPerYear);
+    daily.push_back(figutil::daily(hourly));
+  }
+  return kpi::pointwise_mean(daily);
+}
+
+}  // namespace
+
+int main() {
+  using namespace litmus;
+  std::printf("=== Fig 3: yearly foliage seasonality, Northeast vs "
+              "Southeast (2 years, daily) ===\n\n");
+
+  const ts::TimeSeries ne =
+      regional_daily_retainability(net::Region::kNortheast, 33);
+  const ts::TimeSeries se =
+      regional_daily_retainability(net::Region::kSoutheast, 34);
+
+  // Print weekly means to keep the table readable (104 rows).
+  std::printf("week   northeast(rel)   southeast(rel)\n");
+  double ne0 = ts::kMissing, se0 = ts::kMissing;
+  for (int wk = 0; wk < 104; ++wk) {
+    const auto new_ = ne.slice_bins(wk * 7, wk * 7 + 7);
+    const auto sew = se.slice_bins(wk * 7, wk * 7 + 7);
+    const double nv = ts::mean(new_);
+    const double sv = ts::mean(sew);
+    if (ts::is_missing(ne0)) ne0 = nv;
+    if (ts::is_missing(se0)) se0 = sv;
+    std::printf("%4d   %+14.5f   %+14.5f\n", wk, nv - ne0, sv - se0);
+  }
+
+  // Yearly-pattern evidence: correlation of the two years' day-of-year
+  // profiles after removing the linear trend (weekly-smoothed). A repeating
+  // foliage cycle gives a high correlation; trendless noise gives ~0.
+  auto year_profile_correlation = [](const ts::TimeSeries& s) {
+    const double slope = ts::linear_trend_slope(s.values());
+    std::vector<double> detr(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+      detr[i] = s[i] - slope * static_cast<double>(i);
+    const std::vector<double> smooth = ts::moving_average(detr, 7);
+    return ts::pearson(std::span<const double>(smooth).subspan(0, 365),
+                       std::span<const double>(smooth).subspan(365, 365));
+  };
+  const double ne_strength = year_profile_correlation(ne);
+  const double se_strength = year_profile_correlation(se);
+  const double ne_trend = ts::linear_trend_slope(ne.values()) * 365.0;
+  const double se_trend = ts::linear_trend_slope(se.values()) * 365.0;
+  std::printf("\nyear-over-year profile correlation: northeast=%.3f "
+              "southeast=%.3f (paper: strong NE pattern, none in SE)\n",
+              ne_strength, se_strength);
+  std::printf("carrier trend (retainability/year): northeast=%+.5f "
+              "southeast=%+.5f (paper: overall increasing trend)\n",
+              ne_trend, se_trend);
+
+  // Phase check: April-August dip vs September-January.
+  auto window_mean = [&](const ts::TimeSeries& s, int from_doy, int to_doy) {
+    double sum = 0;
+    int n = 0;
+    for (int year = 0; year < 2; ++year)
+      for (int d = from_doy; d < to_doy; ++d) {
+        const double v = s.at_bin(year * 365 + d);
+        if (!ts::is_missing(v)) {
+          sum += v;
+          ++n;
+        }
+      }
+    return n ? sum / n : ts::kMissing;
+  };
+  const double ne_summer = window_mean(ne, 120, 240);  // May-Aug
+  const double ne_winter = window_mean(ne, 300, 360);  // Nov-Dec
+  std::printf("northeast summer-vs-winter retainability delta: %+.5f "
+              "(paper: dip Apr-Aug, better when trees are bare)\n",
+              ne_summer - ne_winter);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig 4: voice accessibility degrading across multiple Radio Network
+// Controllers at once during severe storms and damaging hail (tornado).
+// The signature the paper shows — and the reason study-only analysis cannot
+// be trusted during weather — is the *correlated* dip across elements.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "figutil.h"
+#include "simkit/generator.h"
+#include "simkit/seasonality.h"
+#include "simkit/weather.h"
+#include "tsmath/stats.h"
+
+int main() {
+  using namespace litmus;
+  std::printf("=== Fig 4: correlated degradation across RNCs during a "
+              "tornado ===\n\n");
+
+  net::Topology topo = net::build_small_region(net::Region::kSouthwest, 77,
+                                               /*rncs=*/5, /*nodebs_per_rnc=*/6);
+  const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+
+  // Severe storm over the market: days 18-20 of a 40-day window.
+  sim::WeatherEvent storm =
+      sim::make_event(sim::WeatherKind::kSevereStorm,
+                      topo.get(rncs[0]).location, 18 * 24, 2 * 24);
+  sim::KpiGenerator gen(topo, {.seed = 505});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::WeatherFactor>(
+      std::vector<sim::WeatherEvent>{storm}));
+
+  std::vector<std::string> names;
+  std::vector<ts::TimeSeries> daily;
+  for (const auto r : rncs) {
+    names.push_back(topo.get(r).name);
+    daily.push_back(figutil::daily(
+        gen.kpi_series(r, kpi::KpiId::kVoiceAccessibility, 0, 40 * 24)));
+  }
+  std::printf("daily voice accessibility per RNC (relative; storm days "
+              "18-19):\n");
+  figutil::print_daily_series(names, daily);
+
+  // Quantify the correlated-dip signature: cross-RNC correlation and the
+  // storm-day drop.
+  double min_drop = 0.0;
+  for (const auto& s : daily) {
+    const double base = ts::mean(s.slice_bins(0, 18));
+    const double storm_level = ts::mean(s.slice_bins(18, 20));
+    min_drop = std::min(min_drop, storm_level - base);
+  }
+  double avg_corr = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < daily.size(); ++i)
+    for (std::size_t j = i + 1; j < daily.size(); ++j) {
+      avg_corr += ts::pearson(daily[i].values(), daily[j].values());
+      ++pairs;
+    }
+  std::printf("\nworst storm-day accessibility drop: %+.5f; mean pairwise "
+              "cross-RNC correlation: %.3f (paper: simultaneous dips across "
+              "RNCs)\n",
+              min_drop, avg_corr / pairs);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig 5: a big event at a venue. Total voice-call volume at the towers
+// serving the location jumps during the event, and voice retainability
+// drops — the congestion mechanism that makes traffic shifts a confound.
+// This bench reproduces both bars at the CDR level: sessions are generated
+// per tower, aggregated to counters, and the KPIs derived from summed
+// counters exactly as the carrier pipeline would.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "kpi/aggregate.h"
+#include "kpi/cdr.h"
+#include "simkit/generator.h"
+#include "simkit/seasonality.h"
+#include "simkit/traffic.h"
+#include "tsmath/stats.h"
+
+int main() {
+  using namespace litmus;
+  std::printf("=== Fig 5: traffic volume and voice retainability during a "
+              "big event ===\n\n");
+
+  net::Topology topo = net::build_small_region(net::Region::kMidwest, 88,
+                                               /*rncs=*/2, /*nodebs_per_rnc=*/8);
+  const auto towers = topo.of_kind(net::ElementKind::kNodeB);
+
+  // Event: a stadium game near the first tower, hours 12-18 of day 7.
+  sim::VenueEvent game;
+  game.venue = topo.get(towers[0]).location;
+  game.radius_km = 10.0;
+  game.start_bin = 7 * 24 + 12;
+  game.end_bin = 7 * 24 + 18;
+  game.peak_load_multiplier = 5.0;
+
+  sim::KpiGenerator gen(topo, {.seed = 606});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::TrafficEventFactor>(
+      std::vector<sim::HolidayWindow>{}, std::vector<sim::VenueEvent>{game}));
+
+  // CDR-level simulation for the towers at the event location: session
+  // volumes follow the load; drop probability rises with congestion.
+  ts::Rng rng(909);
+  std::vector<kpi::CounterSeries> counters;
+  for (const auto t : towers) {
+    const ts::TimeSeries load = gen.load_series(t, 0, 14 * 24);
+    kpi::CounterSeries cs(0, 14 * 24);
+    for (std::int64_t bin = 0; bin < 14 * 24; ++bin) {
+      kpi::SessionRates rates;
+      const double l = load.at_bin(bin);
+      rates.voice_attempts_per_bin = 200.0 * l;
+      // Congestion drives drops once load clears the knee.
+      rates.voice_drop_prob = 0.02 + 0.05 * std::max(0.0, l - 1.3);
+      rates.voice_block_prob = 0.015 + 0.04 * std::max(0.0, l - 1.5);
+      for (const auto& rec :
+           kpi::synthesize_bin_records(rng, t, bin, rates))
+        kpi::accumulate(cs.at_bin(bin), rec);
+    }
+    counters.push_back(std::move(cs));
+  }
+
+  const kpi::CounterSeries total = kpi::sum_counters(counters);
+  auto window_stats = [&](std::int64_t from, std::int64_t to) {
+    kpi::CounterBin agg;
+    for (std::int64_t b = from; b < to; ++b) agg += total.at_bin(b);
+    const double retain = kpi::compute_kpi(
+        agg, kpi::KpiId::kVoiceRetainability, 60);
+    return std::pair<double, double>(
+        static_cast<double>(agg.voice_attempts) / (to - from), retain);
+  };
+
+  // "Before": same hours the day before the event. "During": event hours.
+  const auto [vol_before, ret_before] =
+      window_stats(6 * 24 + 12, 6 * 24 + 18);
+  const auto [vol_during, ret_during] =
+      window_stats(7 * 24 + 12, 7 * 24 + 18);
+
+  std::printf("aggregated across all towers at the event location:\n");
+  std::printf("  voice call volume   before=%8.0f/h  during=%8.0f/h  "
+              "(x%.2f)\n",
+              vol_before, vol_during, vol_during / vol_before);
+  std::printf("  voice retainability delta during-vs-before: %+.5f\n",
+              ret_during - ret_before);
+  std::printf("\npaper shape: volume up dramatically during the event; "
+              "retainability lower during than before. %s\n",
+              (vol_during > 2.0 * vol_before && ret_during < ret_before)
+                  ? "[reproduced]"
+                  : "[NOT reproduced]");
+  return 0;
+}

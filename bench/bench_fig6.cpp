@@ -1,0 +1,62 @@
+// Fig 6: a software upgrade at an upstream RNC improves voice retainability
+// at a majority of (but not all) downstream cell towers. The trap the paper
+// calls out: if a small config change happened at those towers around the
+// same time, study-only analysis would credit the config change for the
+// RNC upgrade's improvement.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "figutil.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+#include "tsmath/stats.h"
+
+int main() {
+  using namespace litmus;
+  std::printf("=== Fig 6: upstream RNC software upgrade lifts most "
+              "downstream towers ===\n\n");
+
+  net::Topology topo = net::build_small_region(net::Region::kWest, 99,
+                                               /*rncs=*/2, /*nodebs_per_rnc=*/5);
+  const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+  const net::ElementId upgraded = rncs[0];
+
+  sim::UpstreamEvent upgrade;
+  upgrade.source = upgraded;
+  upgrade.start_bin = 0;
+  upgrade.sigma_shift = +1.8;
+  upgrade.ramp_bins = 12;
+  upgrade.hit_fraction = 0.7;  // a majority, not all (as in the figure)
+  upgrade.seed = 33;
+
+  sim::KpiGenerator gen(topo, {.seed = 707});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::NetworkEventFactor>(
+      topo, std::vector<sim::UpstreamEvent>{upgrade}));
+
+  std::vector<std::string> names;
+  std::vector<ts::TimeSeries> daily;
+  std::size_t improved = 0;
+  const auto towers = topo.children_of(upgraded);
+  for (const auto t : towers) {
+    names.push_back("tower" + std::to_string(names.size() + 1));
+    const ts::TimeSeries hourly = gen.kpi_series(
+        t, kpi::KpiId::kVoiceRetainability, -10 * 24, 18 * 24);
+    const ts::TimeSeries d = figutil::daily(hourly);
+    const double before = ts::mean(d.slice_bins(-10, 0));
+    const double after = ts::mean(d.slice_bins(0, 8));
+    if (after - before > 0.004) ++improved;
+    daily.push_back(d);
+  }
+
+  std::printf("daily voice retainability per downstream tower (relative; "
+              "upgrade at day 0):\n");
+  figutil::print_daily_series(names, daily);
+  std::printf("\n%zu of %zu towers improved after the upgrade (paper: "
+              "majority, not all)\n",
+              improved, towers.size());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig 8 / case study 5.1: a feature activation at one RNC (to reduce data
+// session start-up times) causes a subtle but persistent increase in the
+// dropped-voice-call ratio at the study RNC; the control RNCs in the region
+// are unaffected. Litmus detects the statistical change of the study series
+// against its control-based forecast, confirming the dropped-call issue
+// that led to the feature being rolled back.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "figutil.h"
+#include "litmus/assessor.h"
+#include "litmus/report.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+
+int main() {
+  using namespace litmus;
+  std::printf("=== Fig 8: feature activation at an RNC raises the dropped "
+              "voice call ratio ===\n\n");
+
+  net::Topology topo = net::build_small_region(net::Region::kSoutheast, 111,
+                                               /*rncs=*/7, /*nodebs_per_rnc=*/6);
+  const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+  const net::ElementId study = rncs.front();
+  const std::int64_t change_bin = 0;
+
+  // The feature's true (unexpected) effect: a subtle -0.9 sigma quality
+  // degradation at the study RNC subtree.
+  sim::UpstreamEvent effect;
+  effect.source = study;
+  effect.start_bin = change_bin;
+  effect.sigma_shift = -0.9;
+
+  sim::KpiGenerator gen(topo, {.seed = 1111});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::NetworkEventFactor>(
+      topo, std::vector<sim::UpstreamEvent>{effect}));
+
+  const auto kpi = kpi::KpiId::kDroppedVoiceCallRatio;
+  core::Assessor assessor(
+      topo, [&gen](net::ElementId e, kpi::KpiId k, std::int64_t s,
+                   std::size_t n) { return gen.kpi_series(e, k, s, n); });
+
+  std::vector<net::ElementId> study_group{study};
+  std::vector<net::ElementId> controls(rncs.begin() + 1, rncs.end());
+
+  // (a) study RNC and (b) control RNCs, daily dropped-call ratios.
+  std::vector<std::string> names{"study_rnc"};
+  std::vector<ts::TimeSeries> daily{figutil::daily(
+      gen.kpi_series(study, kpi, change_bin - 14 * 24, 28 * 24))};
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    names.push_back("control_rnc" + std::to_string(i + 1));
+    daily.push_back(figutil::daily(
+        gen.kpi_series(controls[i], kpi, change_bin - 14 * 24, 28 * 24)));
+  }
+  std::printf("daily dropped voice call ratio (relative; feature activated "
+              "at day 0):\n");
+  figutil::print_daily_series(names, daily);
+
+  // Litmus verdict + forecast diagnostics.
+  const core::ChangeAssessment a =
+      assessor.assess(study_group, controls, kpi, change_bin);
+  std::printf("\n%s", core::format_assessment(a, topo).c_str());
+
+  const core::ElementWindows w =
+      assessor.windows_for(study, controls, kpi, change_bin);
+  core::RobustSpatialRegression alg;
+  core::RobustSpatialRegression::Forecast fc;
+  if (alg.forecast(w, fc)) {
+    std::printf("forecast-difference medians: before=%+.5f after=%+.5f "
+                "(median fit R^2=%.3f)\n",
+                ts::median(fc.forecast_diff_before),
+                ts::median(fc.forecast_diff_after), fc.median_r_squared);
+  }
+  std::printf("\npaper shape: persistent increase at the study RNC only; "
+              "Litmus flags a degradation. %s\n",
+              a.summary.verdict == core::Verdict::kDegradation
+                  ? "[reproduced]"
+                  : "[NOT reproduced]");
+  return 0;
+}

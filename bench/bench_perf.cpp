@@ -1,0 +1,114 @@
+// Runtime benchmarks for the Litmus algorithm (paper Section 5: "our
+// algorithm finishes in a few minutes" at 1-2-week assessment scales —
+// this implementation finishes a single assessment in milliseconds).
+//
+// Sweeps: control-group size, window length, sampling iterations; plus the
+// statistical primitives (OLS fit, robust rank-order test).
+#include <benchmark/benchmark.h>
+
+#include "eval/group_sim.h"
+#include "litmus/did.h"
+#include "litmus/spatial_regression.h"
+#include "litmus/study_only.h"
+#include "tsmath/linreg.h"
+#include "tsmath/random.h"
+#include "tsmath/rank_tests.h"
+
+namespace {
+
+using namespace litmus;
+
+core::ElementWindows make_windows(std::size_t n_controls, std::size_t days) {
+  eval::EpisodeSpec spec;
+  spec.n_control = n_controls;
+  spec.before_bins = days * 24;
+  spec.after_bins = days * 24;
+  spec.true_sigma = 1.5;
+  spec.seed = 97;
+  return eval::simulate_episode(spec).study_windows.front();
+}
+
+void BM_LitmusAssess_Controls(benchmark::State& state) {
+  const auto w = make_windows(static_cast<std::size_t>(state.range(0)), 14);
+  const core::RobustSpatialRegression alg;
+  for (auto _ : state) {
+    auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LitmusAssess_Controls)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LitmusAssess_WindowDays(benchmark::State& state) {
+  const auto w = make_windows(16, static_cast<std::size_t>(state.range(0)));
+  const core::RobustSpatialRegression alg;
+  for (auto _ : state) {
+    auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LitmusAssess_WindowDays)->Arg(7)->Arg(14)->Arg(28);
+
+void BM_LitmusAssess_Iterations(benchmark::State& state) {
+  const auto w = make_windows(16, 14);
+  core::SpatialRegressionParams params;
+  params.n_iterations = static_cast<std::size_t>(state.range(0));
+  const core::RobustSpatialRegression alg(params);
+  for (auto _ : state) {
+    auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LitmusAssess_Iterations)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_DiDAssess(benchmark::State& state) {
+  const auto w = make_windows(16, 14);
+  const core::DiDAnalyzer alg;
+  for (auto _ : state) {
+    auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DiDAssess);
+
+void BM_StudyOnlyAssess(benchmark::State& state) {
+  const auto w = make_windows(16, 14);
+  const core::StudyOnlyAnalyzer alg;
+  for (auto _ : state) {
+    auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_StudyOnlyAssess);
+
+void BM_OlsFit(benchmark::State& state) {
+  const std::size_t rows = 336;
+  const std::size_t cols = static_cast<std::size_t>(state.range(0));
+  ts::Rng rng(5);
+  ts::Matrix x(rows, cols);
+  std::vector<double> y(rows);
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t r = 0; r < rows; ++r) x(r, c) = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  for (auto _ : state) {
+    auto m = ts::fit_ols(x, y, true);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_OlsFit)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RobustRankOrder(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ts::Rng rng(6);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal(0.3, 1.0);
+  for (auto _ : state) {
+    auto t = ts::robust_rank_order(x, y);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_RobustRankOrder)->Arg(168)->Arg(336)->Arg(672);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Sensitivity analysis: detection rate vs true-impact magnitude for the
+// three algorithms, in clean and contaminated control-group regimes.
+//
+// Not a paper table — it quantifies the detection floor implied by the
+// paper's setup: with 14-day hourly windows, how small a change can each
+// method see, and what does control contamination cost? The crossover
+// where DiD falls away from Litmus under contamination is the operational
+// payoff of the robust spatial regression.
+#include <cstdio>
+#include <vector>
+
+#include "eval/group_sim.h"
+#include "litmus/did.h"
+#include "litmus/spatial_regression.h"
+#include "litmus/study_only.h"
+#include "tsmath/random.h"
+
+using namespace litmus;
+
+namespace {
+
+struct Rates {
+  double study_only = 0;
+  double did = 0;
+  double litmus = 0;
+};
+
+Rates detection_rates(double magnitude_sigma, bool contaminated,
+                      std::size_t trials) {
+  static const core::StudyOnlyAnalyzer so;
+  static const core::DiDAnalyzer did;
+  static const core::RobustSpatialRegression lit;
+
+  Rates r;
+  ts::Rng seeder(0xB0B + static_cast<std::uint64_t>(1000 * magnitude_sigma) +
+                 (contaminated ? 7 : 0));
+  for (std::size_t t = 0; t < trials; ++t) {
+    eval::EpisodeSpec spec;
+    spec.true_sigma = magnitude_sigma;
+    spec.n_control = 12;
+    if (contaminated) {
+      spec.contaminated_controls = 3;
+      spec.contamination_sigma = seeder.uniform(3.0, 9.0);
+      spec.contamination_sign = +1;  // same direction: the masking regime
+      spec.contamination_at_change = true;
+    }
+    spec.seed = seeder.next_u64() | 1;
+    const eval::Episode ep = eval::simulate_episode(spec);
+    const auto& w = ep.study_windows.front();
+    const auto expected = core::Verdict::kImprovement;
+    if (so.assess(w, spec.kpi).verdict == expected) r.study_only += 1;
+    if (did.assess(w, spec.kpi).verdict == expected) r.did += 1;
+    if (lit.assess(w, spec.kpi).verdict == expected) r.litmus += 1;
+  }
+  const double n = static_cast<double>(trials);
+  r.study_only /= n;
+  r.did /= n;
+  r.litmus /= n;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kTrials = 30;
+  const std::vector<double> magnitudes{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0};
+
+  for (const bool contaminated : {false, true}) {
+    std::printf("=== detection rate vs impact magnitude (%s control group, "
+                "%zu trials/point) ===\n",
+                contaminated ? "contaminated" : "clean", kTrials);
+    std::printf("magnitude   study_only     did        litmus\n");
+    for (const double m : magnitudes) {
+      const Rates r = detection_rates(m, contaminated, kTrials);
+      std::printf("  %4.2f sigma   %6.1f%%   %6.1f%%    %6.1f%%\n", m,
+                  100 * r.study_only, 100 * r.did, 100 * r.litmus);
+    }
+    std::printf("\n");
+  }
+  std::printf("expected shape: Litmus's detection floor sits near 0.5 sigma "
+              "and survives contamination; DiD loses mid-range detections "
+              "when contamination masks the shift; study-only is noisy at "
+              "every magnitude because external variation moves the study "
+              "series regardless.\n");
+  return 0;
+}

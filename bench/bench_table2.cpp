@@ -1,0 +1,20 @@
+// Reproduces paper Table 2: evaluation using known assessments of network
+// changes (19 production change campaigns, 313 (element, KPI) cases).
+//
+// Expected shape (paper): Litmus labels every case correctly (100%
+// accuracy); DiD gets 100% precision but misses some expected impacts under
+// control-group contamination (84.66% accuracy); study-group-only analysis
+// collapses under external factors (41.53% accuracy, 0.98% TNR).
+#include <cstdio>
+
+#include "eval/known_assessments.h"
+
+int main() {
+  using namespace litmus;
+  const eval::KnownAssessmentResults r = eval::run_known_assessments();
+  std::printf("%s\n", eval::format_table2(r).c_str());
+  std::printf("paper reference (Table 2): accuracy 41.53%% / 84.66%% / "
+              "100.00%%; recall 61.14%% / 79.49%% / 100.00%%; "
+              "TNR 0.98%% / 100.00%% / 100.00%%\n");
+  return 0;
+}

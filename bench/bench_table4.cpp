@@ -1,0 +1,39 @@
+// Reproduces paper Tables 3 and 4: synthetic-injection evaluation of the
+// three algorithms (study-only, DiD, Litmus robust spatial regression).
+//
+// Expected shape (paper): accuracy Litmus > DiD > study-only; Litmus recall
+// highest (97.5% vs 86.9% vs 74.2% in the paper); study-only true-negative
+// rate collapses (3.7%) because external variation always moves the study
+// series.
+//
+// Trials per cell default to 40 (≈3200 cases) to keep the default bench
+// sweep quick; set LITMUS_TABLE4_TRIALS=100 to match the paper's ~8000-case
+// scale.
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/synthetic.h"
+
+int main() {
+  using namespace litmus;
+
+  eval::SyntheticConfig cfg;
+  if (const char* env = std::getenv("LITMUS_TABLE4_TRIALS"))
+    cfg.trials_per_cell = static_cast<std::size_t>(std::atoi(env));
+  else
+    cfg.trials_per_cell = 40;
+
+  std::printf("running synthetic-injection sweep: %zu patterns x %zu regions "
+              "x %zu kpis x %zu trials...\n",
+              eval::kAllPatterns.size(), eval::synthetic_regions().size(),
+              eval::synthetic_kpis().size(), cfg.trials_per_cell);
+
+  const eval::SyntheticResults r = eval::run_synthetic_sweep(cfg);
+  std::printf("\n%s\n", eval::format_table3(r).c_str());
+  std::printf("%s\n", eval::format_table4(r).c_str());
+
+  std::printf("paper reference (Table 4): accuracy 56.54%% / 75.43%% / "
+              "82.35%%; recall 74.23%% / 86.90%% / 97.47%%; "
+              "TNR 3.73%% / 41.19%% / 37.21%%\n");
+  return 0;
+}

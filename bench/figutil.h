@@ -1,0 +1,74 @@
+// Shared helpers for the figure-reproduction benches: daily aggregation,
+// aligned series printing, and a three-analyzer verdict line.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kpi/aggregate.h"
+#include "litmus/did.h"
+#include "litmus/spatial_regression.h"
+#include "litmus/study_only.h"
+#include "tsmath/stats.h"
+
+namespace figutil {
+
+using litmus::ts::TimeSeries;
+
+/// Hourly -> daily mean KPI series.
+inline TimeSeries daily(const TimeSeries& hourly) {
+  return litmus::kpi::downsample_mean(hourly, 24);
+}
+
+/// Prints aligned columns: day index then one column per series, normalized
+/// to each series' first observed value when `normalize` is set (the paper
+/// shows no absolute values; we print relative levels by default).
+inline void print_daily_series(const std::vector<std::string>& names,
+                               const std::vector<TimeSeries>& series,
+                               bool normalize = true) {
+  std::printf("%8s", "day");
+  for (const auto& n : names) std::printf("  %14s", n.c_str());
+  std::printf("\n");
+  if (series.empty()) return;
+  std::vector<double> base(series.size(), 0.0);
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    base[s] = 0.0;
+    if (normalize) {
+      for (double v : series[s].values())
+        if (!litmus::ts::is_missing(v)) {
+          base[s] = v;
+          break;
+        }
+    }
+  }
+  const auto range = litmus::ts::common_range(series);
+  for (std::int64_t d = range.from; d < range.to; ++d) {
+    std::printf("%8lld", static_cast<long long>(d));
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const double v = series[s].at_bin(d);
+      if (litmus::ts::is_missing(v))
+        std::printf("  %14s", "-");
+      else
+        std::printf("  %+14.5f", v - base[s]);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Runs the three analyzers on one set of windows and prints a verdict row.
+inline void print_verdicts(const char* scenario,
+                           const litmus::core::ElementWindows& w,
+                           litmus::kpi::KpiId kpi) {
+  static const litmus::core::StudyOnlyAnalyzer study_only;
+  static const litmus::core::DiDAnalyzer did;
+  static const litmus::core::RobustSpatialRegression litmus_alg;
+  const auto so = study_only.assess(w, kpi);
+  const auto dd = did.assess(w, kpi);
+  const auto lm = litmus_alg.assess(w, kpi);
+  std::printf("%-28s study_only=%-12s did=%-12s litmus=%-12s\n", scenario,
+              to_string(so.verdict), to_string(dd.verdict),
+              to_string(lm.verdict));
+}
+
+}  // namespace figutil

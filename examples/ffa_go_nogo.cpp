@@ -1,0 +1,107 @@
+// FFA (First Field Application) go / no-go workflow, end to end:
+//
+//   1. register the trial change in the change-management log
+//   2. verify the assessment window is clean (no conflicting changes in the
+//      study group's impact scope — paper Section 2.5, "Network events")
+//   3. select a domain-knowledge-guided control group (Section 3.3)
+//   4. assess every KPI with the robust spatial regression and vote
+//   5. emit the go / no-go recommendation the Engineering and Operations
+//      teams act on (Sections 1, 2.4)
+//
+// Two trials run here: a good feature (improves retainability) and a bad
+// one (regresses accessibility). The first gets GO, the second NO-GO.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "changelog/changelog.h"
+#include "litmus/assessor.h"
+#include "litmus/report.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+
+using namespace litmus;
+
+namespace {
+
+void run_trial(const char* title, net::Topology& topo, chg::ChangeLog& log,
+               net::ElementId study_rnc, double true_effect_sigma,
+               kpi::KpiId affected_kpi, std::uint64_t seed) {
+  std::printf("================ %s ================\n", title);
+
+  // 1. Change record.
+  chg::ChangeRecord record;
+  record.element = study_rnc;
+  record.type = chg::ChangeType::kFeatureActivation;
+  record.frequency = chg::ChangeFrequency::kLow;
+  record.bin = 0;
+  record.description = title;
+  record.expectation = chg::Expectation::kImprovement;
+  record.target_kpi = affected_kpi;
+  record.is_ffa = true;
+  record.id = log.add(record);
+  std::printf("change #%u registered at %s (FFA trial)\n", record.id,
+              topo.get(study_rnc).name.c_str());
+
+  // 2. Clean-window check over the 14-day before/after comparison span.
+  const bool clean = log.window_is_clean(topo, record, 14 * 24, 14 * 24);
+  std::printf("assessment window clean of conflicting changes: %s\n",
+              clean ? "yes" : "NO - findings need manual review");
+
+  // 3. The telemetry feed carries the change's true effect.
+  sim::UpstreamEvent effect;
+  effect.source = study_rnc;
+  effect.start_bin = record.bin;
+  effect.sigma_shift = true_effect_sigma;
+  sim::KpiGenerator gen(topo, {.seed = seed});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::FoliageFactor>());
+  gen.add_factor(std::make_shared<sim::NetworkEventFactor>(
+      topo, std::vector<sim::UpstreamEvent>{effect}));
+
+  core::Assessor assessor(
+      topo, [&gen](net::ElementId e, kpi::KpiId k, std::int64_t s,
+                   std::size_t n) { return gen.kpi_series(e, k, s, n); });
+
+  // 4. Control group: RNCs under the same MSC, same technology.
+  const std::vector<net::ElementId> study{study_rnc};
+  const core::SelectionResult sel = core::select_control_group(
+      topo, study,
+      core::all_of({core::same_upstream(net::ElementKind::kMsc),
+                    core::same_technology()}));
+  std::printf("control group: %zu elements (%zu candidates considered, %zu "
+              "excluded by impact scope)\n",
+              sel.controls.size(), sel.candidates_considered,
+              sel.excluded_by_scope);
+
+  // 5. Multi-KPI decision.
+  const std::vector<kpi::KpiId> kpis{kpi::KpiId::kVoiceRetainability,
+                                     kpi::KpiId::kVoiceAccessibility,
+                                     kpi::KpiId::kDataRetainability};
+  const core::FfaDecision decision =
+      assessor.ffa_decision(study, sel.controls, kpis, record.bin);
+  for (const auto& a : decision.per_kpi)
+    std::printf("  %s\n", core::one_line_summary(a).c_str());
+  std::printf("DECISION: %s — %s\n\n", decision.go ? "GO" : "NO-GO",
+              decision.rationale.c_str());
+}
+
+}  // namespace
+
+int main() {
+  net::Topology topo =
+      net::build_small_region(net::Region::kNortheast, 2718, 6, 6);
+  const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+  chg::ChangeLog log;
+
+  // NOTE: a change's *true* effect in this simulated world maps onto the
+  // service-quality latent; +1.5 sigma is a solid improvement, while the
+  // second trial genuinely regresses service.
+  run_trial("fast-dormancy feature, release 5.2", topo, log, rncs[0], +1.5,
+            kpi::KpiId::kVoiceRetainability, 41);
+  run_trial("aggressive power-save timer", topo, log, rncs[1], -1.2,
+            kpi::KpiId::kVoiceAccessibility, 43);
+  return 0;
+}

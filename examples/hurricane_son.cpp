@@ -1,0 +1,103 @@
+// How well did SON perform during the hurricane? (paper Section 5.3)
+//
+// The carrier had Self-Optimizing Network features live on part of the
+// fleet when a hurricane hit. Every tower degrades in absolute terms, so a
+// study-only read says "everything is worse". The operational question is
+// *relative*: did SON towers (study group) weather the storm better than
+// non-SON towers (control group)? Litmus answers by forecasting the SON
+// towers from the non-SON towers and testing the forecast difference.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "kpi/aggregate.h"
+#include "litmus/assessor.h"
+#include "litmus/study_only.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+#include "simkit/weather.h"
+#include "tsmath/stats.h"
+
+using namespace litmus;
+
+int main() {
+  // A coastal market with SON rollout in progress (~40% of towers).
+  net::Topology topo =
+      net::build_small_region(net::Region::kNortheast, 1938, 3, 12);
+  std::vector<net::ElementId> son, non_son;
+  for (const auto id : topo.of_kind(net::ElementKind::kNodeB))
+    (topo.get(id).config.son_enabled ? son : non_son).push_back(id);
+  std::printf("fleet: %zu SON towers (study), %zu non-SON towers (control)\n",
+              son.size(), non_son.size());
+
+  // Landfall at bin 0; four days of hurricane conditions.
+  const std::int64_t landfall = 0;
+  sim::WeatherEvent hurricane =
+      sim::make_event(sim::WeatherKind::kHurricane,
+                      topo.get(son.front()).location, landfall, 4 * 24);
+  hurricane.outage_probability = 0.05;
+
+  // SON's real value during the event: automatic neighbor discovery and
+  // load balancing soften the hit at SON towers.
+  std::vector<sim::UpstreamEvent> mitigation;
+  for (const auto t : son) {
+    sim::UpstreamEvent m;
+    m.source = t;
+    m.start_bin = landfall;
+    m.end_bin = landfall + 6 * 24;
+    m.sigma_shift = +1.1;
+    mitigation.push_back(m);
+  }
+
+  sim::KpiGenerator gen(topo, {.seed = 1938});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::WeatherFactor>(
+      std::vector<sim::WeatherEvent>{hurricane}));
+  gen.add_factor(std::make_shared<sim::NetworkEventFactor>(topo, mitigation));
+
+  core::AssessmentConfig cfg;
+  cfg.before_bins = 10 * 24;
+  cfg.after_bins = 5 * 24;
+  core::Assessor assessor(
+      topo,
+      [&gen](net::ElementId e, kpi::KpiId k, std::int64_t s, std::size_t n) {
+        return gen.kpi_series(e, k, s, n);
+      },
+      cfg);
+
+  for (const auto kpi_id : {kpi::KpiId::kVoiceAccessibility,
+                            kpi::KpiId::kVoiceRetainability,
+                            kpi::KpiId::kDataRetainability}) {
+    // Absolute view first.
+    std::vector<ts::TimeSeries> son_series, ctrl_series;
+    for (const auto t : son)
+      son_series.push_back(gen.kpi_series(t, kpi_id, landfall - 240, 360));
+    for (const auto t : non_son)
+      ctrl_series.push_back(gen.kpi_series(t, kpi_id, landfall - 240, 360));
+    const ts::TimeSeries son_mean = kpi::pointwise_mean(son_series);
+    const ts::TimeSeries ctrl_mean = kpi::pointwise_mean(ctrl_series);
+    const double son_drop = ts::mean(son_mean.slice_bins(0, 96)) -
+                            ts::mean(son_mean.slice_bins(-240, 0));
+    const double ctrl_drop = ts::mean(ctrl_mean.slice_bins(0, 96)) -
+                             ts::mean(ctrl_mean.slice_bins(-240, 0));
+    std::printf("\n%s: absolute change during the hurricane — SON %+0.5f, "
+                "non-SON %+0.5f (both degrade; SON degrades less)\n",
+                std::string(kpi::to_string(kpi_id)).c_str(), son_drop,
+                ctrl_drop);
+
+    // Litmus relative view.
+    const core::ChangeAssessment a =
+        assessor.assess(son, non_son, kpi_id, landfall);
+    std::printf("Litmus vote: %s (%zu/%zu towers show relative "
+                "improvement)\n",
+                to_string(a.summary.verdict), a.summary.improvements,
+                son.size());
+  }
+
+  std::printf("\nconclusion: SON did its job under the worst conditions — "
+              "roll the features out fleet-wide (the paper's operational "
+              "outcome).\n");
+  return 0;
+}

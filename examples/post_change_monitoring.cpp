@@ -1,0 +1,63 @@
+// Continuous post-change monitoring (paper Section 5: impacts are
+// confirmed over multiple time-intervals before rollout decisions).
+//
+// The scenario: a software feature passes its day-3 spot check, but a slow
+// resource leak starts degrading service five days in. The one-shot
+// assessment would have said GO; the ChangeMonitor flips to `degrading`
+// once the late-onset regression is confirmed across consecutive windows.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cellnet/builder.h"
+#include "litmus/monitor.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+
+using namespace litmus;
+
+int main() {
+  net::Topology topo =
+      net::build_small_region(net::Region::kMidwest, 733, 6, 4);
+  const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+  const net::ElementId study = rncs[0];
+  const std::vector<net::ElementId> controls(rncs.begin() + 1, rncs.end());
+
+  // The late-onset defect: -1.8 sigma starting five days after activation.
+  sim::UpstreamEvent leak;
+  leak.source = study;
+  leak.start_bin = 5 * 24;
+  leak.sigma_shift = -1.8;
+  leak.ramp_bins = 24;  // degrades over a day, as leaks do
+  sim::KpiGenerator gen(topo, {.seed = 733});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::NetworkEventFactor>(
+      topo, std::vector<sim::UpstreamEvent>{leak}));
+
+  core::ChangeMonitor monitor(
+      [&gen](net::ElementId e, kpi::KpiId k, std::int64_t s, std::size_t n) {
+        return gen.kpi_series(e, k, s, n);
+      },
+      study, controls, kpi::KpiId::kVoiceRetainability, /*change_bin=*/0);
+
+  std::printf("monitoring %s after feature activation (3-day sliding "
+              "window, daily steps, 3 consecutive reads to confirm):\n\n",
+              topo.get(study).name.c_str());
+  std::printf("  day   window verdict   confirmed state\n");
+  for (std::int64_t day = 1; day <= 14; ++day) {
+    // In deployment this would be a daily cron pulling fresh KPI exports.
+    for (const auto& reading : monitor.advance(day * 24)) {
+      std::printf("  %3lld   %-15s %s\n",
+                  static_cast<long long>(reading.up_to_bin / 24),
+                  to_string(reading.outcome.verdict),
+                  to_string(reading.state));
+    }
+  }
+
+  std::printf("\nfinal state: %s — %s\n", to_string(monitor.state()),
+              monitor.state() == core::MonitorState::kDegrading
+                  ? "the late-onset leak was caught; roll the feature back"
+                  : "unexpected for this scenario");
+  return monitor.state() == core::MonitorState::kDegrading ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Quickstart: assess a feature activation at one RNC with Litmus.
+//
+// The "real world" here is the simulator: a synthetic national network
+// whose KPI feeds carry diurnal load, foliage seasonality and a slow
+// improvement trend — plus the actual effect of the change under test,
+// injected as an upstream event at the study RNC. Litmus then plays the
+// operations role: select a control group, learn the study/control
+// dependency before the change, and decide go / no-go.
+#include <cstdio>
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "litmus/assessor.h"
+#include "litmus/report.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+
+int main() {
+  using namespace litmus;
+
+  // 1. A synthetic network: one UMTS region with MSC -> RNCs -> NodeBs.
+  net::Topology topo = net::build_small_region(net::Region::kNortheast,
+                                               /*seed=*/7, /*rncs=*/6,
+                                               /*nodebs_per_rnc=*/8);
+  const std::vector<net::ElementId> rncs = topo.of_kind(net::ElementKind::kRnc);
+  const net::ElementId study_rnc = rncs.front();
+  std::printf("network: %zu elements, %zu RNCs; study RNC: %s\n", topo.size(),
+              rncs.size(), topo.get(study_rnc).name.c_str());
+
+  // 2. The change: a feature activation at the study RNC at bin 0 that
+  //    genuinely improves voice retainability by ~1.5 sigma.
+  const std::int64_t change_bin = 0;
+  sim::UpstreamEvent change_effect;
+  change_effect.source = study_rnc;
+  change_effect.start_bin = change_bin;
+  change_effect.sigma_shift = +1.5;
+
+  // 3. The telemetry feed.
+  sim::KpiGenerator gen(topo, {.seed = 99});
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+  gen.add_factor(std::make_shared<sim::FoliageFactor>());
+  gen.add_factor(std::make_shared<sim::CarrierTrendFactor>());
+  gen.add_factor(
+      std::make_shared<sim::NetworkEventFactor>(topo,
+          std::vector<sim::UpstreamEvent>{change_effect}));
+
+  // 4. Litmus: control group = other RNCs in the region under the same MSC,
+  //    outside the change's impact scope.
+  core::Assessor assessor(
+      topo,
+      [&gen](net::ElementId e, kpi::KpiId k, std::int64_t start,
+             std::size_t n) { return gen.kpi_series(e, k, start, n); });
+
+  const std::vector<net::ElementId> study{study_rnc};
+  const core::ControlPredicate predicate = core::all_of(
+      {core::same_upstream(net::ElementKind::kMsc), core::same_technology()});
+
+  core::ChangeAssessment assessment = assessor.assess_with_selection(
+      study, predicate, kpi::KpiId::kVoiceRetainability, change_bin);
+  std::printf("%s\n", core::format_assessment(assessment, topo).c_str());
+
+  // 5. Full FFA go / no-go across KPIs.
+  const std::vector<kpi::KpiId> kpis{kpi::KpiId::kVoiceRetainability,
+                                     kpi::KpiId::kVoiceAccessibility,
+                                     kpi::KpiId::kDataRetainability};
+  core::FfaDecision decision = assessor.ffa_decision(
+      study, assessment.control_group, kpis, change_bin);
+  std::printf("%s\n", core::format_ffa_decision(decision, topo).c_str());
+  return decision.per_kpi.empty() ? 1 : 0;
+}

@@ -1,0 +1,267 @@
+#include "cellnet/builder.h"
+
+#include <string>
+
+#include "tsmath/random.h"
+
+namespace litmus::net {
+namespace {
+
+using litmus::ts::Rng;
+
+Terrain pick_terrain(Rng& rng, Region region) {
+  const double u = rng.next_double();
+  switch (region) {
+    case Region::kNortheast:
+      return u < 0.35 ? Terrain::kUrban
+             : u < 0.70 ? Terrain::kSuburban
+             : u < 0.90 ? Terrain::kRural
+                        : Terrain::kMountain;
+    case Region::kSoutheast:
+      return u < 0.25 ? Terrain::kUrban
+             : u < 0.60 ? Terrain::kSuburban
+             : u < 0.85 ? Terrain::kFlat
+                        : Terrain::kWater;
+    case Region::kMidwest:
+      return u < 0.25 ? Terrain::kUrban
+             : u < 0.55 ? Terrain::kSuburban
+             : u < 0.90 ? Terrain::kFlat
+                        : Terrain::kWater;
+    case Region::kSouthwest:
+      return u < 0.30 ? Terrain::kUrban
+             : u < 0.55 ? Terrain::kSuburban
+             : u < 0.85 ? Terrain::kFlat
+                        : Terrain::kMountain;
+    case Region::kWest:
+      return u < 0.35 ? Terrain::kUrban
+             : u < 0.60 ? Terrain::kSuburban
+             : u < 0.85 ? Terrain::kMountain
+                        : Terrain::kWater;
+  }
+  return Terrain::kSuburban;
+}
+
+TrafficProfile pick_traffic(Rng& rng, Terrain terrain) {
+  const double u = rng.next_double();
+  if (terrain == Terrain::kWater)
+    return u < 0.8 ? TrafficProfile::kRecreation : TrafficProfile::kResidential;
+  if (terrain == Terrain::kUrban)
+    return u < 0.55 ? TrafficProfile::kBusiness
+           : u < 0.85 ? TrafficProfile::kResidential
+                      : TrafficProfile::kStadium;
+  if (terrain == Terrain::kFlat || terrain == Terrain::kRural)
+    return u < 0.35 ? TrafficProfile::kHighway
+           : u < 0.85 ? TrafficProfile::kResidential
+                      : TrafficProfile::kRecreation;
+  return u < 0.65 ? TrafficProfile::kResidential
+         : u < 0.85 ? TrafficProfile::kBusiness
+                    : TrafficProfile::kHighway;
+}
+
+SoftwareVersion pick_software(Rng& rng, ElementKind kind) {
+  // Small release families per kind; most elements run the current release,
+  // a minority lag one minor version.
+  const std::uint16_t major = is_core(kind) ? 7 : (is_controller(kind) ? 5 : 3);
+  const std::uint16_t minor = rng.chance(0.75) ? 2 : 1;
+  const std::uint16_t patch = static_cast<std::uint16_t>(rng.next_below(3));
+  return SoftwareVersion{major, minor, patch};
+}
+
+std::string pick_equipment(Rng& rng, ElementKind kind) {
+  static constexpr const char* kRanModels[] = {"RBS6201", "RBS6601", "FlexiMR"};
+  static constexpr const char* kCtlModels[] = {"RNC8200", "RNC8800"};
+  static constexpr const char* kCoreModels[] = {"MSC-S18", "EPC-C9"};
+  if (is_core(kind)) return kCoreModels[rng.next_below(2)];
+  if (kind == ElementKind::kRnc || kind == ElementKind::kBsc)
+    return kCtlModels[rng.next_below(2)];
+  return kRanModels[rng.next_below(3)];
+}
+
+}  // namespace
+
+Topology NetworkBuilder::build() const {
+  Topology topo;
+  Rng rng(spec_.seed);
+  std::uint32_t next_id = 1;
+
+  auto make = [&](ElementKind kind, Technology tech, Region region,
+                  std::uint32_t market, GeoPoint loc, ZipCode zip,
+                  ElementId parent, const std::string& name) {
+    NetworkElement e;
+    e.id = ElementId{next_id++};
+    e.kind = kind;
+    e.technology = tech;
+    e.name = name;
+    e.location = loc;
+    e.zip = zip;
+    e.region = region;
+    e.parent = parent;
+    e.market = market;
+    e.config.software = pick_software(rng, kind);
+    e.config.equipment_model = pick_equipment(rng, kind);
+    e.config.os_version = is_controller(kind) || is_core(kind)
+                              ? "OS-" + std::to_string(4 + rng.next_below(2))
+                              : "";
+    e.config.terrain = pick_terrain(rng, region);
+    e.config.traffic = pick_traffic(rng, e.config.terrain);
+    e.config.son_enabled = is_tower(kind) && rng.chance(spec_.son_fraction);
+    if (is_tower(kind)) {
+      e.config.antenna.tilt_deg = rng.uniform(0.0, 8.0);
+      e.config.antenna.tx_power_dbm = rng.uniform(40.0, 46.0);
+      e.config.antenna.azimuth_deg = rng.uniform(0.0, 360.0);
+    }
+    const ElementId id = e.id;
+    topo.add(std::move(e));
+    return id;
+  };
+
+  std::uint32_t market_counter = 0;
+  for (const Region region : spec_.regions) {
+    const GeoPoint anchor = region_anchor(region);
+    const std::uint32_t zip_base =
+        10000u + 10000u * static_cast<std::uint32_t>(region);
+
+    // Market centers.
+    std::vector<GeoPoint> market_centers;
+    std::vector<std::uint32_t> market_ids;
+    for (int m = 0; m < spec_.markets_per_region; ++m) {
+      market_centers.push_back(
+          {anchor.lat_deg + rng.uniform(-1.0, 1.0) * spec_.market_scatter_deg,
+           anchor.lon_deg + rng.uniform(-1.0, 1.0) * spec_.market_scatter_deg});
+      market_ids.push_back(market_counter++);
+    }
+    auto market_of = [&](int i) { return market_ids[static_cast<std::size_t>(
+        i % spec_.markets_per_region)]; };
+    auto scatter = [&](const GeoPoint& c) {
+      return GeoPoint{
+          c.lat_deg + rng.uniform(-1.0, 1.0) * spec_.tower_scatter_deg,
+          c.lon_deg + rng.uniform(-1.0, 1.0) * spec_.tower_scatter_deg};
+    };
+    auto zip_near = [&](std::uint32_t market, const GeoPoint& p) {
+      // Deterministic coarse spatial zip: market base + lat/lon cell.
+      const int cell =
+          static_cast<int>((p.lat_deg + p.lon_deg) * 20.0) & 0x1F;
+      return ZipCode{zip_base + market * 100u + static_cast<std::uint32_t>(
+                                                    cell)};
+    };
+
+    const std::string rtag = to_string(region);
+
+    // LTE core, one set per region.
+    const GeoPoint core_loc = market_centers[0];
+    const ZipCode core_zip = zip_near(market_ids[0], core_loc);
+    const ElementId pgw =
+        make(ElementKind::kPgw, Technology::kLte, region, market_ids[0],
+             core_loc, core_zip, kInvalidElement, rtag + "-PGW");
+    const ElementId sgw =
+        make(ElementKind::kSgw, Technology::kLte, region, market_ids[0],
+             core_loc, core_zip, pgw, rtag + "-SGW");
+    const ElementId mme =
+        make(ElementKind::kMme, Technology::kLte, region, market_ids[0],
+             core_loc, core_zip, sgw, rtag + "-MME");
+    make(ElementKind::kHss, Technology::kLte, region, market_ids[0], core_loc,
+         core_zip, mme, rtag + "-HSS");
+    make(ElementKind::kPcrf, Technology::kLte, region, market_ids[0], core_loc,
+         core_zip, pgw, rtag + "-PCRF");
+
+    // PS core for GSM/UMTS.
+    const ElementId ggsn =
+        make(ElementKind::kGgsn, Technology::kUmts, region, market_ids[0],
+             core_loc, core_zip, kInvalidElement, rtag + "-GGSN");
+    const ElementId sgsn =
+        make(ElementKind::kSgsn, Technology::kUmts, region, market_ids[0],
+             core_loc, core_zip, ggsn, rtag + "-SGSN");
+
+    // CS core + UMTS RAN.
+    for (int mi = 0; mi < spec_.mscs_per_region; ++mi) {
+      const GeoPoint msc_loc = market_centers[static_cast<std::size_t>(
+          mi % spec_.markets_per_region)];
+      const std::uint32_t msc_market = market_of(mi);
+      const ElementId gmsc =
+          make(ElementKind::kGmsc, Technology::kUmts, region, msc_market,
+               msc_loc, zip_near(msc_market, msc_loc), kInvalidElement,
+               rtag + "-GMSC" + std::to_string(mi));
+      const ElementId msc =
+          make(ElementKind::kMsc, Technology::kUmts, region, msc_market,
+               msc_loc, zip_near(msc_market, msc_loc), gmsc,
+               rtag + "-MSC" + std::to_string(mi));
+
+      for (int ri = 0; ri < spec_.rncs_per_msc; ++ri) {
+        const std::uint32_t mkt = market_of(mi * spec_.rncs_per_msc + ri);
+        const GeoPoint rnc_loc = scatter(market_centers[mkt % market_ids.size()
+                                             ? mkt - market_ids[0] : 0]);
+        const ElementId rnc =
+            make(ElementKind::kRnc, Technology::kUmts, region, mkt, rnc_loc,
+                 zip_near(mkt, rnc_loc), msc,
+                 rtag + "-RNC" + std::to_string(mi) + "." + std::to_string(ri));
+        for (int ni = 0; ni < spec_.nodebs_per_rnc; ++ni) {
+          const GeoPoint loc = scatter(rnc_loc);
+          make(ElementKind::kNodeB, Technology::kUmts, region, mkt, loc,
+               zip_near(mkt, loc), rnc,
+               rtag + "-NB" + std::to_string(mi) + "." + std::to_string(ri) +
+                   "." + std::to_string(ni));
+        }
+      }
+    }
+    (void)sgsn;
+
+    // GSM RAN.
+    for (int bi = 0; bi < spec_.bscs_per_region; ++bi) {
+      const std::uint32_t mkt = market_of(bi);
+      const GeoPoint bsc_loc = scatter(market_centers[0]);
+      const ElementId bsc =
+          make(ElementKind::kBsc, Technology::kGsm, region, mkt, bsc_loc,
+               zip_near(mkt, bsc_loc), kInvalidElement,
+               rtag + "-BSC" + std::to_string(bi));
+      for (int ti = 0; ti < spec_.bts_per_bsc; ++ti) {
+        const GeoPoint loc = scatter(bsc_loc);
+        make(ElementKind::kBts, Technology::kGsm, region, mkt, loc,
+             zip_near(mkt, loc), bsc,
+             rtag + "-BTS" + std::to_string(bi) + "." + std::to_string(ti));
+      }
+    }
+
+    // LTE RAN (eNodeBs attach to the regional MME).
+    for (int m = 0; m < spec_.markets_per_region; ++m) {
+      const std::uint32_t mkt = market_ids[static_cast<std::size_t>(m)];
+      for (int ei = 0; ei < spec_.enodebs_per_market; ++ei) {
+        const GeoPoint loc = scatter(market_centers[static_cast<std::size_t>(m)]);
+        make(ElementKind::kEnodeB, Technology::kLte, region, mkt, loc,
+             zip_near(mkt, loc), mme,
+             rtag + "-ENB" + std::to_string(m) + "." + std::to_string(ei));
+      }
+    }
+  }
+
+  // Radio neighbor links between towers of the same technology within range.
+  std::vector<ElementId> towers;
+  for (const ElementId id : topo.all())
+    if (is_tower(topo.get(id).kind)) towers.push_back(id);
+  for (std::size_t i = 0; i < towers.size(); ++i) {
+    const auto& a = topo.get(towers[i]);
+    for (std::size_t j = i + 1; j < towers.size(); ++j) {
+      const auto& b = topo.get(towers[j]);
+      if (a.technology != b.technology) continue;
+      if (haversine_km(a.location, b.location) <= spec_.neighbor_radius_km)
+        topo.add_neighbor_link(towers[i], towers[j]);
+    }
+  }
+  return topo;
+}
+
+Topology build_small_region(Region region, std::uint64_t seed, int rncs,
+                            int nodebs_per_rnc) {
+  BuildSpec spec;
+  spec.seed = seed;
+  spec.regions = {region};
+  spec.markets_per_region = 1;
+  spec.mscs_per_region = 1;
+  spec.rncs_per_msc = rncs;
+  spec.nodebs_per_rnc = nodebs_per_rnc;
+  spec.bscs_per_region = 1;
+  spec.bts_per_bsc = 4;
+  spec.enodebs_per_market = 4;
+  return NetworkBuilder(spec).build();
+}
+
+}  // namespace litmus::net

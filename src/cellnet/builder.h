@@ -1,0 +1,50 @@
+// Deterministic synthetic national-network generator.
+//
+// The paper works over AT&T's production topology; we cannot ship that, so
+// this builder produces a structurally equivalent network: per region, a CS
+// core (MSC/GMSC), UMTS RAN (RNCs with NodeBs), GSM RAN (BSCs with BTSs),
+// and an LTE EPC (MME/S-GW/P-GW) with eNodeBs, all scattered over market
+// clusters with zip codes, terrain/traffic profiles, software versions and
+// radio-neighbor links. Everything is seeded and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellnet/topology.h"
+
+namespace litmus::net {
+
+struct BuildSpec {
+  std::uint64_t seed = 1;
+  std::vector<Region> regions = all_regions();
+  int markets_per_region = 2;
+  int mscs_per_region = 1;
+  int rncs_per_msc = 3;
+  int nodebs_per_rnc = 8;
+  int bscs_per_region = 1;
+  int bts_per_bsc = 6;
+  int enodebs_per_market = 6;
+  double market_scatter_deg = 0.9;   ///< market centers around region anchor
+  double tower_scatter_deg = 0.15;   ///< towers around market center
+  double neighbor_radius_km = 8.0;   ///< radio neighbor link distance
+  double son_fraction = 0.4;         ///< towers with SON features enabled
+};
+
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(BuildSpec spec) : spec_(std::move(spec)) {}
+
+  /// Builds the full topology. Ids are assigned densely from 1 in a
+  /// deterministic order.
+  Topology build() const;
+
+ private:
+  BuildSpec spec_;
+};
+
+/// Convenience: a small single-region network often used in tests.
+Topology build_small_region(Region region, std::uint64_t seed,
+                            int rncs = 3, int nodebs_per_rnc = 8);
+
+}  // namespace litmus::net

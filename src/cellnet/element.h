@@ -1,0 +1,25 @@
+// A network element: identity, placement, configuration, parentage.
+#pragma once
+
+#include <string>
+
+#include "cellnet/config.h"
+#include "cellnet/geo.h"
+#include "cellnet/types.h"
+
+namespace litmus::net {
+
+struct NetworkElement {
+  ElementId id = kInvalidElement;
+  ElementKind kind = ElementKind::kNodeB;
+  Technology technology = Technology::kUmts;
+  std::string name;
+  GeoPoint location;
+  ZipCode zip;
+  Region region = Region::kNortheast;
+  ElementId parent = kInvalidElement;  ///< upstream element (kInvalid at root)
+  std::uint32_t market = 0;            ///< market/metro cluster index
+  ConfigSnapshot config;
+};
+
+}  // namespace litmus::net

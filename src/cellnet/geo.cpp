@@ -1,0 +1,52 @@
+#include "cellnet/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace litmus::net {
+namespace {
+
+double deg2rad(double d) noexcept { return d * std::numbers::pi / 180.0; }
+
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  constexpr double kEarthRadiusKm = 6371.0;
+  const double dlat = deg2rad(b.lat_deg - a.lat_deg);
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(deg2rad(a.lat_deg)) *
+                                 std::cos(deg2rad(b.lat_deg)) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+std::string ZipCode::to_string() const {
+  std::string s = std::to_string(value);
+  while (s.size() < 5) s.insert(s.begin(), '0');
+  return s;
+}
+
+Region region_of(const GeoPoint& p) noexcept {
+  // Longitude bands first (west to east), then a latitude split on the
+  // eastern seaboard. Approximate, but stable and total.
+  if (p.lon_deg < -114.0) return Region::kWest;
+  if (p.lon_deg < -96.0)
+    return p.lat_deg < 40.0 ? Region::kSouthwest : Region::kWest;
+  if (p.lon_deg < -82.0)
+    return p.lat_deg < 39.0 ? Region::kSoutheast : Region::kMidwest;
+  return p.lat_deg < 37.5 ? Region::kSoutheast : Region::kNortheast;
+}
+
+GeoPoint region_anchor(Region r) noexcept {
+  switch (r) {
+    case Region::kNortheast: return {41.5, -74.0};  // NY metro
+    case Region::kSoutheast: return {33.7, -84.4};  // Atlanta
+    case Region::kMidwest: return {41.9, -87.6};    // Chicago
+    case Region::kSouthwest: return {32.8, -96.8};  // Dallas
+    case Region::kWest: return {37.6, -122.0};      // Bay Area
+  }
+  return {39.0, -98.0};
+}
+
+}  // namespace litmus::net

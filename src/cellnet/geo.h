@@ -1,0 +1,37 @@
+// Geographic primitives: coordinates, distance, zip codes, region lookup.
+// Control-group selection attribute 1 (Section 3.3) is built on these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cellnet/types.h"
+
+namespace litmus::net {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double haversine_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Five-digit postal code carried as a value type.
+struct ZipCode {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const ZipCode&) const = default;
+  std::string to_string() const;
+};
+
+/// Coarse region containing a point, using longitude/latitude bands over the
+/// continental United States. This is intentionally approximate — the
+/// algorithms only need a stable region label per element.
+Region region_of(const GeoPoint& p) noexcept;
+
+/// Representative anchor point (rough market centroid) for a region; used by
+/// the synthetic network builder to scatter markets.
+GeoPoint region_anchor(Region r) noexcept;
+
+}  // namespace litmus::net

@@ -1,0 +1,110 @@
+#include "cellnet/types.h"
+
+namespace litmus::net {
+
+const char* to_string(Technology t) noexcept {
+  switch (t) {
+    case Technology::kGsm: return "GSM";
+    case Technology::kUmts: return "UMTS";
+    case Technology::kLte: return "LTE";
+  }
+  return "?";
+}
+
+const char* to_string(ElementKind k) noexcept {
+  switch (k) {
+    case ElementKind::kBts: return "BTS";
+    case ElementKind::kNodeB: return "NodeB";
+    case ElementKind::kEnodeB: return "eNodeB";
+    case ElementKind::kBsc: return "BSC";
+    case ElementKind::kRnc: return "RNC";
+    case ElementKind::kCell: return "Cell";
+    case ElementKind::kSector: return "Sector";
+    case ElementKind::kMsc: return "MSC";
+    case ElementKind::kGmsc: return "GMSC";
+    case ElementKind::kSgsn: return "SGSN";
+    case ElementKind::kGgsn: return "GGSN";
+    case ElementKind::kMme: return "MME";
+    case ElementKind::kSgw: return "S-GW";
+    case ElementKind::kPgw: return "P-GW";
+    case ElementKind::kHss: return "HSS";
+    case ElementKind::kPcrf: return "PCRF";
+  }
+  return "?";
+}
+
+bool is_tower(ElementKind k) noexcept {
+  return k == ElementKind::kBts || k == ElementKind::kNodeB ||
+         k == ElementKind::kEnodeB;
+}
+
+bool is_controller(ElementKind k) noexcept {
+  return k == ElementKind::kBsc || k == ElementKind::kRnc ||
+         k == ElementKind::kEnodeB;
+}
+
+bool is_core(ElementKind k) noexcept {
+  switch (k) {
+    case ElementKind::kMsc:
+    case ElementKind::kGmsc:
+    case ElementKind::kSgsn:
+    case ElementKind::kGgsn:
+    case ElementKind::kMme:
+    case ElementKind::kSgw:
+    case ElementKind::kPgw:
+    case ElementKind::kHss:
+    case ElementKind::kPcrf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(Region r) noexcept {
+  switch (r) {
+    case Region::kNortheast: return "Northeast";
+    case Region::kSoutheast: return "Southeast";
+    case Region::kMidwest: return "Midwest";
+    case Region::kSouthwest: return "Southwest";
+    case Region::kWest: return "West";
+  }
+  return "?";
+}
+
+std::vector<Region> all_regions() {
+  return {Region::kNortheast, Region::kSoutheast, Region::kMidwest,
+          Region::kSouthwest, Region::kWest};
+}
+
+bool has_foliage_seasonality(Region r) noexcept {
+  // The paper observes foliage-driven yearly seasonality in the Northeast
+  // (Fig 3) and explicitly notes its absence in the Southeast. We extend the
+  // deciduous band to the Midwest; the West/Southwest are treated as
+  // evergreen/arid.
+  return r == Region::kNortheast || r == Region::kMidwest;
+}
+
+const char* to_string(Terrain t) noexcept {
+  switch (t) {
+    case Terrain::kUrban: return "urban";
+    case Terrain::kSuburban: return "suburban";
+    case Terrain::kRural: return "rural";
+    case Terrain::kMountain: return "mountain";
+    case Terrain::kWater: return "water";
+    case Terrain::kFlat: return "flat";
+  }
+  return "?";
+}
+
+const char* to_string(TrafficProfile p) noexcept {
+  switch (p) {
+    case TrafficProfile::kBusiness: return "business";
+    case TrafficProfile::kResidential: return "residential";
+    case TrafficProfile::kHighway: return "highway";
+    case TrafficProfile::kStadium: return "stadium";
+    case TrafficProfile::kRecreation: return "recreation";
+  }
+  return "?";
+}
+
+}  // namespace litmus::net

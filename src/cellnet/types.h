@@ -1,0 +1,116 @@
+// Fundamental identifiers and enumerations for the cellular network model
+// (paper Section 2.1).
+#pragma once
+
+#include <compare>
+#include <vector>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace litmus::net {
+
+/// Radio access technology generations covered by the paper.
+enum class Technology : std::uint8_t { kGsm, kUmts, kLte };
+
+const char* to_string(Technology t) noexcept;
+
+/// Network element kinds across the three architectures.
+///
+/// RAN: BTS (GSM), NodeB (UMTS), eNodeB (LTE) and their controllers
+/// BSC (GSM) / RNC (UMTS); in LTE the eNodeB is its own controller.
+/// CS core: MSC, GMSC. PS core: SGSN, GGSN. LTE core (EPC): MME, SGW, PGW,
+/// HSS, PCRF. Cells/sectors hang off towers.
+enum class ElementKind : std::uint8_t {
+  // Radio access network.
+  kBts,
+  kNodeB,
+  kEnodeB,
+  kBsc,
+  kRnc,
+  kCell,
+  kSector,
+  // Circuit-switched core.
+  kMsc,
+  kGmsc,
+  // Packet-switched core.
+  kSgsn,
+  kGgsn,
+  // Evolved packet core.
+  kMme,
+  kSgw,
+  kPgw,
+  kHss,
+  kPcrf,
+};
+
+const char* to_string(ElementKind k) noexcept;
+
+/// True for tower-level elements (BTS / NodeB / eNodeB).
+bool is_tower(ElementKind k) noexcept;
+
+/// True for RAN controllers (BSC / RNC / eNodeB).
+bool is_controller(ElementKind k) noexcept;
+
+/// True for any core-network element.
+bool is_core(ElementKind k) noexcept;
+
+/// Coarse US regions used by the paper's evaluation (Section 4.3 picks
+/// study groups from four geographically diverse regions).
+enum class Region : std::uint8_t {
+  kNortheast,
+  kSoutheast,
+  kMidwest,
+  kSouthwest,
+  kWest,
+};
+
+const char* to_string(Region r) noexcept;
+
+/// All five regions, in enum order.
+std::vector<Region> all_regions();
+
+/// Regions with deciduous foliage (the paper observes yearly seasonality in
+/// the Northeast but not the Southeast).
+bool has_foliage_seasonality(Region r) noexcept;
+
+/// Strongly typed element identifier.
+struct ElementId {
+  std::uint32_t value = 0;
+
+  constexpr auto operator<=>(const ElementId&) const = default;
+};
+
+inline constexpr ElementId kInvalidElement{0};
+
+/// Terrain classes affecting radio propagation (Section 1 / 3.3 attribute 4).
+enum class Terrain : std::uint8_t {
+  kUrban,
+  kSuburban,
+  kRural,
+  kMountain,
+  kWater,     ///< lakes / coastline
+  kFlat,
+};
+
+const char* to_string(Terrain t) noexcept;
+
+/// Traffic-profile classes (Section 3.2's business-vs-lake example).
+enum class TrafficProfile : std::uint8_t {
+  kBusiness,     ///< weekday 9-5 peaks
+  kResidential,  ///< evening peaks
+  kHighway,      ///< commute peaks
+  kStadium,      ///< event-driven bursts
+  kRecreation,   ///< weekend / evening peaks (lakes, parks)
+};
+
+const char* to_string(TrafficProfile p) noexcept;
+
+}  // namespace litmus::net
+
+template <>
+struct std::hash<litmus::net::ElementId> {
+  std::size_t operator()(const litmus::net::ElementId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,132 @@
+#include "changelog/apply.h"
+
+#include <charconv>
+#include <stdexcept>
+#include <optional>
+
+namespace litmus::chg {
+namespace {
+
+std::optional<std::pair<std::string, std::string>> split_assignment(
+    const std::string& s) {
+  const auto eq = s.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= s.size())
+    return std::nullopt;
+  return std::make_pair(s.substr(0, eq), s.substr(eq + 1));
+}
+
+std::optional<double> to_double(const std::string& s) {
+  double v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<int> to_int(const std::string& s) {
+  int v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+ApplyResult fail(const std::string& why) { return {false, why}; }
+ApplyResult ok(const std::string& what) { return {true, what}; }
+
+ApplyResult apply_config_change(const std::string& parameter,
+                                net::ConfigSnapshot& config) {
+  const auto kv = split_assignment(parameter);
+  if (!kv) return fail("config change needs key=value, got '" + parameter + "'");
+  const auto& [key, value] = *kv;
+
+  if (key == "antenna.tilt_deg") {
+    const auto v = to_double(value);
+    if (!v) return fail("bad tilt value");
+    config.antenna.tilt_deg = *v;
+    return ok("antenna tilt -> " + value);
+  }
+  if (key == "antenna.tx_power_dbm") {
+    const auto v = to_double(value);
+    if (!v) return fail("bad power value");
+    config.antenna.tx_power_dbm = *v;
+    return ok("tx power -> " + value + " dBm");
+  }
+  if (key == "gold.radio_link_failure_timer_ms") {
+    const auto v = to_int(value);
+    if (!v || *v <= 0) return fail("bad timer value");
+    config.gold.radio_link_failure_timer_ms = *v;
+    return ok("RLF timer -> " + value + " ms");
+  }
+  if (key == "gold.handover_time_to_trigger_ms") {
+    const auto v = to_int(value);
+    if (!v || *v <= 0) return fail("bad time-to-trigger value");
+    config.gold.handover_time_to_trigger_ms = *v;
+    return ok("time-to-trigger -> " + value + " ms");
+  }
+  if (key == "gold.access_threshold_dbm") {
+    const auto v = to_int(value);
+    if (!v) return fail("bad threshold value");
+    config.gold.access_threshold_dbm = *v;
+    return ok("access threshold -> " + value + " dBm");
+  }
+  if (key == "gold.max_power_limit_dbm") {
+    const auto v = to_int(value);
+    if (!v) return fail("bad power limit");
+    config.gold.max_power_limit_dbm = *v;
+    return ok("max power limit -> " + value + " dBm");
+  }
+  return fail("unknown config parameter '" + key + "'");
+}
+
+}  // namespace
+
+ApplyResult apply_change(const ChangeRecord& record, net::Topology& topo) {
+  if (!topo.contains(record.element))
+    return fail("unknown element " + std::to_string(record.element.value));
+
+  switch (record.type) {
+    case ChangeType::kSoftwareUpgrade: {
+      const auto version = net::SoftwareVersion::parse(record.parameter);
+      if (!version)
+        return fail("unparsable version '" + record.parameter + "'");
+      topo.mutable_config(record.element).software = *version;
+      return ok("software -> " + version->to_string());
+    }
+    case ChangeType::kHardwareUpgrade: {
+      const auto kv = split_assignment(record.parameter);
+      if (!kv || kv->first != "model")
+        return fail("hardware upgrade needs model=<name>");
+      topo.mutable_config(record.element).equipment_model = kv->second;
+      return ok("equipment model -> " + kv->second);
+    }
+    case ChangeType::kFeatureActivation: {
+      const auto kv = split_assignment(record.parameter);
+      if (!kv || kv->first != "son" ||
+          (kv->second != "on" && kv->second != "off"))
+        return fail("feature activation needs son=on|off");
+      topo.mutable_config(record.element).son_enabled = kv->second == "on";
+      return ok("SON -> " + kv->second);
+    }
+    case ChangeType::kTopologyChange: {
+      const auto kv = split_assignment(record.parameter);
+      if (!kv || kv->first != "parent")
+        return fail("topology change needs parent=<id>");
+      const auto parent = to_int(kv->second);
+      if (!parent || *parent <= 0) return fail("bad parent id");
+      try {
+        topo.rehome(record.element,
+                    net::ElementId{static_cast<std::uint32_t>(*parent)});
+      } catch (const std::invalid_argument& e) {
+        return fail(e.what());
+      }
+      return ok("re-homed under " + kv->second);
+    }
+    case ChangeType::kConfigChange:
+      return apply_config_change(record.parameter,
+                                 topo.mutable_config(record.element));
+    case ChangeType::kTrafficMove:
+      return ok("traffic move recorded (no configuration effect)");
+  }
+  return fail("unhandled change type");
+}
+
+}  // namespace litmus::chg

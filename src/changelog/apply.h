@@ -1,0 +1,38 @@
+// Applying change records to the network's configuration state.
+//
+// The change-management log describes changes; this module executes them
+// against a Topology, closing the loop so the same record that schedules an
+// assessment also documents exactly what moved. Parameter grammar
+// (`ChangeRecord::parameter`):
+//
+//   kSoftwareUpgrade    "5.3.1"                        new software version
+//   kHardwareUpgrade    "model=RBS6601"                new equipment model
+//   kFeatureActivation  "son=on" | "son=off"           SON feature toggle
+//   kTopologyChange     "parent=17"                    re-home under id 17
+//   kConfigChange       "antenna.tilt_deg=4.5"
+//                       "antenna.tx_power_dbm=44"
+//                       "gold.radio_link_failure_timer_ms=4000"
+//                       "gold.handover_time_to_trigger_ms=256"
+//                       "gold.access_threshold_dbm=-108"
+//                       "gold.max_power_limit_dbm=45"
+//   kTrafficMove        (no configuration effect)
+#pragma once
+
+#include <string>
+
+#include "cellnet/topology.h"
+#include "changelog/change_record.h"
+
+namespace litmus::chg {
+
+struct ApplyResult {
+  bool applied = false;
+  std::string message;  ///< what changed, or why nothing did
+};
+
+/// Applies `record` to `topo`. Unknown elements, unparsable parameters and
+/// invalid re-homes return applied == false with an explanatory message
+/// (never throws for data errors — change logs are operator input).
+ApplyResult apply_change(const ChangeRecord& record, net::Topology& topo);
+
+}  // namespace litmus::chg

@@ -1,0 +1,34 @@
+#include "changelog/change_record.h"
+
+namespace litmus::chg {
+
+const char* to_string(ChangeType t) noexcept {
+  switch (t) {
+    case ChangeType::kConfigChange: return "config_change";
+    case ChangeType::kSoftwareUpgrade: return "software_upgrade";
+    case ChangeType::kFeatureActivation: return "feature_activation";
+    case ChangeType::kTopologyChange: return "topology_change";
+    case ChangeType::kHardwareUpgrade: return "hardware_upgrade";
+    case ChangeType::kTrafficMove: return "traffic_move";
+  }
+  return "?";
+}
+
+const char* to_string(ChangeFrequency f) noexcept {
+  switch (f) {
+    case ChangeFrequency::kHigh: return "high";
+    case ChangeFrequency::kLow: return "low";
+  }
+  return "?";
+}
+
+const char* to_string(Expectation e) noexcept {
+  switch (e) {
+    case Expectation::kImprovement: return "improvement";
+    case Expectation::kDegradation: return "degradation";
+    case Expectation::kNoImpact: return "no_impact";
+  }
+  return "?";
+}
+
+}  // namespace litmus::chg

@@ -1,0 +1,55 @@
+// Change-management records (paper Section 2.2, "Network change management
+// logs", and Section 2.3's high/low-frequency taxonomy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cellnet/types.h"
+#include "kpi/kpi.h"
+
+namespace litmus::chg {
+
+enum class ChangeType : std::uint8_t {
+  kConfigChange,       ///< parameter tuning (antenna tilt, timers, ...)
+  kSoftwareUpgrade,
+  kFeatureActivation,  ///< new feature switched on (e.g. SON)
+  kTopologyChange,     ///< re-homes of network equipment
+  kHardwareUpgrade,
+  kTrafficMove,        ///< traffic movements across data centers
+};
+
+const char* to_string(ChangeType t) noexcept;
+
+/// Paper Section 2.3: high-frequency parameters respond to live conditions;
+/// low-frequency "gold standard" parameters change with releases only.
+enum class ChangeFrequency : std::uint8_t { kHigh, kLow };
+
+const char* to_string(ChangeFrequency f) noexcept;
+
+/// The Engineering teams' a-priori expectation for a change (Table 2,
+/// "Impact Expectation"): improvement, degradation, or no impact.
+enum class Expectation : std::uint8_t {
+  kImprovement,
+  kDegradation,
+  kNoImpact,
+};
+
+const char* to_string(Expectation e) noexcept;
+
+using ChangeId = std::uint32_t;
+
+struct ChangeRecord {
+  ChangeId id = 0;
+  net::ElementId element;               ///< where the change is applied
+  ChangeType type = ChangeType::kConfigChange;
+  ChangeFrequency frequency = ChangeFrequency::kLow;
+  std::int64_t bin = 0;                 ///< when it took effect
+  std::string description;
+  std::string parameter;                ///< affected parameter, if any
+  Expectation expectation = Expectation::kNoImpact;
+  kpi::KpiId target_kpi = kpi::KpiId::kVoiceRetainability;  ///< primary KPI
+  bool is_ffa = false;                  ///< First Field Application trial
+};
+
+}  // namespace litmus::chg

@@ -1,0 +1,60 @@
+#include "changelog/changelog.h"
+
+#include <algorithm>
+
+namespace litmus::chg {
+
+ChangeId ChangeLog::add(ChangeRecord record) {
+  record.id = next_id_++;
+  const ChangeId id = record.id;
+  records_.push_back(std::move(record));
+  return id;
+}
+
+std::optional<ChangeRecord> ChangeLog::find(ChangeId id) const {
+  for (const auto& r : records_)
+    if (r.id == id) return r;
+  return std::nullopt;
+}
+
+std::vector<ChangeRecord> ChangeLog::at_element(net::ElementId element) const {
+  std::vector<ChangeRecord> out;
+  for (const auto& r : records_)
+    if (r.element == element) out.push_back(r);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.bin < b.bin; });
+  return out;
+}
+
+std::vector<ChangeRecord> ChangeLog::in_window(std::int64_t from,
+                                               std::int64_t to) const {
+  std::vector<ChangeRecord> out;
+  for (const auto& r : records_)
+    if (r.bin >= from && r.bin < to) out.push_back(r);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.bin < b.bin; });
+  return out;
+}
+
+std::vector<ChangeRecord> ChangeLog::conflicting_changes(
+    const net::Topology& topo, net::ElementId element, std::int64_t from,
+    std::int64_t to, ChangeId exclude_id) const {
+  const auto scope = topo.impact_scope(element);
+  std::vector<ChangeRecord> out;
+  for (const auto& r : in_window(from, to)) {
+    if (r.id == exclude_id) continue;
+    if (scope.contains(r.element)) out.push_back(r);
+  }
+  return out;
+}
+
+bool ChangeLog::window_is_clean(const net::Topology& topo,
+                                const ChangeRecord& record,
+                                std::int64_t lookback,
+                                std::int64_t lookahead) const {
+  return conflicting_changes(topo, record.element, record.bin - lookback,
+                             record.bin + lookahead, record.id)
+      .empty();
+}
+
+}  // namespace litmus::chg

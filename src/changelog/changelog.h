@@ -1,0 +1,56 @@
+// Queryable change-management log.
+//
+// Besides storage and retrieval, the log answers the operational questions
+// the paper raises: which changes hit an element (or its impact scope) in a
+// window, and whether an assessment window is *contaminated* by other
+// changes — the Section 2.5 "network events" confound and the reason
+// control-group elements can never be assumed clean.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cellnet/topology.h"
+#include "changelog/change_record.h"
+
+namespace litmus::chg {
+
+class ChangeLog {
+ public:
+  /// Appends a record; assigns and returns its id.
+  ChangeId add(ChangeRecord record);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  std::span<const ChangeRecord> all() const noexcept { return records_; }
+
+  std::optional<ChangeRecord> find(ChangeId id) const;
+
+  /// Changes applied directly at `element`, ordered by bin.
+  std::vector<ChangeRecord> at_element(net::ElementId element) const;
+
+  /// Changes with effect bin in [from, to), ordered by bin.
+  std::vector<ChangeRecord> in_window(std::int64_t from,
+                                      std::int64_t to) const;
+
+  /// Changes in [from, to) whose target element lies inside the impact
+  /// scope of `element` (subtree + tower neighbors), excluding `exclude_id`.
+  /// This is the contamination check run before trusting an assessment
+  /// window.
+  std::vector<ChangeRecord> conflicting_changes(const net::Topology& topo,
+                                                net::ElementId element,
+                                                std::int64_t from,
+                                                std::int64_t to,
+                                                ChangeId exclude_id) const;
+
+  /// True when the assessment window [change_bin - lookback, change_bin +
+  /// lookahead) around `record` is free of other changes in its scope.
+  bool window_is_clean(const net::Topology& topo, const ChangeRecord& record,
+                       std::int64_t lookback, std::int64_t lookahead) const;
+
+ private:
+  std::vector<ChangeRecord> records_;
+  ChangeId next_id_ = 1;
+};
+
+}  // namespace litmus::chg

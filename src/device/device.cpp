@@ -1,0 +1,39 @@
+#include "device/device.h"
+
+#include <stdexcept>
+
+namespace litmus::dev {
+
+DeviceCatalog DeviceCatalog::standard() {
+  std::vector<DeviceClass> classes;
+  classes.push_back({DeviceClassId{1}, "Pomaceous", "P-Tab 3", "6.1.2",
+                     0.20, +0.3, 0.9, 0.30});
+  classes.push_back({DeviceClassId{2}, "Boreal", "Lumen 920", "8.0.1",
+                     0.15, -0.1, 1.1, 0.35});
+  classes.push_back({DeviceClassId{3}, "Stellar", "Nebula S4", "4.2.2",
+                     0.40, +0.1, 1.0, 0.32});
+  classes.push_back({DeviceClassId{4}, "Assorted", "legacy mix", "-",
+                     0.25, -0.4, 1.3, 0.45});
+  return DeviceCatalog(std::move(classes));
+}
+
+DeviceCatalog::DeviceCatalog(std::vector<DeviceClass> classes)
+    : classes_(std::move(classes)) {
+  if (classes_.empty())
+    throw std::invalid_argument("DeviceCatalog: empty catalog");
+}
+
+const DeviceClass& DeviceCatalog::get(DeviceClassId id) const {
+  for (const auto& c : classes_)
+    if (c.id == id) return c;
+  throw std::out_of_range("DeviceCatalog: unknown device class");
+}
+
+std::vector<DeviceClassId> DeviceCatalog::others(DeviceClassId excluded) const {
+  std::vector<DeviceClassId> out;
+  for (const auto& c : classes_)
+    if (c.id != excluded) out.push_back(c.id);
+  return out;
+}
+
+}  // namespace litmus::dev

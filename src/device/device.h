@@ -1,0 +1,64 @@
+// Device-dimension extension (paper Section 6, future work):
+// "expand the change impact assessment across different types of devices
+//  such as Apple iPad, Nokia Lumia, or Samsung Galaxy ... and extend
+//  Litmus to monitor the impact of network changes on device performance
+//  and the impact of device upgrades on service and network performance."
+//
+// A device class carries its own baseline quality offset (different radios
+// and chipsets), its own sensitivity to network conditions, and a
+// popularity weight (traffic share). Segmented KPI series per
+// (element, device class) come from device/segmented_generator.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace litmus::dev {
+
+struct DeviceClassId {
+  std::uint16_t value = 0;
+  constexpr auto operator<=>(const DeviceClassId&) const = default;
+};
+
+struct DeviceClass {
+  DeviceClassId id;
+  std::string vendor;
+  std::string model;
+  std::string firmware;
+  /// Share of the element's sessions carried by this class (sums to ~1
+  /// across the catalog).
+  double traffic_share = 0.25;
+  /// Baseline quality offset in sigma units (chipset/radio quality).
+  double baseline_offset_sigma = 0.0;
+  /// How strongly the class reacts to network conditions (1 = average;
+  /// older radios are more sensitive to weak coverage).
+  double network_sensitivity = 1.0;
+  /// Device-local noise on top of the element latent.
+  double idiosyncratic_sigma = 0.35;
+};
+
+/// Built-in catalog of four representative classes (the paper's examples,
+/// names lightly fictionalized).
+class DeviceCatalog {
+ public:
+  /// Default catalog: tablet / two smartphone families / legacy feature mix.
+  static DeviceCatalog standard();
+
+  explicit DeviceCatalog(std::vector<DeviceClass> classes);
+
+  std::span<const DeviceClass> all() const noexcept { return classes_; }
+  std::size_t size() const noexcept { return classes_.size(); }
+
+  const DeviceClass& get(DeviceClassId id) const;
+
+  /// All classes except `excluded` — the natural control set for a device
+  /// upgrade assessment.
+  std::vector<DeviceClassId> others(DeviceClassId excluded) const;
+
+ private:
+  std::vector<DeviceClass> classes_;
+};
+
+}  // namespace litmus::dev

@@ -1,0 +1,50 @@
+#include "device/device_assessor.h"
+
+namespace litmus::dev {
+
+DeviceImpactAssessor::DeviceImpactAssessor(const SegmentedGenerator& telemetry,
+                                           core::AssessmentConfig config)
+    : telemetry_(&telemetry),
+      config_(config),
+      algorithm_(config.regression) {}
+
+DeviceAssessment DeviceImpactAssessor::assess(
+    DeviceClassId device, std::span<const net::ElementId> elements,
+    kpi::KpiId kpi, std::int64_t rollout_bin,
+    std::span<const DeviceClassId> excluded_controls) const {
+  DeviceAssessment a;
+  a.device = device;
+  a.kpi = kpi;
+  a.rollout_bin = rollout_bin;
+  a.elements.assign(elements.begin(), elements.end());
+
+  const std::int64_t before_start =
+      rollout_bin - static_cast<std::int64_t>(config_.before_bins);
+  const std::int64_t after_start =
+      rollout_bin + static_cast<std::int64_t>(config_.guard_bins);
+  std::vector<DeviceClassId> controls = telemetry_->catalog().others(device);
+  std::erase_if(controls, [&](DeviceClassId id) {
+    for (const auto ex : excluded_controls)
+      if (ex == id) return true;
+    return false;
+  });
+
+  for (const auto element : elements) {
+    core::ElementWindows w;
+    w.study_before = telemetry_->kpi_series(element, device, kpi,
+                                            before_start, config_.before_bins);
+    w.study_after = telemetry_->kpi_series(element, device, kpi, after_start,
+                                           config_.after_bins);
+    for (const auto ctrl : controls) {
+      w.control_before.push_back(telemetry_->kpi_series(
+          element, ctrl, kpi, before_start, config_.before_bins));
+      w.control_after.push_back(telemetry_->kpi_series(
+          element, ctrl, kpi, after_start, config_.after_bins));
+    }
+    a.per_element.push_back(algorithm_.assess(w, kpi));
+  }
+  a.summary = core::vote(a.per_element);
+  return a;
+}
+
+}  // namespace litmus::dev

@@ -1,0 +1,51 @@
+// Litmus for device upgrades: assess the service impact of a firmware/OS
+// rollout to one device class.
+//
+// Study group: the upgraded class's KPI series across a set of elements.
+// Control group (per element): the other device classes on the *same*
+// element — they share the tower, spectrum, backhaul and weather, so any
+// network-side confound cancels and what remains is the device change.
+// The element dimension plays the role the study-group elements played in
+// the network-change setting: one robust-spatial-regression verdict per
+// element, summarized by voting.
+#pragma once
+
+#include <span>
+
+#include "device/segmented_generator.h"
+#include "litmus/assessor.h"
+#include "litmus/spatial_regression.h"
+#include "litmus/voting.h"
+
+namespace litmus::dev {
+
+struct DeviceAssessment {
+  DeviceClassId device;
+  kpi::KpiId kpi;
+  std::int64_t rollout_bin = 0;
+  std::vector<net::ElementId> elements;
+  std::vector<core::AnalysisOutcome> per_element;
+  core::VoteSummary summary;
+};
+
+class DeviceImpactAssessor {
+ public:
+  DeviceImpactAssessor(const SegmentedGenerator& telemetry,
+                       core::AssessmentConfig config = {});
+
+  /// Assesses the rollout to `device` at `rollout_bin` over `elements`.
+  /// `excluded_controls` removes classes from the control group — the
+  /// device-dimension analogue of the impact-scope exclusion (Section 3.3):
+  /// a class that itself just received a change is not a valid control.
+  DeviceAssessment assess(
+      DeviceClassId device, std::span<const net::ElementId> elements,
+      kpi::KpiId kpi, std::int64_t rollout_bin,
+      std::span<const DeviceClassId> excluded_controls = {}) const;
+
+ private:
+  const SegmentedGenerator* telemetry_;
+  core::AssessmentConfig config_;
+  core::RobustSpatialRegression algorithm_;
+};
+
+}  // namespace litmus::dev

@@ -1,0 +1,66 @@
+#include "device/segmented_generator.h"
+
+#include "tsmath/random.h"
+
+namespace litmus::dev {
+
+SegmentedGenerator::SegmentedGenerator(const sim::KpiGenerator& network,
+                                       DeviceCatalog catalog)
+    : network_(&network), catalog_(std::move(catalog)) {}
+
+void SegmentedGenerator::add_event(DeviceEvent event) {
+  events_.push_back(event);
+}
+
+double SegmentedGenerator::event_effect(DeviceClassId device,
+                                        std::int64_t bin) const {
+  double total = 0.0;
+  for (const auto& ev : events_) {
+    if (ev.device != device) continue;
+    if (bin < ev.start_bin || bin >= ev.end_bin) continue;
+    double scale = 1.0;
+    if (ev.ramp_bins > 0 && bin < ev.start_bin + ev.ramp_bins)
+      scale = static_cast<double>(bin - ev.start_bin + 1) /
+              static_cast<double>(ev.ramp_bins);
+    total += ev.sigma_shift * scale;
+  }
+  return total;
+}
+
+ts::TimeSeries SegmentedGenerator::device_latent(net::ElementId element,
+                                                 DeviceClassId device,
+                                                 std::int64_t start,
+                                                 std::size_t n) const {
+  const DeviceClass& d = catalog_.get(device);
+  const ts::TimeSeries network_latent =
+      network_->latent_series(element, start, n);
+
+  ts::Rng rng(network_->config().seed ^ 0xDE71CEULL ^
+              (element.value * 0x9E3779B97F4A7C15ULL) ^
+              (static_cast<std::uint64_t>(device.value) *
+               0xD1B54A32D192ED03ULL) ^
+              (static_cast<std::uint64_t>(start + (1LL << 40)) *
+               0xBF58476D1CE4E5B9ULL));
+
+  ts::TimeSeries out(start, n, 60);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = network_latent[i];
+    if (ts::is_missing(base)) continue;  // element outage hits every class
+    const std::int64_t bin = start + static_cast<std::int64_t>(i);
+    out[i] = d.baseline_offset_sigma + d.network_sensitivity * base +
+             d.idiosyncratic_sigma * rng.normal() +
+             event_effect(device, bin);
+  }
+  return out;
+}
+
+ts::TimeSeries SegmentedGenerator::kpi_series(net::ElementId element,
+                                              DeviceClassId device,
+                                              kpi::KpiId kpi,
+                                              std::int64_t start,
+                                              std::size_t n) const {
+  return network_->latent_to_kpi(device_latent(element, device, start, n),
+                                 kpi);
+}
+
+}  // namespace litmus::dev

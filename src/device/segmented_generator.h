@@ -1,0 +1,58 @@
+// Per-(element, device-class) KPI telemetry.
+//
+// Device-segmented series share the element's latent service quality (the
+// network is common to every handset on the tower) but differ in baseline,
+// sensitivity and idiosyncratic noise — which is precisely the
+// study/control structure Litmus needs to assess a *device* change: the
+// upgraded class is the study group, the other classes on the same
+// elements are the controls, and network-side confounds (weather, load,
+// upstream changes) cancel because every class rides the same element
+// latent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/device.h"
+#include "simkit/generator.h"
+
+namespace litmus::dev {
+
+/// A device-side change: a firmware/OS rollout for one class, shifting its
+/// quality from `start_bin` (optionally ramping).
+struct DeviceEvent {
+  DeviceClassId device;
+  std::int64_t start_bin = 0;
+  std::int64_t end_bin = INT64_MAX;  ///< exclusive
+  double sigma_shift = 0.0;          ///< + improves the class's service
+  std::int64_t ramp_bins = 0;
+};
+
+class SegmentedGenerator {
+ public:
+  SegmentedGenerator(const sim::KpiGenerator& network,
+                     DeviceCatalog catalog);
+
+  void add_event(DeviceEvent event);
+
+  const DeviceCatalog& catalog() const noexcept { return catalog_; }
+
+  /// KPI series observed by one device class at one element.
+  ts::TimeSeries kpi_series(net::ElementId element, DeviceClassId device,
+                            kpi::KpiId kpi, std::int64_t start,
+                            std::size_t n) const;
+
+  /// The device-latent: element latent scaled by sensitivity, plus device
+  /// baseline/noise/events (sigma units). Exposed for tests.
+  ts::TimeSeries device_latent(net::ElementId element, DeviceClassId device,
+                               std::int64_t start, std::size_t n) const;
+
+ private:
+  double event_effect(DeviceClassId device, std::int64_t bin) const;
+
+  const sim::KpiGenerator* network_;
+  DeviceCatalog catalog_;
+  std::vector<DeviceEvent> events_;
+};
+
+}  // namespace litmus::dev

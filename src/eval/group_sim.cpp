@@ -1,0 +1,189 @@
+#include "eval/group_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/seasonality.h"
+#include "tsmath/random.h"
+
+namespace litmus::eval {
+namespace {
+
+net::ElementKind parent_kind_for(net::ElementKind kind) {
+  switch (kind) {
+    case net::ElementKind::kNodeB: return net::ElementKind::kRnc;
+    case net::ElementKind::kBts: return net::ElementKind::kBsc;
+    case net::ElementKind::kEnodeB: return net::ElementKind::kMme;
+    case net::ElementKind::kRnc:
+    case net::ElementKind::kBsc: return net::ElementKind::kMsc;
+    case net::ElementKind::kMsc: return net::ElementKind::kGmsc;
+    default: return net::ElementKind::kMsc;
+  }
+}
+
+// Applies the external factor shift to a series: step at the change bin, or
+// a slow drift starting mid-way through the before window (foliage-style).
+void apply_factor(ts::TimeSeries& s, kpi::KpiId kpi, double sigma,
+                  FactorShape shape, std::int64_t change_bin,
+                  std::int64_t after_end) {
+  if (sigma == 0.0) return;
+  const double delta = sim::sigma_to_kpi_delta(kpi, sigma);
+  switch (shape) {
+    case FactorShape::kLevel:
+      s.add_level(change_bin, after_end, delta);
+      break;
+    case FactorShape::kRamp: {
+      const std::int64_t ramp_start = change_bin - (change_bin - s.start_bin()) / 2;
+      s.add_ramp(ramp_start, after_end, delta);
+      break;
+    }
+  }
+  if (kpi::info(kpi).is_ratio) s.clamp(0.0, 1.0);
+}
+
+}  // namespace
+
+FlatGroup make_flat_group(net::ElementKind kind, net::Technology tech,
+                          net::Region region, std::size_t n,
+                          std::uint64_t seed, std::size_t n_outsiders) {
+  FlatGroup g;
+  ts::Rng rng(seed);
+  const net::GeoPoint anchor = net::region_anchor(region);
+  const net::Region outsider_region =
+      static_cast<net::Region>((static_cast<int>(region) + 1) % 5);
+
+  net::NetworkElement parent;
+  parent.id = net::ElementId{1};
+  parent.kind = parent_kind_for(kind);
+  parent.technology = tech;
+  parent.name = "parent";
+  parent.location = anchor;
+  parent.zip = net::ZipCode{70000};
+  parent.region = region;
+  parent.market = 0;
+  g.topo.add(parent);
+  g.parent = parent.id;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool outsider = i >= n - std::min(n_outsiders, n);
+    net::NetworkElement e;
+    e.id = net::ElementId{static_cast<std::uint32_t>(2 + i)};
+    e.kind = kind;
+    e.technology = tech;
+    e.name = "elem" + std::to_string(i);
+    e.location = {anchor.lat_deg + rng.uniform(-0.2, 0.2),
+                  anchor.lon_deg + rng.uniform(-0.2, 0.2)};
+    e.zip = net::ZipCode{70000u + static_cast<std::uint32_t>(i % 5)};
+    e.region = outsider ? outsider_region : region;
+    e.parent = g.parent;
+    e.market = outsider ? 1 : 0;
+    g.topo.add(e);
+    g.elements.push_back(e.id);
+  }
+  return g;
+}
+
+core::Verdict truth_of(const EpisodeSpec& spec,
+                       double control_injection_sigma) {
+  constexpr double kEps = 0.25;  // below this, the change is noise-level
+  const double relative = spec.true_sigma - control_injection_sigma;
+  if (relative > kEps) return core::Verdict::kImprovement;
+  if (relative < -kEps) return core::Verdict::kDegradation;
+  return core::Verdict::kNoImpact;
+}
+
+Episode simulate_episode(const EpisodeSpec& spec,
+                         double control_injection_sigma) {
+  Episode ep;
+  ep.kpi = spec.kpi;
+  ep.truth = truth_of(spec, control_injection_sigma);
+
+  const std::size_t n_total = spec.n_study + spec.n_control;
+  const std::size_t n_contam =
+      std::min(spec.contaminated_controls, spec.n_control);
+  FlatGroup group = make_flat_group(spec.kind, spec.tech, spec.region,
+                                    n_total, spec.seed, n_contam);
+
+  sim::GeneratorConfig gen_cfg;
+  gen_cfg.seed = spec.seed * 0x9E3779B97F4A7C15ULL + 11;
+  sim::KpiGenerator gen(group.topo, gen_cfg);
+  gen.add_factor(std::make_shared<sim::DiurnalLoadFactor>(0.3));
+
+  const std::int64_t change_bin = 0;
+  const std::int64_t start =
+      change_bin - static_cast<std::int64_t>(spec.before_bins);
+  const std::size_t n_bins = spec.before_bins + spec.after_bins;
+  const std::int64_t after_end =
+      change_bin + static_cast<std::int64_t>(spec.after_bins);
+
+  ts::Rng rng(spec.seed ^ 0xABCDEF12345ULL);
+
+  // Generate the full-group series, then layer on injections.
+  std::vector<ts::TimeSeries> series;
+  series.reserve(n_total);
+  for (std::size_t i = 0; i < n_total; ++i) {
+    ts::TimeSeries s = gen.kpi_series(group.elements[i], spec.kpi, start,
+                                      n_bins);
+    const bool is_study = i < spec.n_study;
+
+    // (i) The change's true impact at the study group.
+    if (is_study && spec.true_sigma != 0.0) {
+      sim::Injection inj;
+      inj.at_bin = change_bin;
+      inj.magnitude_sigma = spec.true_sigma;
+      sim::apply_injection(s, spec.kpi, inj);
+    }
+    // (Table 3) A synthetic injection into every control element.
+    if (!is_study && control_injection_sigma != 0.0) {
+      sim::Injection inj;
+      inj.at_bin = change_bin;
+      inj.magnitude_sigma = control_injection_sigma;
+      sim::apply_injection(s, spec.kpi, inj);
+    }
+    // (ii) Shared external factor. Its per-element strength scales with the
+    // same regional susceptibility that drives the latent model (a site
+    // that feels regional conditions strongly also feels the storm
+    // strongly), times an optional extra heterogeneity.
+    if (spec.factor_sigma != 0.0) {
+      const double intensity =
+          gen.combined_loading(group.elements[i]) *
+          (1.0 - spec.factor_heterogeneity * rng.next_double());
+      apply_factor(s, spec.kpi, spec.factor_sigma * intensity,
+                   spec.factor_shape, change_bin, after_end);
+    }
+    series.push_back(std::move(s));
+  }
+
+  // (iii) Contamination in the outsider control elements (group tail).
+  for (std::size_t c = 0; c < n_contam; ++c) {
+    ts::TimeSeries& s = series[n_total - 1 - c];
+    double sign = spec.contamination_sign != 0
+                      ? static_cast<double>(spec.contamination_sign)
+                      : (rng.chance(0.5) ? 1.0 : -1.0);
+    const std::int64_t at =
+        spec.contamination_at_change
+            ? change_bin
+            : start + static_cast<std::int64_t>(rng.next_below(
+                          static_cast<std::uint64_t>(n_bins)));
+    const double delta =
+        sim::sigma_to_kpi_delta(spec.kpi, sign * spec.contamination_sigma);
+    s.add_level(at, s.end_bin(), delta);
+    if (kpi::info(spec.kpi).is_ratio) s.clamp(0.0, 1.0);
+  }
+
+  // Split into analyzer windows per study element.
+  for (std::size_t j = 0; j < spec.n_study; ++j) {
+    core::ElementWindows w;
+    w.study_before = series[j].slice_bins(start, change_bin);
+    w.study_after = series[j].slice_bins(change_bin, after_end);
+    for (std::size_t c = 0; c < spec.n_control; ++c) {
+      const ts::TimeSeries& cs = series[spec.n_study + c];
+      w.control_before.push_back(cs.slice_bins(start, change_bin));
+      w.control_after.push_back(cs.slice_bins(change_bin, after_end));
+    }
+    ep.study_windows.push_back(std::move(w));
+  }
+  return ep;
+}
+
+}  // namespace litmus::eval

@@ -1,0 +1,105 @@
+// Episode simulation shared by the known-assessment (Table 2) and
+// synthetic-injection (Tables 3/4) evaluation suites.
+//
+// An episode is one (change, study group, control group, KPI) assessment:
+// the simulator produces spatially-correlated KPI series for the whole
+// group, then the episode spec layers on (i) the change's true impact at
+// the study elements, (ii) an overlapping external-factor shift hitting
+// study and control alike (optionally with per-element heterogeneity), and
+// (iii) contamination — unrelated level changes in a few control elements,
+// the regime that separates robust spatial regression from DiD.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellnet/topology.h"
+#include "litmus/analysis.h"
+#include "simkit/generator.h"
+#include "simkit/injection.h"
+
+namespace litmus::eval {
+
+/// Builds a minimal topology for a group study: one parent controller with
+/// `n` children of `kind` scattered in `region`. Children ids are returned
+/// in order; the parent is id 1.
+struct FlatGroup {
+  net::Topology topo;
+  net::ElementId parent;
+  std::vector<net::ElementId> elements;
+};
+
+/// The last `n_outsiders` children are *bad predictors*: they live in a
+/// different market and region, so they do not share the study group's
+/// latent components — the paper's business-vs-lake control-selection
+/// mistake (Section 3.2).
+FlatGroup make_flat_group(net::ElementKind kind, net::Technology tech,
+                          net::Region region, std::size_t n,
+                          std::uint64_t seed, std::size_t n_outsiders = 0);
+
+/// Temporal shape of the external-factor confound.
+enum class FactorShape : std::uint8_t {
+  kLevel,  ///< step co-occurring with the change (storm, holiday, upstream)
+  kRamp,   ///< gradual drift across the window (foliage budding/falling)
+};
+
+struct EpisodeSpec {
+  kpi::KpiId kpi = kpi::KpiId::kVoiceRetainability;
+  net::ElementKind kind = net::ElementKind::kNodeB;
+  net::Technology tech = net::Technology::kUmts;
+  net::Region region = net::Region::kNortheast;
+  std::size_t n_study = 1;
+  std::size_t n_control = 12;
+  std::size_t before_bins = 14 * 24;
+  std::size_t after_bins = 14 * 24;
+
+  /// True impact of the change at the study group, latent sigma units
+  /// (+ improves service). 0 = the change truly had no impact.
+  double true_sigma = 0.0;
+
+  /// External-factor shift applied after the change bin to *both* groups.
+  double factor_sigma = 0.0;
+  FactorShape factor_shape = FactorShape::kLevel;
+  /// Per-element factor intensity spread: each element's factor effect is
+  /// scaled by U(1 - h, 1). 0 = homogeneous.
+  double factor_heterogeneity = 0.0;
+
+  /// Contamination: this many control elements receive an unrelated level
+  /// change of `contamination_sigma` (sign chosen by `contamination_sign`:
+  /// 0 = random per element). Contaminated controls are also *bad
+  /// predictors* (de-correlated outsiders) — operationally, the same
+  /// poorly-chosen control members are the ones whose unrelated behaviour
+  /// bites (Section 3.2's motivation for robustness).
+  std::size_t contaminated_controls = 0;
+  double contamination_sigma = 0.0;
+  int contamination_sign = 0;
+  /// When true the contamination lands exactly at the change bin (an
+  /// unrelated event co-occurring with the change — the hardest case);
+  /// otherwise at a random bin in the window.
+  bool contamination_at_change = false;
+
+  std::uint64_t seed = 1;
+};
+
+/// The materialized episode: per-study-element analyzer windows plus the
+/// ground-truth verdict for labeling.
+struct Episode {
+  std::vector<core::ElementWindows> study_windows;
+  core::Verdict truth = core::Verdict::kNoImpact;
+  kpi::KpiId kpi = kpi::KpiId::kVoiceRetainability;
+};
+
+/// Ground truth implied by a spec: the sign of the *relative* change of the
+/// study group against the control group, mapped through KPI polarity.
+/// (For injections in both groups this is the magnitude difference —
+/// paper Table 3.)
+core::Verdict truth_of(const EpisodeSpec& spec,
+                       double control_injection_sigma = 0.0);
+
+/// Simulates one episode. `control_injection_sigma` additionally injects a
+/// change into every control element (Table 3's "Control" and
+/// "Study, Control" rows); the study injection is `spec.true_sigma`.
+Episode simulate_episode(const EpisodeSpec& spec,
+                         double control_injection_sigma = 0.0);
+
+}  // namespace litmus::eval

@@ -1,0 +1,71 @@
+// Known-assessment evaluation (paper Section 4.2, Table 2).
+//
+// The paper's Table 2 lists 19 production change campaigns — 313 (element,
+// KPI) cases in total — with the Engineering/Operations teams' manual
+// impact assessment as ground truth, and reports how the three algorithms
+// labeled each. We cannot ship the carrier data, so each row is encoded as
+// a scenario spec carrying the row's published structure: change type,
+// element kind, study-group size, assessed KPIs with their true impact, the
+// overlapping external factor, and (where the paper reports DiD misses)
+// control-group contamination. The suite then simulates each row and lets
+// the three algorithms produce their own labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/group_sim.h"
+#include "eval/labeling.h"
+
+namespace litmus::eval {
+
+struct KpiTruth {
+  kpi::KpiId kpi;
+  double true_sigma;  ///< assessed impact of the change (+ improves service)
+};
+
+struct KnownChangeRow {
+  std::string change_type;      ///< Table 2 column 1
+  net::ElementKind location;    ///< column 2
+  net::Technology tech;
+  net::Region region;
+  std::size_t n_study;          ///< column 6
+  std::vector<KpiTruth> kpis;   ///< column 7 expanded with assessed impacts
+  std::string external_factor;  ///< column 5 ("", "foliage", "weather", ...)
+  /// External confound applied to study and control alike.
+  double factor_sigma = 0.0;
+  FactorShape factor_shape = FactorShape::kLevel;
+  double factor_heterogeneity = 0.0;
+  /// Contamination for rows where Table 2 reports DiD false negatives.
+  std::size_t contaminated_controls = 0;
+  double contamination_sigma = 0.0;
+  int contamination_sign = 0;   ///< matched to the study shift sign when set
+};
+
+/// The 19 Table-2 rows.
+std::vector<KnownChangeRow> table2_rows();
+
+struct RowResult {
+  ConfusionCounts study_only;
+  ConfusionCounts did;
+  ConfusionCounts litmus;
+};
+
+struct KnownAssessmentResults {
+  std::vector<RowResult> per_row;
+  RowResult total;
+  std::size_t cases = 0;
+};
+
+/// Simulates every row (deterministically from `seed`) and evaluates the
+/// three algorithms case-by-case.
+KnownAssessmentResults run_known_assessments(std::uint64_t seed = 2011);
+
+/// Runs a single row.
+RowResult run_row(const KnownChangeRow& row, std::uint64_t seed);
+
+/// Formats the per-row and summary table in the shape of the paper's
+/// Table 2.
+std::string format_table2(const KnownAssessmentResults& results);
+
+}  // namespace litmus::eval

@@ -1,0 +1,58 @@
+#include "eval/labeling.h"
+
+#include <limits>
+
+namespace litmus::eval {
+namespace {
+double ratio(std::size_t num, std::size_t den) noexcept {
+  return den == 0 ? std::numeric_limits<double>::quiet_NaN()
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kTp: return "TP";
+    case Outcome::kTn: return "TN";
+    case Outcome::kFp: return "FP";
+    case Outcome::kFn: return "FN";
+  }
+  return "?";
+}
+
+Outcome label(core::Verdict truth, core::Verdict observed) noexcept {
+  using core::Verdict;
+  if (truth == Verdict::kNoImpact)
+    return observed == Verdict::kNoImpact ? Outcome::kTn : Outcome::kFp;
+  // Truth is a significant impact: only the matching direction counts.
+  return observed == truth ? Outcome::kTp : Outcome::kFn;
+}
+
+void ConfusionCounts::add(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kTp: ++tp; break;
+    case Outcome::kTn: ++tn; break;
+    case Outcome::kFp: ++fp; break;
+    case Outcome::kFn: ++fn; break;
+  }
+}
+
+ConfusionCounts& ConfusionCounts::operator+=(
+    const ConfusionCounts& o) noexcept {
+  tp += o.tp;
+  tn += o.tn;
+  fp += o.fp;
+  fn += o.fn;
+  return *this;
+}
+
+double ConfusionCounts::precision() const noexcept { return ratio(tp, tp + fp); }
+double ConfusionCounts::recall() const noexcept { return ratio(tp, tp + fn); }
+double ConfusionCounts::true_negative_rate() const noexcept {
+  return ratio(tn, tn + fp);
+}
+double ConfusionCounts::accuracy() const noexcept {
+  return ratio(tp + tn, total());
+}
+
+}  // namespace litmus::eval

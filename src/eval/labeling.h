@@ -1,0 +1,41 @@
+// Outcome labeling (paper Table 1) and confusion metrics (Section 4.1).
+//
+// The paper labels each algorithm outcome against the known assessment
+// (ground truth): a significant impact correctly identified (direction
+// included) is a true positive; reporting impact where none exists is a
+// false positive; missing an impact — or calling the wrong direction — is a
+// false negative; correctly reporting no impact is a true negative.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "litmus/analysis.h"
+
+namespace litmus::eval {
+
+enum class Outcome : std::uint8_t { kTp, kTn, kFp, kFn };
+
+const char* to_string(Outcome o) noexcept;
+
+/// Table 1: label `observed` against ground truth `truth`.
+Outcome label(core::Verdict truth, core::Verdict observed) noexcept;
+
+struct ConfusionCounts {
+  std::size_t tp = 0;
+  std::size_t tn = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  void add(Outcome o) noexcept;
+  ConfusionCounts& operator+=(const ConfusionCounts& o) noexcept;
+
+  std::size_t total() const noexcept { return tp + tn + fp + fn; }
+  /// All ratios return NaN when their denominator is zero.
+  double precision() const noexcept;          ///< TP / (TP + FP)
+  double recall() const noexcept;             ///< TP / (TP + FN)
+  double true_negative_rate() const noexcept; ///< TN / (TN + FP)
+  double accuracy() const noexcept;           ///< (TP+TN) / total
+};
+
+}  // namespace litmus::eval

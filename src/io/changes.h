@@ -1,0 +1,31 @@
+// Change-management log interchange.
+//
+// Row format:
+//   # element_id, type, bin, expectation, target_kpi, parameter, description
+//   12, config_change, 0, improvement, voice_retainability,
+//       gold.radio_link_failure_timer_ms=4000, RLF timer tuning
+//
+// `type` uses chg::to_string(ChangeType) labels; `expectation` uses
+// improvement | degradation | no_impact. The description may not contain
+// commas (the CSV dialect is deliberately simple).
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "changelog/changelog.h"
+
+namespace litmus::io {
+
+std::optional<chg::ChangeType> parse_change_type(const std::string& s);
+std::optional<chg::Expectation> parse_expectation(const std::string& s);
+
+/// Appends all rows to `log`; returns how many were added. Throws
+/// std::runtime_error on malformed rows.
+std::size_t load_changes_csv(std::istream& in, chg::ChangeLog& log);
+
+void save_changes_csv(std::ostream& out, const chg::ChangeLog& log);
+
+}  // namespace litmus::io

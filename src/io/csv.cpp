@@ -1,0 +1,78 @@
+#include "io/csv.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+namespace litmus::io {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(trim(cur));
+  return fields;
+}
+
+std::optional<std::vector<std::string>> read_csv_row(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    return split_csv_line(t);
+  }
+  return std::nullopt;
+}
+
+void write_csv_row(std::ostream& out,
+                   const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out << ',';
+    out << fields[i];
+  }
+  out << '\n';
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  double v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+double parse_double_or_missing(const std::string& s) {
+  if (s.empty() || s == "nan" || s == "NaN" || s == "NA")
+    return std::numeric_limits<double>::quiet_NaN();
+  const auto v = parse_double(s);
+  return v ? *v : std::numeric_limits<double>::quiet_NaN();
+}
+
+std::optional<std::int64_t> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace litmus::io

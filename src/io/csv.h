@@ -1,0 +1,30 @@
+// Minimal CSV reading/writing for the interchange formats in io/store.h.
+// No quoting dialects: fields are comma-separated, '#' starts a comment
+// line, blank lines are skipped. That covers the telemetry exports this
+// library consumes and keeps the parser obviously correct.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace litmus::io {
+
+/// Splits one CSV line into trimmed fields.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Reads the next data row (skipping comments/blanks); nullopt at EOF.
+std::optional<std::vector<std::string>> read_csv_row(std::istream& in);
+
+/// Writes one row, joining fields with commas.
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
+
+/// Strict numeric parses; nullopt on any trailing garbage. The value "" and
+/// "nan" parse as missing for parse_double_or_missing.
+std::optional<double> parse_double(const std::string& s);
+double parse_double_or_missing(const std::string& s);
+std::optional<std::int64_t> parse_int(const std::string& s);
+
+}  // namespace litmus::io

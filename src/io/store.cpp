@@ -1,0 +1,175 @@
+#include "io/store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "io/csv.h"
+
+namespace litmus::io {
+namespace {
+
+net::ElementKind parse_kind(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(net::ElementKind::kPcrf); ++k) {
+    const auto kind = static_cast<net::ElementKind>(k);
+    if (s == net::to_string(kind)) return kind;
+  }
+  throw std::runtime_error("topology csv: unknown element kind '" + s + "'");
+}
+
+net::Technology parse_tech(const std::string& s) {
+  for (const auto t : {net::Technology::kGsm, net::Technology::kUmts,
+                       net::Technology::kLte})
+    if (s == net::to_string(t)) return t;
+  throw std::runtime_error("topology csv: unknown technology '" + s + "'");
+}
+
+net::Region parse_region(const std::string& s) {
+  for (int r = 0; r <= static_cast<int>(net::Region::kWest); ++r) {
+    const auto region = static_cast<net::Region>(r);
+    if (s == net::to_string(region)) return region;
+  }
+  throw std::runtime_error("topology csv: unknown region '" + s + "'");
+}
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+void SeriesStore::put(net::ElementId element, kpi::KpiId kpi,
+                      ts::TimeSeries series) {
+  series_.insert_or_assign({element.value, kpi}, std::move(series));
+}
+
+bool SeriesStore::contains(net::ElementId element, kpi::KpiId kpi) const {
+  return series_.contains({element.value, kpi});
+}
+
+const ts::TimeSeries& SeriesStore::get(net::ElementId element,
+                                       kpi::KpiId kpi) const {
+  const auto it = series_.find({element.value, kpi});
+  if (it == series_.end())
+    throw std::out_of_range("SeriesStore: no series for element " +
+                            std::to_string(element.value));
+  return it->second;
+}
+
+core::SeriesProvider SeriesStore::provider() const {
+  return [this](net::ElementId element, kpi::KpiId kpi, std::int64_t start,
+                std::size_t n) {
+    ts::TimeSeries window(start, n, 60);
+    const auto it = series_.find({element.value, kpi});
+    if (it == series_.end()) return window;
+    for (std::int64_t b = start; b < start + static_cast<std::int64_t>(n);
+         ++b)
+      window.set_bin(b, it->second.at_bin(b));
+    return window;
+  };
+}
+
+std::size_t load_series_csv(std::istream& in, SeriesStore& store) {
+  // Accumulate points per (element, kpi), then assemble dense series.
+  struct Points {
+    std::int64_t min_bin = 0;
+    std::int64_t max_bin = 0;
+    std::vector<std::pair<std::int64_t, double>> values;
+  };
+  std::map<std::pair<std::uint32_t, kpi::KpiId>, Points> acc;
+
+  std::size_t count = 0;
+  while (const auto row = read_csv_row(in)) {
+    if (row->size() != 4)
+      throw std::runtime_error("series csv: expected 4 fields, got " +
+                               std::to_string(row->size()));
+    const auto element = parse_int((*row)[0]);
+    const auto kpi = kpi::parse_kpi((*row)[1]);
+    const auto bin = parse_int((*row)[2]);
+    if (!element || *element <= 0 || !kpi || !bin)
+      throw std::runtime_error("series csv: malformed row");
+    const double value = parse_double_or_missing((*row)[3]);
+
+    auto& p = acc[{static_cast<std::uint32_t>(*element), *kpi}];
+    if (p.values.empty()) {
+      p.min_bin = p.max_bin = *bin;
+    } else {
+      p.min_bin = std::min(p.min_bin, *bin);
+      p.max_bin = std::max(p.max_bin, *bin);
+    }
+    p.values.emplace_back(*bin, value);
+    ++count;
+  }
+
+  for (auto& [key, p] : acc) {
+    ts::TimeSeries s(p.min_bin,
+                     static_cast<std::size_t>(p.max_bin - p.min_bin + 1), 60);
+    for (const auto& [bin, value] : p.values) s.set_bin(bin, value);
+    store.put(net::ElementId{key.first}, key.second, std::move(s));
+  }
+  return count;
+}
+
+void save_series_csv(std::ostream& out, net::ElementId element,
+                     kpi::KpiId kpi, const ts::TimeSeries& series) {
+  out << "# element_id, kpi_name, bin, value\n";
+  for (std::int64_t b = series.start_bin(); b < series.end_bin(); ++b) {
+    write_csv_row(out, {std::to_string(element.value),
+                        std::string(kpi::to_string(kpi)), std::to_string(b),
+                        format_value(series.at_bin(b))});
+  }
+}
+
+net::Topology load_topology_csv(std::istream& in) {
+  net::Topology topo;
+  while (const auto row = read_csv_row(in)) {
+    if (row->size() != 10)
+      throw std::runtime_error("topology csv: expected 10 fields, got " +
+                               std::to_string(row->size()));
+    net::NetworkElement e;
+    const auto id = parse_int((*row)[0]);
+    if (!id || *id <= 0) throw std::runtime_error("topology csv: bad id");
+    e.id = net::ElementId{static_cast<std::uint32_t>(*id)};
+    e.kind = parse_kind((*row)[1]);
+    e.technology = parse_tech((*row)[2]);
+    e.name = (*row)[3];
+    const auto lat = parse_double((*row)[4]);
+    const auto lon = parse_double((*row)[5]);
+    const auto zip = parse_int((*row)[6]);
+    if (!lat || !lon || !zip)
+      throw std::runtime_error("topology csv: bad coordinates/zip");
+    e.location = {*lat, *lon};
+    e.zip = net::ZipCode{static_cast<std::uint32_t>(*zip)};
+    e.region = parse_region((*row)[7]);
+    const auto parent = parse_int((*row)[8]);
+    const auto market = parse_int((*row)[9]);
+    if (!parent || !market)
+      throw std::runtime_error("topology csv: bad parent/market");
+    e.parent = net::ElementId{static_cast<std::uint32_t>(*parent)};
+    e.market = static_cast<std::uint32_t>(*market);
+    topo.add(std::move(e));
+  }
+  return topo;
+}
+
+void save_topology_csv(std::ostream& out, const net::Topology& topo) {
+  out << "# id, kind, technology, name, lat, lon, zip, region, parent_id, "
+         "market\n";
+  for (const auto id : topo.all()) {
+    const auto& e = topo.get(id);
+    char lat[32], lon[32];
+    std::snprintf(lat, sizeof lat, "%.6f", e.location.lat_deg);
+    std::snprintf(lon, sizeof lon, "%.6f", e.location.lon_deg);
+    write_csv_row(out, {std::to_string(e.id.value), net::to_string(e.kind),
+                        net::to_string(e.technology), e.name, lat, lon,
+                        std::to_string(e.zip.value), net::to_string(e.region),
+                        std::to_string(e.parent.value),
+                        std::to_string(e.market)});
+  }
+}
+
+}  // namespace litmus::io

@@ -1,0 +1,62 @@
+// Interchange formats and an in-memory series store.
+//
+// Deployments do not generate KPIs — they load them. The SeriesStore holds
+// per-(element, KPI) time-series and hands the Assessor a SeriesProvider,
+// so production feeds exported to CSV drive exactly the same code path as
+// the simulator.
+//
+// Series CSV format (hourly bins):
+//   # element_id, kpi_name, bin, value
+//   42, voice_retainability, -336, 0.9751
+//   42, voice_retainability, -335, 0.9748
+//
+// Topology CSV format:
+//   # id, kind, technology, name, lat, lon, zip, region, parent_id, market
+//   1, RNC, UMTS, NE-RNC0, 41.5, -74.0, 10001, Northeast, 0, 0
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "cellnet/topology.h"
+#include "kpi/kpi.h"
+#include "litmus/assessor.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::io {
+
+class SeriesStore {
+ public:
+  /// Inserts/overwrites the series for (element, kpi).
+  void put(net::ElementId element, kpi::KpiId kpi, ts::TimeSeries series);
+
+  bool contains(net::ElementId element, kpi::KpiId kpi) const;
+  std::size_t size() const noexcept { return series_.size(); }
+
+  /// The stored series; throws std::out_of_range when absent.
+  const ts::TimeSeries& get(net::ElementId element, kpi::KpiId kpi) const;
+
+  /// A provider view over the store. Windows that reach outside a stored
+  /// series come back with missing bins (the analyzers tolerate gaps);
+  /// fully absent series yield all-missing windows.
+  core::SeriesProvider provider() const;
+
+ private:
+  std::map<std::pair<std::uint32_t, kpi::KpiId>, ts::TimeSeries> series_;
+};
+
+/// Series CSV round-trip. Loading returns the number of data points read
+/// and throws std::runtime_error on malformed rows.
+std::size_t load_series_csv(std::istream& in, SeriesStore& store);
+void save_series_csv(std::ostream& out, net::ElementId element,
+                     kpi::KpiId kpi, const ts::TimeSeries& series);
+
+/// Topology CSV round-trip. Parents must appear before children (save
+/// writes insertion order, which satisfies this). Throws on malformed rows.
+net::Topology load_topology_csv(std::istream& in);
+void save_topology_csv(std::ostream& out, const net::Topology& topo);
+
+}  // namespace litmus::io

@@ -1,0 +1,58 @@
+#include "io/weather.h"
+
+#include <stdexcept>
+
+#include "io/csv.h"
+
+namespace litmus::io {
+
+std::optional<sim::WeatherKind> parse_weather_kind(const std::string& s) {
+  for (const auto k : {sim::WeatherKind::kRain, sim::WeatherKind::kWind,
+                       sim::WeatherKind::kSevereStorm,
+                       sim::WeatherKind::kHurricane})
+    if (s == sim::to_string(k)) return k;
+  return std::nullopt;
+}
+
+std::vector<sim::WeatherEvent> load_weather_csv(std::istream& in) {
+  std::vector<sim::WeatherEvent> events;
+  while (const auto row = read_csv_row(in)) {
+    if (row->size() != 7)
+      throw std::runtime_error("weather csv: expected 7 fields, got " +
+                               std::to_string(row->size()));
+    const auto kind = parse_weather_kind((*row)[0]);
+    const auto lat = parse_double((*row)[1]);
+    const auto lon = parse_double((*row)[2]);
+    const auto radius = parse_double((*row)[3]);
+    const auto start = parse_int((*row)[4]);
+    const auto duration = parse_int((*row)[5]);
+    const auto severity = parse_double((*row)[6]);
+    if (!kind || !lat || !lon || !radius || !start || !duration ||
+        !severity || *radius <= 0 || *duration <= 0)
+      throw std::runtime_error("weather csv: malformed row");
+
+    sim::WeatherEvent ev =
+        sim::make_event(*kind, {*lat, *lon}, *start, *duration);
+    ev.radius_km = *radius;
+    if (*severity > 0.0) ev.peak_sigma = *severity;
+    events.push_back(ev);
+  }
+  return events;
+}
+
+void save_weather_csv(std::ostream& out,
+                      std::span<const sim::WeatherEvent> events) {
+  out << "# kind, lat, lon, radius_km, start_bin, duration_bins, severity\n";
+  for (const auto& ev : events) {
+    char lat[32], lon[32], radius[32], severity[32];
+    std::snprintf(lat, sizeof lat, "%.4f", ev.center.lat_deg);
+    std::snprintf(lon, sizeof lon, "%.4f", ev.center.lon_deg);
+    std::snprintf(radius, sizeof radius, "%.1f", ev.radius_km);
+    std::snprintf(severity, sizeof severity, "%.2f", ev.peak_sigma);
+    write_csv_row(out, {sim::to_string(ev.kind), lat, lon, radius,
+                        std::to_string(ev.start_bin),
+                        std::to_string(ev.end_bin - ev.start_bin), severity});
+  }
+}
+
+}  // namespace litmus::io

@@ -1,0 +1,36 @@
+// Severe-weather record import (paper Section 2.5: "We collected weather
+// data [NCDC, wunderground] and compared it to the service performance
+// data").
+//
+// Record CSV format (one row per event):
+//   # kind, lat, lon, radius_km, start_bin, duration_bins, severity
+//   severe_storm, 32.8, -96.8, 120, 432, 48, 3.0
+//
+// `kind` is one of rain | wind | severe_storm | hurricane. `severity`
+// overrides the kind's default peak impact when positive; pass 0 to keep
+// the preset. Imported events plug straight into sim::WeatherFactor, and —
+// in a deployment — into the scheduler's foreseeable-factor calendar.
+#pragma once
+
+#include <istream>
+#include <span>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "simkit/weather.h"
+
+namespace litmus::io {
+
+/// Parses a weather-kind label; nullopt for unknown labels.
+std::optional<sim::WeatherKind> parse_weather_kind(const std::string& s);
+
+/// Loads events; throws std::runtime_error on malformed rows.
+std::vector<sim::WeatherEvent> load_weather_csv(std::istream& in);
+
+/// Writes events in the same format (severity column = peak_sigma).
+void save_weather_csv(std::ostream& out,
+                      std::span<const sim::WeatherEvent> events);
+
+}  // namespace litmus::io

@@ -1,0 +1,71 @@
+#include "kpi/aggregate.h"
+
+#include <stdexcept>
+
+namespace litmus::kpi {
+
+CounterSeries sum_counters(std::span<const CounterSeries> per_element) {
+  if (per_element.empty())
+    throw std::invalid_argument("sum_counters: empty input");
+  CounterSeries total = per_element[0];
+  for (const auto& s : per_element.subspan(1)) total += s;
+  return total;
+}
+
+ts::TimeSeries aggregate_kpi(std::span<const CounterSeries> per_element,
+                             KpiId id) {
+  return sum_counters(per_element).kpi_series(id);
+}
+
+CounterSeries downsample(const CounterSeries& s, int factor) {
+  if (factor <= 0) throw std::invalid_argument("downsample: factor <= 0");
+  const std::size_t groups = s.size() / static_cast<std::size_t>(factor);
+  CounterSeries out(s.start_bin() / factor, groups,
+                    s.bin_minutes() * factor);
+  for (std::size_t g = 0; g < groups; ++g)
+    for (int i = 0; i < factor; ++i)
+      out[g] += s[g * static_cast<std::size_t>(factor) +
+                  static_cast<std::size_t>(i)];
+  return out;
+}
+
+ts::TimeSeries downsample_mean(const ts::TimeSeries& s, int factor) {
+  if (factor <= 0) throw std::invalid_argument("downsample_mean: factor <= 0");
+  const std::size_t groups = s.size() / static_cast<std::size_t>(factor);
+  ts::TimeSeries out(s.start_bin() / factor, groups,
+                     s.bin_minutes() * factor);
+  for (std::size_t g = 0; g < groups; ++g) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (int i = 0; i < factor; ++i) {
+      const double v = s[g * static_cast<std::size_t>(factor) +
+                         static_cast<std::size_t>(i)];
+      if (ts::is_missing(v)) continue;
+      sum += v;
+      ++n;
+    }
+    if (n > 0) out[g] = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+ts::TimeSeries pointwise_mean(std::span<const ts::TimeSeries> series) {
+  if (series.empty())
+    throw std::invalid_argument("pointwise_mean: empty input");
+  const ts::BinRange r = ts::common_range(series);
+  ts::TimeSeries out(r.from, r.size(), series[0].bin_minutes());
+  for (std::int64_t b = r.from; b < r.to; ++b) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& s : series) {
+      const double v = s.at_bin(b);
+      if (ts::is_missing(v)) continue;
+      sum += v;
+      ++n;
+    }
+    if (n > 0) out.set_bin(b, sum / static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace litmus::kpi

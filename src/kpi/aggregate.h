@@ -1,0 +1,38 @@
+// Spatial and temporal roll-ups of KPI and counter data.
+//
+// The paper's figures aggregate across elements (Fig 5: "aggregated across
+// all cell towers at the location") and across time (Fig 3: daily
+// aggregates of finer measurements). Ratio KPIs must be re-derived from
+// summed counters, not averaged — averaging ratios over-weights quiet bins.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "kpi/counters.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::kpi {
+
+/// Sums counter series across elements (all must share the same span) and
+/// derives the aggregate KPI series.
+ts::TimeSeries aggregate_kpi(std::span<const CounterSeries> per_element,
+                             KpiId id);
+
+/// Sum of counter series (same-span requirement as aggregate_kpi).
+CounterSeries sum_counters(std::span<const CounterSeries> per_element);
+
+/// Down-samples counters by summing groups of `factor` bins (e.g. 24 hourly
+/// bins -> 1 daily bin). The trailing partial group is dropped.
+CounterSeries downsample(const CounterSeries& s, int factor);
+
+/// Down-samples a KPI series by averaging groups of `factor` bins
+/// (missing-aware). Appropriate only for already-aggregated series; for
+/// counter-backed KPIs prefer downsample() + kpi_series().
+ts::TimeSeries downsample_mean(const ts::TimeSeries& s, int factor);
+
+/// Point-wise mean KPI across elements (missing-aware). Used when only KPI
+/// series are available (the usual situation for the analyzers).
+ts::TimeSeries pointwise_mean(std::span<const ts::TimeSeries> series);
+
+}  // namespace litmus::kpi

@@ -1,0 +1,89 @@
+#include "kpi/counters.h"
+
+#include <stdexcept>
+
+namespace litmus::kpi {
+
+CounterBin& CounterBin::operator+=(const CounterBin& o) noexcept {
+  voice_attempts += o.voice_attempts;
+  voice_blocked += o.voice_blocked;
+  voice_established += o.voice_established;
+  voice_dropped += o.voice_dropped;
+  data_attempts += o.data_attempts;
+  data_blocked += o.data_blocked;
+  data_established += o.data_established;
+  data_dropped += o.data_dropped;
+  megabits_delivered += o.megabits_delivered;
+  return *this;
+}
+
+double compute_kpi(const CounterBin& c, KpiId id, int bin_minutes) noexcept {
+  auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? ts::kMissing
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  switch (id) {
+    case KpiId::kVoiceAccessibility:
+      return c.voice_attempts == 0
+                 ? ts::kMissing
+                 : 1.0 - ratio(c.voice_blocked, c.voice_attempts);
+    case KpiId::kVoiceRetainability:
+      return c.voice_established == 0
+                 ? ts::kMissing
+                 : 1.0 - ratio(c.voice_dropped, c.voice_established);
+    case KpiId::kDataAccessibility:
+      return c.data_attempts == 0
+                 ? ts::kMissing
+                 : 1.0 - ratio(c.data_blocked, c.data_attempts);
+    case KpiId::kDataRetainability:
+      return c.data_established == 0
+                 ? ts::kMissing
+                 : 1.0 - ratio(c.data_dropped, c.data_established);
+    case KpiId::kDataThroughput:
+      return bin_minutes <= 0
+                 ? ts::kMissing
+                 : c.megabits_delivered / (60.0 * bin_minutes);  // Mb/s
+    case KpiId::kDroppedVoiceCallRatio:
+      return ratio(c.voice_dropped, c.voice_established);
+  }
+  return ts::kMissing;
+}
+
+CounterSeries::CounterSeries(std::int64_t start_bin, std::size_t n,
+                             int bin_minutes)
+    : start_bin_(start_bin), bin_minutes_(bin_minutes), bins_(n) {
+  if (bin_minutes <= 0) throw std::invalid_argument("bin_minutes must be > 0");
+}
+
+std::int64_t CounterSeries::end_bin() const noexcept {
+  return start_bin_ + static_cast<std::int64_t>(bins_.size());
+}
+
+CounterBin& CounterSeries::at_bin(std::int64_t bin) {
+  if (bin < start_bin_ || bin >= end_bin())
+    throw std::out_of_range("CounterSeries::at_bin");
+  return bins_[static_cast<std::size_t>(bin - start_bin_)];
+}
+
+const CounterBin& CounterSeries::at_bin(std::int64_t bin) const {
+  if (bin < start_bin_ || bin >= end_bin())
+    throw std::out_of_range("CounterSeries::at_bin");
+  return bins_[static_cast<std::size_t>(bin - start_bin_)];
+}
+
+ts::TimeSeries CounterSeries::kpi_series(KpiId id) const {
+  ts::TimeSeries out(start_bin_, bins_.size(), bin_minutes_);
+  for (std::size_t i = 0; i < bins_.size(); ++i)
+    out[i] = compute_kpi(bins_[i], id, bin_minutes_);
+  return out;
+}
+
+CounterSeries& CounterSeries::operator+=(const CounterSeries& o) {
+  if (o.start_bin_ != start_bin_ || o.bins_.size() != bins_.size() ||
+      o.bin_minutes_ != bin_minutes_)
+    throw std::invalid_argument("CounterSeries::operator+=: span mismatch");
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  return *this;
+}
+
+}  // namespace litmus::kpi

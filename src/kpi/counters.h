@@ -1,0 +1,66 @@
+// Raw per-bin performance counters, and the counter -> KPI computations.
+//
+// The carrier collects low-level counters from each element and derives the
+// service KPIs from them (Section 2.2). We model the handful of counters the
+// six catalogue KPIs need; the CDR module (cdr.h) produces these counters
+// from individual call records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kpi/kpi.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::kpi {
+
+/// Counters for one element over one time bin.
+struct CounterBin {
+  std::uint64_t voice_attempts = 0;
+  std::uint64_t voice_blocked = 0;      ///< failed attempts (accessibility)
+  std::uint64_t voice_established = 0;
+  std::uint64_t voice_dropped = 0;      ///< network-terminated calls
+  std::uint64_t data_attempts = 0;
+  std::uint64_t data_blocked = 0;
+  std::uint64_t data_established = 0;
+  std::uint64_t data_dropped = 0;
+  double megabits_delivered = 0.0;
+
+  CounterBin& operator+=(const CounterBin& o) noexcept;
+};
+
+/// KPI value from one counter bin; missing when the denominator is zero
+/// (e.g. no call attempts in the bin).
+double compute_kpi(const CounterBin& c, KpiId id, int bin_minutes) noexcept;
+
+/// A counter time-series for one element.
+class CounterSeries {
+ public:
+  CounterSeries() = default;
+  CounterSeries(std::int64_t start_bin, std::size_t n, int bin_minutes = 60);
+
+  std::int64_t start_bin() const noexcept { return start_bin_; }
+  std::int64_t end_bin() const noexcept;
+  int bin_minutes() const noexcept { return bin_minutes_; }
+  std::size_t size() const noexcept { return bins_.size(); }
+
+  CounterBin& at_bin(std::int64_t bin);
+  const CounterBin& at_bin(std::int64_t bin) const;
+  CounterBin& operator[](std::size_t i) noexcept { return bins_[i]; }
+  const CounterBin& operator[](std::size_t i) const noexcept {
+    return bins_[i];
+  }
+
+  /// Derives the KPI time-series over the whole span.
+  ts::TimeSeries kpi_series(KpiId id) const;
+
+  /// Element-wise sum with another series (same span required).
+  CounterSeries& operator+=(const CounterSeries& o);
+
+ private:
+  std::int64_t start_bin_ = 0;
+  int bin_minutes_ = 60;
+  std::vector<CounterBin> bins_;
+};
+
+}  // namespace litmus::kpi

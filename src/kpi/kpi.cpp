@@ -1,0 +1,45 @@
+#include "kpi/kpi.h"
+
+#include <array>
+
+namespace litmus::kpi {
+namespace {
+
+constexpr std::array<KpiId, 6> kAll = {
+    KpiId::kVoiceAccessibility,    KpiId::kVoiceRetainability,
+    KpiId::kDataAccessibility,     KpiId::kDataRetainability,
+    KpiId::kDataThroughput,        KpiId::kDroppedVoiceCallRatio,
+};
+
+constexpr std::array<KpiInfo, 6> kCatalogue = {{
+    {KpiId::kVoiceAccessibility, "voice_accessibility", "ratio",
+     Polarity::kHigherIsBetter, 0.985, 0.004, true},
+    {KpiId::kVoiceRetainability, "voice_retainability", "ratio",
+     Polarity::kHigherIsBetter, 0.975, 0.005, true},
+    {KpiId::kDataAccessibility, "data_accessibility", "ratio",
+     Polarity::kHigherIsBetter, 0.980, 0.005, true},
+    {KpiId::kDataRetainability, "data_retainability", "ratio",
+     Polarity::kHigherIsBetter, 0.965, 0.006, true},
+    {KpiId::kDataThroughput, "data_throughput", "Mb/s",
+     Polarity::kHigherIsBetter, 12.0, 0.9, false},
+    {KpiId::kDroppedVoiceCallRatio, "dropped_voice_call_ratio", "ratio",
+     Polarity::kLowerIsBetter, 0.025, 0.005, true},
+}};
+
+}  // namespace
+
+std::span<const KpiId> all_kpis() noexcept { return kAll; }
+
+const KpiInfo& info(KpiId id) noexcept {
+  return kCatalogue[static_cast<std::size_t>(id)];
+}
+
+std::string_view to_string(KpiId id) noexcept { return info(id).name; }
+
+std::optional<KpiId> parse_kpi(std::string_view name) noexcept {
+  for (const KpiInfo& k : kCatalogue)
+    if (k.name == name) return k.id;
+  return std::nullopt;
+}
+
+}  // namespace litmus::kpi

@@ -1,0 +1,55 @@
+// Key Performance Indicator catalogue (paper Section 2.2, "Service
+// performance measurements").
+//
+// Accessibility: fraction of call/session attempts that succeed.
+// Retainability: fraction of established calls/sessions that terminate
+//   normally (not dropped by the network).
+// Throughput: bytes delivered per time bin.
+// DroppedVoiceCallRatio: complement of voice retainability — the KPI in the
+//   paper's Figs 1 and 8.
+//
+// Every KPI carries a *polarity* so analyzers can translate a relative
+// increase/decrease into Improvement/Degradation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace litmus::kpi {
+
+enum class KpiId : std::uint8_t {
+  kVoiceAccessibility,
+  kVoiceRetainability,
+  kDataAccessibility,
+  kDataRetainability,
+  kDataThroughput,
+  kDroppedVoiceCallRatio,
+};
+
+/// All KPI ids, for iteration.
+std::span<const KpiId> all_kpis() noexcept;
+
+enum class Polarity : std::uint8_t {
+  kHigherIsBetter,
+  kLowerIsBetter,
+};
+
+struct KpiInfo {
+  KpiId id;
+  std::string_view name;
+  std::string_view unit;
+  Polarity polarity;
+  double typical_value;  ///< representative operating point for simulation
+  double typical_noise;  ///< representative per-bin noise sigma
+  bool is_ratio;         ///< constrained to [0,1]
+};
+
+/// Catalogue lookup; total over the enum.
+const KpiInfo& info(KpiId id) noexcept;
+
+std::string_view to_string(KpiId id) noexcept;
+std::optional<KpiId> parse_kpi(std::string_view name) noexcept;
+
+}  // namespace litmus::kpi

@@ -1,0 +1,31 @@
+#include "litmus/analysis.h"
+
+namespace litmus::core {
+
+const char* to_string(RelativeChange c) noexcept {
+  switch (c) {
+    case RelativeChange::kNoChange: return "no_change";
+    case RelativeChange::kIncrease: return "increase";
+    case RelativeChange::kDecrease: return "decrease";
+  }
+  return "?";
+}
+
+const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kNoImpact: return "no_impact";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kDegradation: return "degradation";
+  }
+  return "?";
+}
+
+Verdict verdict_from(RelativeChange change, kpi::Polarity polarity) noexcept {
+  if (change == RelativeChange::kNoChange) return Verdict::kNoImpact;
+  const bool increase = change == RelativeChange::kIncrease;
+  const bool higher_better = polarity == kpi::Polarity::kHigherIsBetter;
+  return increase == higher_better ? Verdict::kImprovement
+                                   : Verdict::kDegradation;
+}
+
+}  // namespace litmus::core

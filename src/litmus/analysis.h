@@ -1,0 +1,68 @@
+// Common types for the three change-impact analyzers (paper Section 4.1):
+// study-group-only, Difference in Differences, and Litmus robust spatial
+// regression.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kpi/kpi.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::core {
+
+/// Direction of the detected relative change of the study element against
+/// its control group (or against its own past, for study-only analysis).
+enum class RelativeChange : std::uint8_t { kNoChange, kIncrease, kDecrease };
+
+const char* to_string(RelativeChange c) noexcept;
+
+/// Service-level conclusion after applying KPI polarity.
+enum class Verdict : std::uint8_t { kNoImpact, kImprovement, kDegradation };
+
+const char* to_string(Verdict v) noexcept;
+
+/// Maps a relative KPI change to a service verdict: an increase in a
+/// higher-is-better KPI is an improvement; an increase in a lower-is-better
+/// KPI (dropped-call ratio) is a degradation.
+Verdict verdict_from(RelativeChange change, kpi::Polarity polarity) noexcept;
+
+/// The windows an analyzer sees for one study element. Control series are
+/// positionally matched between before and after (control_before[i] and
+/// control_after[i] belong to the same element).
+struct ElementWindows {
+  ts::TimeSeries study_before;
+  ts::TimeSeries study_after;
+  std::vector<ts::TimeSeries> control_before;
+  std::vector<ts::TimeSeries> control_after;
+};
+
+/// One analyzer's conclusion for one study element.
+struct AnalysisOutcome {
+  RelativeChange relative = RelativeChange::kNoChange;
+  Verdict verdict = Verdict::kNoImpact;
+  double p_value = ts::kMissing;
+  double statistic = ts::kMissing;
+  /// Signed central shift in KPI units (after minus before), for reporting.
+  double effect_kpi_units = ts::kMissing;
+  /// Diagnostic: regression fit quality (Litmus only; NaN otherwise).
+  double fit_r_squared = ts::kMissing;
+  /// True when the analyzer could not run (insufficient data); verdict is
+  /// then kNoImpact by construction but should be treated as "unknown".
+  bool degenerate = false;
+};
+
+/// Analyzer interface. Implementations are stateless given their parameters
+/// and safe to reuse across assessments.
+class ChangeAnalyzer {
+ public:
+  virtual ~ChangeAnalyzer() = default;
+
+  virtual AnalysisOutcome assess(const ElementWindows& windows,
+                                 kpi::KpiId kpi) const = 0;
+
+  virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace litmus::core

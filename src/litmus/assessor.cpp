@@ -1,0 +1,103 @@
+#include "litmus/assessor.h"
+
+#include <stdexcept>
+
+namespace litmus::core {
+
+Assessor::Assessor(const net::Topology& topo, SeriesProvider provider,
+                   AssessmentConfig config)
+    : topo_(&topo),
+      provider_(std::move(provider)),
+      config_(config),
+      algorithm_(config.regression) {
+  if (!provider_) throw std::invalid_argument("Assessor: null provider");
+  if (config_.before_bins < 8 || config_.after_bins < 8)
+    throw std::invalid_argument("Assessor: windows too short");
+}
+
+ElementWindows Assessor::windows_for(net::ElementId study,
+                                     std::span<const net::ElementId> control,
+                                     kpi::KpiId kpi,
+                                     std::int64_t change_bin) const {
+  ElementWindows w;
+  const std::int64_t before_start =
+      change_bin - static_cast<std::int64_t>(config_.before_bins);
+  const std::int64_t after_start =
+      change_bin + static_cast<std::int64_t>(config_.guard_bins);
+  w.study_before = provider_(study, kpi, before_start, config_.before_bins);
+  w.study_after = provider_(study, kpi, after_start, config_.after_bins);
+  w.control_before.reserve(control.size());
+  w.control_after.reserve(control.size());
+  for (const auto c : control) {
+    w.control_before.push_back(
+        provider_(c, kpi, before_start, config_.before_bins));
+    w.control_after.push_back(
+        provider_(c, kpi, after_start, config_.after_bins));
+  }
+  return w;
+}
+
+ChangeAssessment Assessor::assess(std::span<const net::ElementId> study,
+                                  std::span<const net::ElementId> control,
+                                  kpi::KpiId kpi,
+                                  std::int64_t change_bin) const {
+  ChangeAssessment a;
+  a.kpi = kpi;
+  a.change_bin = change_bin;
+  a.study_group.assign(study.begin(), study.end());
+  a.control_group.assign(control.begin(), control.end());
+
+  std::vector<AnalysisOutcome> outcomes;
+  outcomes.reserve(study.size());
+  for (const auto s : study) {
+    const ElementWindows w = windows_for(s, control, kpi, change_bin);
+    const AnalysisOutcome o = algorithm_.assess(w, kpi);
+    a.per_element.push_back({s, o});
+    outcomes.push_back(o);
+  }
+  a.summary = vote(outcomes);
+  return a;
+}
+
+ChangeAssessment Assessor::assess_with_selection(
+    std::span<const net::ElementId> study, const ControlPredicate& predicate,
+    kpi::KpiId kpi, std::int64_t change_bin,
+    const SelectionPolicy& policy) const {
+  const SelectionResult sel =
+      select_control_group(*topo_, study, predicate, policy);
+  return assess(study, sel.controls, kpi, change_bin);
+}
+
+FfaDecision Assessor::ffa_decision(std::span<const net::ElementId> study,
+                                   std::span<const net::ElementId> control,
+                                   std::span<const kpi::KpiId> kpis,
+                                   std::int64_t change_bin) const {
+  FfaDecision d;
+  d.go = true;
+  std::string why;
+  for (const auto k : kpis) {
+    ChangeAssessment a = assess(study, control, k, change_bin);
+    if (a.summary.verdict == Verdict::kDegradation) {
+      d.go = false;
+      why += std::string(kpi::to_string(k)) + ": voted degradation. ";
+    } else {
+      std::size_t degraded = 0;
+      for (const auto& e : a.per_element)
+        if (!e.outcome.degenerate &&
+            e.outcome.verdict == Verdict::kDegradation)
+          ++degraded;
+      if (degraded > 0) {
+        d.go = false;
+        why += std::string(kpi::to_string(k)) + ": " +
+               std::to_string(degraded) + " element(s) degraded. ";
+      }
+    }
+    d.per_kpi.push_back(std::move(a));
+  }
+  d.rationale = d.go ? "no degradation detected on any KPI at any study "
+                       "element; change is safe to roll out"
+                     : why + "hold the rollout and investigate";
+  return d;
+}
+
+}  // namespace litmus::core

@@ -1,0 +1,91 @@
+#include "litmus/batch.h"
+
+#include <sstream>
+
+namespace litmus::core {
+namespace {
+
+Verdict expected_verdict(chg::Expectation e) {
+  switch (e) {
+    case chg::Expectation::kImprovement: return Verdict::kImprovement;
+    case chg::Expectation::kDegradation: return Verdict::kDegradation;
+    case chg::Expectation::kNoImpact: return Verdict::kNoImpact;
+  }
+  return Verdict::kNoImpact;
+}
+
+}  // namespace
+
+BatchReport assess_change_log(const chg::ChangeLog& log,
+                              const net::Topology& topo,
+                              const SeriesProvider& provider,
+                              BatchConfig config) {
+  if (!config.predicate)
+    config.predicate = all_of({same_region(), same_technology()});
+
+  Assessor assessor(topo, provider, config.assessment);
+  const auto lookback =
+      static_cast<std::int64_t>(config.assessment.before_bins);
+  const auto lookahead =
+      static_cast<std::int64_t>(config.assessment.after_bins);
+
+  BatchReport report;
+  for (const auto& record : log.all()) {
+    BatchItem item;
+    item.record = record;
+    item.conflicts = log.conflicting_changes(
+        topo, record.element, record.bin - lookback, record.bin + lookahead,
+        record.id);
+    item.window_clean = item.conflicts.empty();
+
+    const std::vector<net::ElementId> study{record.element};
+    item.assessment = assessor.assess_with_selection(
+        study, config.predicate, record.target_kpi, record.bin,
+        config.selection);
+
+    item.met_expectation =
+        item.assessment.summary.verdict == expected_verdict(record.expectation);
+
+    switch (item.assessment.summary.verdict) {
+      case Verdict::kImprovement: ++report.improvements; break;
+      case Verdict::kDegradation: ++report.degradations; break;
+      case Verdict::kNoImpact: ++report.no_impacts; break;
+    }
+    if (!item.window_clean) ++report.dirty_windows;
+    if (!item.met_expectation) ++report.expectation_misses;
+    report.items.push_back(std::move(item));
+  }
+  return report;
+}
+
+std::string format_batch_report(const BatchReport& report,
+                                const net::Topology& topo) {
+  std::ostringstream os;
+  os << "=== change-log assessment: " << report.items.size()
+     << " change(s) ===\n";
+  os << "id   element                 type                verdict       "
+        "expectation-met  window\n";
+  for (const auto& item : report.items) {
+    std::string name = topo.get(item.record.element).name;
+    name.resize(23, ' ');
+    std::string type = chg::to_string(item.record.type);
+    type.resize(19, ' ');
+    std::string verdict = to_string(item.assessment.summary.verdict);
+    verdict.resize(13, ' ');
+    os << item.record.id << "    " << name << " " << type << " " << verdict
+       << " " << (item.met_expectation ? "yes" : "NO ") << "              "
+       << (item.window_clean
+               ? "clean"
+               : "dirty (" + std::to_string(item.conflicts.size()) +
+                     " conflict(s))")
+       << "\n";
+  }
+  os << "summary: " << report.improvements << " improvement(s), "
+     << report.degradations << " degradation(s), " << report.no_impacts
+     << " no-impact; " << report.expectation_misses
+     << " expectation miss(es); " << report.dirty_windows
+     << " dirty window(s)\n";
+  return os.str();
+}
+
+}  // namespace litmus::core

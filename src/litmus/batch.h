@@ -1,0 +1,52 @@
+// Batch assessment of an entire change log (the Mercury-style network-wide
+// sweep the paper cites as related work, here with Litmus's study/control
+// machinery): for every change record, check the window for conflicting
+// changes, select a control group, run the robust spatial regression on the
+// change's target KPI, and collect everything into one report the
+// operations review can walk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "changelog/changelog.h"
+#include "litmus/assessor.h"
+
+namespace litmus::core {
+
+struct BatchConfig {
+  AssessmentConfig assessment;
+  SelectionPolicy selection;
+  /// Default predicate: same region + same technology (overridable).
+  ControlPredicate predicate;
+};
+
+struct BatchItem {
+  chg::ChangeRecord record;
+  bool window_clean = false;  ///< no conflicting changes in scope
+  std::vector<chg::ChangeRecord> conflicts;
+  ChangeAssessment assessment;
+  /// True when the change's outcome matched the recorded expectation.
+  bool met_expectation = false;
+};
+
+struct BatchReport {
+  std::vector<BatchItem> items;
+  std::size_t improvements = 0;
+  std::size_t degradations = 0;
+  std::size_t no_impacts = 0;
+  std::size_t dirty_windows = 0;
+  std::size_t expectation_misses = 0;
+};
+
+/// Assesses every record in `log` against `topo` and `provider`.
+BatchReport assess_change_log(const chg::ChangeLog& log,
+                              const net::Topology& topo,
+                              const SeriesProvider& provider,
+                              BatchConfig config = {});
+
+/// Multi-line, one row per change.
+std::string format_batch_report(const BatchReport& report,
+                                const net::Topology& topo);
+
+}  // namespace litmus::core

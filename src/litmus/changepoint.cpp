@@ -1,0 +1,107 @@
+#include "litmus/changepoint.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tsmath/ranks.h"
+#include "tsmath/seasonal.h"
+#include "tsmath/stats.h"
+
+namespace litmus::core {
+
+ChangePoint locate_level_shift(const ts::TimeSeries& series,
+                               std::size_t min_segment, double min_score) {
+  ChangePoint cp;
+
+  // Observed values with their bins.
+  std::vector<double> values;
+  std::vector<std::int64_t> bins;
+  for (std::int64_t b = series.start_bin(); b < series.end_bin(); ++b) {
+    const double v = series.at_bin(b);
+    if (ts::is_missing(v)) continue;
+    values.push_back(v);
+    bins.push_back(b);
+  }
+  const std::size_t n = values.size();
+  if (n < 2 * min_segment) return cp;
+
+  // Rank CUSUM: S_k = sum_{t<=k} (r_t - mean_rank). For a level shift at k*
+  // the walk peaks at k*; the normalizer makes the peak scale-free.
+  const std::vector<double> ranks = ts::midranks(values);
+  const double mean_rank = (static_cast<double>(n) + 1.0) / 2.0;
+  double s = 0.0;
+  double best = 0.0;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    s += ranks[k] - mean_rank;
+    if (k + 1 < min_segment || n - (k + 1) < min_segment) continue;
+    if (std::fabs(s) > best) {
+      best = std::fabs(s);
+      best_k = k;
+    }
+  }
+  if (best == 0.0) return cp;
+
+  // Maximum possible |S| for n ranks is ~n^2/8 (half the ranks low then
+  // half high); normalize against it.
+  const double max_possible =
+      static_cast<double>(n) * static_cast<double>(n) / 8.0;
+  cp.score = std::min(1.0, best / max_possible);
+  if (cp.score < min_score) return cp;
+
+  cp.found = true;
+  cp.bin = bins[best_k + 1];
+  const std::span<const double> all(values);
+  cp.shift = ts::median(all.subspan(best_k + 1)) -
+             ts::median(all.subspan(0, best_k + 1));
+  return cp;
+}
+
+const char* to_string(ShiftShape s) noexcept {
+  switch (s) {
+    case ShiftShape::kLevel: return "level";
+    case ShiftShape::kRamp: return "ramp";
+  }
+  return "?";
+}
+
+ShiftShape classify_shift(const ts::TimeSeries& series,
+                          const ChangePoint& cp) {
+  if (!cp.found || ts::is_missing(cp.shift) || cp.shift == 0.0)
+    return ShiftShape::kLevel;
+  const ts::TimeSeries after = series.slice_bins(cp.bin, series.end_bin());
+  if (after.observed_count() < 8) return ShiftShape::kLevel;
+  const double slope = ts::theil_sen_slope(after.values());
+  if (ts::is_missing(slope)) return ShiftShape::kLevel;
+  // A step settles immediately: the post-onset drift over the remaining
+  // window is small next to the shift itself. A ramp keeps moving — its
+  // within-segment drift is comparable to (or exceeds) the median shift.
+  const double drift =
+      slope * static_cast<double>(after.size());
+  return std::fabs(drift) >= 0.75 * std::fabs(cp.shift) &&
+                 (drift > 0) == (cp.shift > 0)
+             ? ShiftShape::kRamp
+             : ShiftShape::kLevel;
+}
+
+ChangePoint locate_relative_change(
+    const RobustSpatialRegression::Forecast& fc, std::size_t min_segment,
+    double min_score) {
+  const auto& before = fc.forecast_diff_before;
+  const auto& after = fc.forecast_diff_after;
+  if (before.empty() && after.empty()) return {};
+
+  const std::int64_t start = before.empty() ? after.start_bin()
+                                            : before.start_bin();
+  const std::int64_t end = after.empty() ? before.end_bin() : after.end_bin();
+  ts::TimeSeries joined(start, static_cast<std::size_t>(end - start),
+                        before.empty() ? after.bin_minutes()
+                                       : before.bin_minutes());
+  for (std::int64_t b = before.start_bin(); b < before.end_bin(); ++b)
+    joined.set_bin(b, before.at_bin(b));
+  for (std::int64_t b = after.start_bin(); b < after.end_bin(); ++b)
+    joined.set_bin(b, after.at_bin(b));
+  return locate_level_shift(joined, min_segment, min_score);
+}
+
+}  // namespace litmus::core

@@ -1,0 +1,54 @@
+// Change-onset localization.
+//
+// Litmus's rank test says *whether* the forecast difference shifted; the
+// operations follow-up is *when* — did the shift line up with the change's
+// execution time, or with something else (a storm two days later)? This
+// rank-CUSUM locator finds the most likely level-shift point in a series
+// and is robust to outliers for the same reason the rank-order test is.
+#pragma once
+
+#include <cstdint>
+
+#include "litmus/spatial_regression.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::core {
+
+struct ChangePoint {
+  bool found = false;
+  /// First bin of the new regime (the shift happened just before this bin).
+  std::int64_t bin = 0;
+  /// Normalized rank-CUSUM statistic in [0, 1]; ~0 for a stable series,
+  /// approaching 1 for a clean mid-series level shift.
+  double score = 0.0;
+  /// Signed shift estimate: median(after bin) - median(before bin).
+  double shift = ts::kMissing;
+};
+
+/// Locates the strongest level shift in `series` (missing-aware). `found`
+/// is false when fewer than `min_segment` observations lie on either side
+/// of every candidate split or the score stays below `min_score`.
+ChangePoint locate_level_shift(const ts::TimeSeries& series,
+                               std::size_t min_segment = 6,
+                               double min_score = 0.25);
+
+/// Convenience: concatenates the forecast differences from a Litmus run and
+/// locates the onset of the relative change. Typically lands at (or just
+/// after) the change bin when the change itself caused the shift.
+ChangePoint locate_relative_change(
+    const RobustSpatialRegression::Forecast& forecast,
+    std::size_t min_segment = 6, double min_score = 0.25);
+
+/// The paper's two change signatures (Section 3.2): an abrupt level change
+/// vs a gradual ramp-up/down.
+enum class ShiftShape : std::uint8_t { kLevel, kRamp };
+
+const char* to_string(ShiftShape s) noexcept;
+
+/// Classifies the regime after a located change point: if the post-onset
+/// segment still carries a material robust (Theil-Sen) slope relative to
+/// the total shift, the transition is a ramp; otherwise a step. Requires a
+/// found ChangePoint; returns kLevel for degenerate inputs.
+ShiftShape classify_shift(const ts::TimeSeries& series, const ChangePoint& cp);
+
+}  // namespace litmus::core

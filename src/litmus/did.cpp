@@ -1,0 +1,110 @@
+#include "litmus/did.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsmath/normal.h"
+#include "tsmath/stats.h"
+
+namespace litmus::core {
+namespace {
+
+double central(const ts::TimeSeries& s, CentralMeasure h) {
+  return h == CentralMeasure::kMean ? ts::mean(s) : ts::median(s);
+}
+
+double central(std::span<const double> v, CentralMeasure h) {
+  return h == CentralMeasure::kMean ? ts::mean(v) : ts::median(v);
+}
+
+// Variance contribution of a window's central estimate, from a robust
+// per-bin scale (MAD). Mean and median of n observations both have standard
+// error ~ sigma/sqrt(n) up to a constant; the constant is absorbed into the
+// significance level. KPI series are autocorrelated, so the raw 1/n is
+// replaced with an AR(1)-style effective sample size n(1-r)/(1+r), r being
+// the lag-1 autocorrelation.
+double central_variance(const ts::TimeSeries& s) {
+  const double scale = ts::mad(s.values());
+  const std::size_t n = s.observed_count();
+  if (ts::is_missing(scale) || n == 0) return ts::kMissing;
+  double r1 = ts::autocorrelation(s.values(), 1);
+  if (ts::is_missing(r1)) r1 = 0.0;
+  r1 = std::clamp(r1, 0.0, 0.95);
+  const double n_eff =
+      std::max(2.0, static_cast<double>(n) * (1.0 - r1) / (1.0 + r1));
+  return scale * scale / n_eff;
+}
+
+}  // namespace
+
+std::vector<double> DiDAnalyzer::pairwise_did(
+    const ElementWindows& w) const {
+  const double study_delta =
+      central(w.study_after, params_.h) - central(w.study_before, params_.h);
+  std::vector<double> out;
+  out.reserve(w.control_before.size());
+  for (std::size_t i = 0; i < w.control_before.size(); ++i) {
+    const double ctrl_delta = central(w.control_after[i], params_.h) -
+                              central(w.control_before[i], params_.h);
+    if (ts::is_missing(study_delta) || ts::is_missing(ctrl_delta)) continue;
+    out.push_back(study_delta - ctrl_delta);
+  }
+  return out;
+}
+
+AnalysisOutcome DiDAnalyzer::assess(const ElementWindows& w,
+                                    kpi::KpiId kpi) const {
+  AnalysisOutcome out;
+  if (w.study_before.observed_count() < 4 ||
+      w.study_after.observed_count() < 4 || w.control_before.empty() ||
+      w.control_before.size() != w.control_after.size()) {
+    out.degenerate = true;
+    return out;
+  }
+
+  const std::vector<double> d = pairwise_did(w);
+  if (d.empty()) {
+    out.degenerate = true;
+    return out;
+  }
+  const double estimate = central(d, params_.aggregate);
+
+  // Noise floor of the estimate: study windows contribute fully (shared by
+  // every pair); the averaged control contribution shrinks with N.
+  const double var_study = central_variance(w.study_before);
+  const double var_study_a = central_variance(w.study_after);
+  double var_ctrl = 0.0;
+  std::size_t n_ctrl = 0;
+  for (std::size_t i = 0; i < w.control_before.size(); ++i) {
+    const double vb = central_variance(w.control_before[i]);
+    const double va = central_variance(w.control_after[i]);
+    if (ts::is_missing(vb) || ts::is_missing(va)) continue;
+    var_ctrl += vb + va;
+    ++n_ctrl;
+  }
+  if (ts::is_missing(var_study) || ts::is_missing(var_study_a) ||
+      n_ctrl == 0) {
+    out.degenerate = true;
+    return out;
+  }
+  const double n = static_cast<double>(n_ctrl);
+  const double var_total =
+      var_study + var_study_a + var_ctrl / (n * n);
+  if (var_total <= 0.0) {
+    out.degenerate = true;
+    return out;
+  }
+
+  out.statistic = estimate / std::sqrt(var_total);
+  out.p_value = ts::two_sided_p(out.statistic);
+  out.effect_kpi_units = estimate;
+  const double threshold =
+      params_.threshold_sigma * kpi::info(kpi).typical_noise;
+  if (std::fabs(estimate) >= threshold)
+    out.relative = estimate > 0 ? RelativeChange::kIncrease
+                                : RelativeChange::kDecrease;
+  out.verdict = verdict_from(out.relative, kpi::info(kpi).polarity);
+  return out;
+}
+
+}  // namespace litmus::core

@@ -1,0 +1,80 @@
+// Continuous post-change monitoring.
+//
+// The go / no-go decision is made once, but the paper's workflow keeps
+// watching: "It is common operational practice to confirm performance
+// impacts over multiple time-intervals before a decision is made"
+// (Section 5). The monitor re-runs the robust spatial regression on a
+// sliding after-window as new bins arrive and reports a state machine with
+// hysteresis — an alarm requires `confirm_windows` consecutive significant
+// reads, and clears the same way, so a single noisy window cannot flip the
+// operational state.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "litmus/assessor.h"
+
+namespace litmus::core {
+
+enum class MonitorState : std::uint8_t {
+  kWarmup,     ///< not enough post-change data yet
+  kQuiet,      ///< no confirmed relative change
+  kImproving,  ///< confirmed relative improvement
+  kDegrading,  ///< confirmed relative degradation
+};
+
+const char* to_string(MonitorState s) noexcept;
+
+struct MonitorConfig {
+  std::size_t before_bins = 14 * 24;  ///< fixed pre-change training window
+  std::size_t window_bins = 3 * 24;   ///< sliding after-window length
+  std::size_t step_bins = 24;         ///< advance granularity
+  std::size_t confirm_windows = 3;    ///< consecutive reads to switch state
+  SpatialRegressionParams regression;
+};
+
+struct MonitorReading {
+  std::int64_t up_to_bin = 0;  ///< data horizon of this reading
+  AnalysisOutcome outcome;     ///< the window's raw verdict
+  MonitorState state = MonitorState::kWarmup;  ///< confirmed state after it
+};
+
+class ChangeMonitor {
+ public:
+  /// Monitors `study` against `control` for `kpi`, for a change effective
+  /// at `change_bin`. The provider is polled lazily on advance().
+  ChangeMonitor(SeriesProvider provider, net::ElementId study,
+                std::vector<net::ElementId> control, kpi::KpiId kpi,
+                std::int64_t change_bin, MonitorConfig config = {});
+
+  /// Consumes data up to `now_bin` (exclusive) and returns the readings for
+  /// every complete window step reached since the last call (empty when
+  /// nothing new completed).
+  std::vector<MonitorReading> advance(std::int64_t now_bin);
+
+  MonitorState state() const noexcept { return state_; }
+  const std::vector<MonitorReading>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  MonitorReading evaluate_window(std::int64_t window_end);
+  void update_state(const AnalysisOutcome& outcome);
+
+  SeriesProvider provider_;
+  net::ElementId study_;
+  std::vector<net::ElementId> control_;
+  kpi::KpiId kpi_;
+  std::int64_t change_bin_;
+  MonitorConfig config_;
+  RobustSpatialRegression algorithm_;
+
+  std::int64_t next_window_end_;
+  MonitorState state_ = MonitorState::kWarmup;
+  Verdict pending_ = Verdict::kNoImpact;
+  std::size_t pending_count_ = 0;
+  std::vector<MonitorReading> history_;
+};
+
+}  // namespace litmus::core

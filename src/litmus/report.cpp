@@ -1,0 +1,79 @@
+#include "litmus/report.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace litmus::core {
+namespace {
+
+std::string fmt_p(double p) {
+  if (std::isnan(p)) return "n/a";
+  if (p < 0.001) return "<0.001";
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << p;
+  return os.str();
+}
+
+std::string fmt_effect(double e) {
+  if (std::isnan(e)) return "n/a";
+  std::ostringstream os;
+  os.precision(5);
+  os << std::showpos << std::fixed << e;
+  return os.str();
+}
+
+}  // namespace
+
+std::string one_line_summary(const ChangeAssessment& a) {
+  std::ostringstream os;
+  const auto& s = a.summary;
+  std::size_t votes = s.improvements + s.degradations + s.no_impacts;
+  std::size_t winning = 0;
+  switch (s.verdict) {
+    case Verdict::kImprovement: winning = s.improvements; break;
+    case Verdict::kDegradation: winning = s.degradations; break;
+    case Verdict::kNoImpact: winning = s.no_impacts; break;
+  }
+  os << kpi::to_string(a.kpi) << ": " << to_string(s.verdict) << " ("
+     << winning << "/" << votes << " elements";
+  if (s.degenerates > 0) os << ", " << s.degenerates << " abstained";
+  os << ")";
+  return os.str();
+}
+
+std::string format_assessment(const ChangeAssessment& a,
+                              const net::Topology& topo) {
+  std::ostringstream os;
+  os << "=== Litmus assessment: " << kpi::to_string(a.kpi) << " ===\n";
+  os << "change bin: " << a.change_bin << "; study group: "
+     << a.study_group.size() << " element(s); control group: "
+     << a.control_group.size() << " element(s)\n";
+  os << "---------------------------------------------------------------\n";
+  os << "element                        verdict       p-value  effect\n";
+  for (const auto& e : a.per_element) {
+    const auto& el = topo.get(e.element);
+    std::string name = el.name;
+    name.resize(30, ' ');
+    std::string verdict =
+        e.outcome.degenerate ? "(no data)" : to_string(e.outcome.verdict);
+    verdict.resize(13, ' ');
+    os << name << " " << verdict << " " << fmt_p(e.outcome.p_value) << "   "
+       << fmt_effect(e.outcome.effect_kpi_units) << "\n";
+  }
+  os << "---------------------------------------------------------------\n";
+  os << "vote: " << one_line_summary(a) << "\n";
+  return os.str();
+}
+
+std::string format_ffa_decision(const FfaDecision& d,
+                                const net::Topology& topo) {
+  std::ostringstream os;
+  os << "########## FFA go / no-go ##########\n";
+  for (const auto& a : d.per_kpi) os << format_assessment(a, topo) << "\n";
+  os << "DECISION: " << (d.go ? "GO" : "NO-GO") << " — " << d.rationale
+     << "\n";
+  return os.str();
+}
+
+}  // namespace litmus::core

@@ -1,0 +1,23 @@
+// Human-readable assessment reports, in the spirit of the summaries the
+// Engineering and Operations teams consume before a go / no-go call.
+#pragma once
+
+#include <string>
+
+#include "litmus/assessor.h"
+
+namespace litmus::core {
+
+/// Multi-line report for one KPI assessment: per-element verdicts with
+/// p-values/effects, the vote, and control-group metadata.
+std::string format_assessment(const ChangeAssessment& assessment,
+                              const net::Topology& topo);
+
+/// Multi-line report for an FFA decision across KPIs.
+std::string format_ffa_decision(const FfaDecision& decision,
+                                const net::Topology& topo);
+
+/// One-line verdict summary ("improvement (7/9 elements, p<0.01)").
+std::string one_line_summary(const ChangeAssessment& assessment);
+
+}  // namespace litmus::core

@@ -1,0 +1,97 @@
+#include "litmus/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "simkit/clock.h"
+#include "simkit/seasonality.h"
+
+namespace litmus::core {
+
+ChangeScheduler::ChangeScheduler(net::Region region,
+                                 std::vector<sim::HolidayWindow> holidays,
+                                 const net::Topology* topo,
+                                 const chg::ChangeLog* planned,
+                                 SchedulerConfig config)
+    : region_(region),
+      holidays_(std::move(holidays)),
+      topo_(topo),
+      planned_(planned),
+      config_(config) {}
+
+WindowScore ChangeScheduler::score(net::ElementId study,
+                                   std::int64_t change_bin) const {
+  WindowScore s;
+  s.change_bin = change_bin;
+  const std::int64_t from =
+      change_bin - static_cast<std::int64_t>(config_.before_bins);
+  const std::int64_t to =
+      change_bin + static_cast<std::int64_t>(config_.after_bins);
+
+  // Foliage drift: canopy change between window start and end. Max over
+  // intermediate days catches windows straddling a ramp peak.
+  if (net::has_foliage_seasonality(region_)) {
+    double lo = 1.0, hi = 0.0;
+    for (std::int64_t b = from; b < to; b += sim::kHoursPerDay) {
+      const double leaf =
+          sim::FoliageFactor::leaf_fraction(sim::day_of_year(b));
+      lo = std::min(lo, leaf);
+      hi = std::max(hi, leaf);
+    }
+    s.foliage_drift_sigma = config_.foliage_peak_sigma * (hi - lo);
+  }
+
+  // Holiday overlap fraction.
+  std::int64_t overlap = 0;
+  for (const auto& h : holidays_) {
+    if (h.region && *h.region != region_) continue;
+    overlap += std::max<std::int64_t>(
+        0, std::min(to, h.end_bin) - std::max(from, h.start_bin));
+  }
+  s.holiday_overlap =
+      static_cast<double>(overlap) / static_cast<double>(to - from);
+
+  // Conflicting planned changes inside the study's impact scope.
+  if (planned_ != nullptr && topo_ != nullptr &&
+      study != net::kInvalidElement) {
+    s.conflicting_changes =
+        planned_->conflicting_changes(*topo_, study, from, to, 0).size();
+  }
+
+  s.penalty = config_.foliage_weight * s.foliage_drift_sigma +
+              config_.holiday_weight * s.holiday_overlap +
+              config_.conflict_weight *
+                  static_cast<double>(s.conflicting_changes);
+
+  std::ostringstream why;
+  why.precision(2);
+  why << std::fixed << "day " << sim::day_of(change_bin) << " (doy "
+      << sim::day_of_year(change_bin) << "): foliage drift "
+      << s.foliage_drift_sigma << " sigma";
+  if (s.holiday_overlap > 0)
+    why << ", " << 100.0 * s.holiday_overlap << "% holiday overlap";
+  if (s.conflicting_changes > 0)
+    why << ", " << s.conflicting_changes << " conflicting change(s)";
+  if (s.penalty < 0.15) why << " — clean window";
+  s.rationale = why.str();
+  return s;
+}
+
+std::vector<WindowScore> ChangeScheduler::recommend(net::ElementId study,
+                                                    std::int64_t from,
+                                                    std::int64_t to,
+                                                    std::size_t top_n,
+                                                    std::int64_t step) const {
+  std::vector<WindowScore> scores;
+  for (std::int64_t bin = from; bin < to; bin += step)
+    scores.push_back(score(study, bin));
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const WindowScore& a, const WindowScore& b) {
+                     return a.penalty < b.penalty;
+                   });
+  if (scores.size() > top_n) scores.resize(top_n);
+  return scores;
+}
+
+}  // namespace litmus::core

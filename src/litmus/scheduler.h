@@ -1,0 +1,75 @@
+// Change-execution planning (paper Section 2.4, future challenge): "design
+// a change execution plan (under complex and massive operational
+// constraints as well as foreseeable external factors such as weather,
+// social events) for more effective impact assessment."
+//
+// The scheduler scores candidate change times by how much *foreseeable*
+// confounding the before/after assessment windows would absorb:
+//   * foliage drift — how far the leaf canopy moves across the windows
+//     (April and September are the worst times to assess in the Northeast);
+//   * holiday overlap — the fraction of the window inside known
+//     region-wide traffic shifts;
+//   * conflicting changes — planned work inside the study group's impact
+//     scope during the window (ChangeLog).
+// Unforeseeable factors (storms) are Litmus's job; foreseeable ones are
+// cheaper to schedule around than to regress away.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "changelog/changelog.h"
+#include "litmus/assessor.h"
+#include "simkit/traffic.h"
+
+namespace litmus::core {
+
+struct SchedulerConfig {
+  /// Assessment window the plan is optimized for.
+  std::size_t before_bins = 14 * 24;
+  std::size_t after_bins = 14 * 24;
+  /// Regional worst-case foliage impact (sigma) used to scale drift.
+  double foliage_peak_sigma = 2.0;
+  /// Penalty weights.
+  double foliage_weight = 1.0;
+  double holiday_weight = 1.5;
+  double conflict_weight = 2.0;
+};
+
+struct WindowScore {
+  std::int64_t change_bin = 0;
+  double foliage_drift_sigma = 0.0;  ///< |canopy change| across the window
+  double holiday_overlap = 0.0;      ///< fraction of window inside holidays
+  std::size_t conflicting_changes = 0;
+  double penalty = 0.0;              ///< weighted total; lower is better
+  std::string rationale;
+};
+
+class ChangeScheduler {
+ public:
+  /// `planned` and `topo` may be null when no change-conflict data exists.
+  ChangeScheduler(net::Region region,
+                  std::vector<sim::HolidayWindow> holidays,
+                  const net::Topology* topo = nullptr,
+                  const chg::ChangeLog* planned = nullptr,
+                  SchedulerConfig config = {});
+
+  /// Scores one candidate change time for a change at `study` (study may be
+  /// kInvalidElement when no conflict checking is wanted).
+  WindowScore score(net::ElementId study, std::int64_t change_bin) const;
+
+  /// Evaluates candidates in [from, to) every `step_bins` and returns the
+  /// `top_n` lowest-penalty windows, best first.
+  std::vector<WindowScore> recommend(net::ElementId study, std::int64_t from,
+                                     std::int64_t to, std::size_t top_n,
+                                     std::int64_t step_bins = 24) const;
+
+ private:
+  net::Region region_;
+  std::vector<sim::HolidayWindow> holidays_;
+  const net::Topology* topo_;
+  const chg::ChangeLog* planned_;
+  SchedulerConfig config_;
+};
+
+}  // namespace litmus::core

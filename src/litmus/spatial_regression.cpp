@@ -1,0 +1,159 @@
+#include "litmus/spatial_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsmath/linreg.h"
+#include "tsmath/matrix.h"
+#include "tsmath/random.h"
+#include "tsmath/rank_tests.h"
+#include "tsmath/stats.h"
+
+namespace litmus::core {
+namespace {
+
+// Packs aligned control windows into a design matrix over the study
+// window's absolute bin range. Bins a control lacks become NaN rows (the
+// OLS drops them; forecasts there are missing).
+ts::Matrix design_matrix(const ts::TimeSeries& study,
+                         std::span<const ts::TimeSeries> controls) {
+  ts::Matrix x(study.size(), controls.size());
+  for (std::size_t c = 0; c < controls.size(); ++c) {
+    for (std::size_t r = 0; r < study.size(); ++r) {
+      const std::int64_t bin =
+          study.start_bin() + static_cast<std::int64_t>(r);
+      x(r, c) = controls[c].at_bin(bin);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+bool RobustSpatialRegression::forecast(const ElementWindows& w,
+                                       Forecast& out) const {
+  const std::size_t n_controls = w.control_before.size();
+  if (n_controls == 0 || w.control_after.size() != n_controls) return false;
+  if (w.study_before.observed_count() < 8 ||
+      w.study_after.observed_count() < 4)
+    return false;
+
+  const ts::Matrix x_before = design_matrix(w.study_before, w.control_before);
+  const ts::Matrix x_after = design_matrix(w.study_after, w.control_after);
+
+  // k > N/2 (paper), bounded by the regression's degrees of freedom.
+  const std::size_t majority = n_controls / 2 + 1;
+  std::size_t k = std::max(
+      majority, static_cast<std::size_t>(std::floor(
+                    params_.sample_fraction * static_cast<double>(n_controls))));
+  k = std::min(k, n_controls);
+  const std::size_t max_regressors =
+      w.study_before.observed_count() > 6
+          ? w.study_before.observed_count() - 5
+          : 0;
+  k = std::min(k, max_regressors);
+  if (k == 0) return false;
+
+  // Per-bin forecast collections across iterations.
+  std::vector<std::vector<double>> fc_before(w.study_before.size());
+  std::vector<std::vector<double>> fc_after(w.study_after.size());
+  std::vector<double> r2s;
+
+  ts::Rng rng(params_.seed);
+  std::size_t successes = 0;
+  for (std::size_t it = 0; it < params_.n_iterations; ++it) {
+    const std::vector<std::size_t> cols =
+        ts::sample_without_replacement(rng, n_controls, k);
+    const ts::Matrix xb = x_before.select_columns(cols);
+    const ts::LinearModel model =
+        ts::fit_ols(xb, w.study_before.values(), params_.with_intercept);
+    if (!model.ok) continue;
+    ++successes;
+    r2s.push_back(model.r_squared);
+
+    const std::vector<double> pred_b = model.predict(xb);
+    const ts::Matrix xa = x_after.select_columns(cols);
+    const std::vector<double> pred_a = model.predict(xa);
+    for (std::size_t r = 0; r < pred_b.size(); ++r)
+      if (!ts::is_missing(pred_b[r])) fc_before[r].push_back(pred_b[r]);
+    for (std::size_t r = 0; r < pred_a.size(); ++r)
+      if (!ts::is_missing(pred_a[r])) fc_after[r].push_back(pred_a[r]);
+  }
+  if (successes == 0) return false;
+
+  out.effective_k = k;
+  out.successful_iterations = successes;
+  out.median_r_squared = ts::median(r2s);
+
+  const bool use_median =
+      params_.aggregation == ForecastAggregation::kMedian;
+  auto aggregate = [use_median](const std::vector<double>& v) {
+    return use_median ? ts::median(v) : ts::mean(v);
+  };
+
+  out.median_forecast_before =
+      ts::TimeSeries(w.study_before.start_bin(), w.study_before.size(),
+                     w.study_before.bin_minutes());
+  for (std::size_t r = 0; r < fc_before.size(); ++r)
+    if (!fc_before[r].empty())
+      out.median_forecast_before[r] = aggregate(fc_before[r]);
+
+  out.median_forecast_after =
+      ts::TimeSeries(w.study_after.start_bin(), w.study_after.size(),
+                     w.study_after.bin_minutes());
+  for (std::size_t r = 0; r < fc_after.size(); ++r)
+    if (!fc_after[r].empty())
+      out.median_forecast_after[r] = aggregate(fc_after[r]);
+
+  out.forecast_diff_before =
+      w.study_before.minus(out.median_forecast_before);
+  out.forecast_diff_after = w.study_after.minus(out.median_forecast_after);
+  return true;
+}
+
+AnalysisOutcome RobustSpatialRegression::assess(const ElementWindows& w,
+                                                kpi::KpiId kpi) const {
+  AnalysisOutcome out;
+  Forecast fc;
+  if (!forecast(w, fc)) {
+    out.degenerate = true;
+    return out;
+  }
+  if (fc.forecast_diff_before.observed_count() < 4 ||
+      fc.forecast_diff_after.observed_count() < 4) {
+    out.degenerate = true;
+    return out;
+  }
+
+  const ts::TestResult t =
+      params_.test == ComparisonTest::kRobustRankOrder
+          ? ts::robust_rank_order(fc.forecast_diff_after.values(),
+                                  fc.forecast_diff_before.values(),
+                                  params_.alpha)
+          : ts::wilcoxon_mann_whitney(fc.forecast_diff_after.values(),
+                                      fc.forecast_diff_before.values(),
+                                      params_.alpha);
+  out.p_value = t.p_value;
+  out.statistic = t.statistic;
+  out.fit_r_squared = fc.median_r_squared;
+  out.effect_kpi_units =
+      ts::median(fc.forecast_diff_after) - ts::median(fc.forecast_diff_before);
+  const double floor_kpi =
+      params_.min_effect_sigma * kpi::info(kpi).typical_noise;
+  const bool material = std::fabs(out.effect_kpi_units) >= floor_kpi;
+  switch (t.shift) {
+    case ts::Shift::kNone: out.relative = RelativeChange::kNoChange; break;
+    case ts::Shift::kIncrease:
+      out.relative =
+          material ? RelativeChange::kIncrease : RelativeChange::kNoChange;
+      break;
+    case ts::Shift::kDecrease:
+      out.relative =
+          material ? RelativeChange::kDecrease : RelativeChange::kNoChange;
+      break;
+  }
+  out.verdict = verdict_from(out.relative, kpi::info(kpi).polarity);
+  return out;
+}
+
+}  // namespace litmus::core

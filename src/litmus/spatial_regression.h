@@ -1,0 +1,87 @@
+// The Litmus robust spatial regression algorithm (paper Section 3.2).
+//
+// 1. Uniformly sample (without replacement) k of the N control elements,
+//    k > N/2, the same subset before and after the change.
+// 2. Learn beta from the before window: Y_b = beta X_b^s   (equation 2).
+// 3. Forecast the study series from the controls before and after:
+//    Y'_b = beta X_b^s, Y'_a = beta X_a^s                  (equation 3).
+// 4. Repeat for `n_iterations` samples and aggregate the forecasts by the
+//    per-bin *median* across iterations — a small number of contaminated
+//    control elements appears in only some samples and is voted out.
+// 5. Form forecast differences (equations 4, 5):
+//      fd_a = Y_a - median(Y'_a),   fd_b = Y_b - median(Y'_b)
+//    and compare them with the robust rank-order test. A significant shift
+//    of fd_a against fd_b is a relative change of the study group against
+//    the control group; its sign plus KPI polarity yields the verdict.
+//
+// Deliberately *unregularized* regression (no ridge/lasso): see linreg.h.
+#pragma once
+
+#include <cstdint>
+
+#include "litmus/analysis.h"
+
+namespace litmus::core {
+
+/// Ablation knobs (bench_ablation sweeps these; production uses defaults).
+enum class ForecastAggregation : std::uint8_t {
+  kMedian,  ///< the paper's choice: robust to contaminated iterations
+  kMean,    ///< ablation: shows why median matters under contamination
+};
+
+enum class ComparisonTest : std::uint8_t {
+  kRobustRankOrder,  ///< the paper's choice (Fligner-Policello)
+  kWilcoxon,         ///< ablation: classical WMW
+};
+
+struct SpatialRegressionParams {
+  std::size_t n_iterations = 25;   ///< sampling iterations
+  /// Sampled fraction of the control group; the paper requires k > N/2.
+  /// The effective k is max(floor(N * sample_fraction), floor(N/2) + 1),
+  /// clamped to N and to the regression's degrees-of-freedom budget.
+  double sample_fraction = 0.7;
+  bool with_intercept = true;
+  double alpha = 0.05;             ///< rank-test significance level
+  /// Practical-significance floor: a statistically significant shift of the
+  /// forecast difference is only reported as an impact when its magnitude
+  /// exceeds this multiple of the KPI's per-bin noise scale (operationally,
+  /// "significant performance impacts" — microscopic shifts do not gate a
+  /// rollout).
+  double min_effect_sigma = 0.25;
+  std::uint64_t seed = 7;          ///< sampling seed (deterministic runs)
+  ForecastAggregation aggregation = ForecastAggregation::kMedian;
+  ComparisonTest test = ComparisonTest::kRobustRankOrder;
+};
+
+class RobustSpatialRegression final : public ChangeAnalyzer {
+ public:
+  explicit RobustSpatialRegression(SpatialRegressionParams params = {})
+      : params_(params) {}
+
+  AnalysisOutcome assess(const ElementWindows& windows,
+                         kpi::KpiId kpi) const override;
+  std::string_view name() const noexcept override {
+    return "litmus_spatial_regression";
+  }
+
+  /// Intermediate artifacts, exposed for the case-study benches (Figs 8-11
+  /// plot forecast vs observed) and for tests.
+  struct Forecast {
+    ts::TimeSeries median_forecast_before;
+    ts::TimeSeries median_forecast_after;
+    ts::TimeSeries forecast_diff_before;
+    ts::TimeSeries forecast_diff_after;
+    double median_r_squared = ts::kMissing;
+    std::size_t effective_k = 0;
+    std::size_t successful_iterations = 0;
+  };
+
+  /// Runs steps 1-5 and returns the artifacts; ok == false on degenerate
+  /// inputs (no usable controls or too little data).
+  bool forecast(const ElementWindows& windows, Forecast& out) const;
+
+ private:
+  SpatialRegressionParams params_;
+};
+
+}  // namespace litmus::core

@@ -1,0 +1,42 @@
+#include "litmus/study_only.h"
+
+#include <cmath>
+
+#include "tsmath/rank_tests.h"
+#include "tsmath/stats.h"
+
+namespace litmus::core {
+
+AnalysisOutcome StudyOnlyAnalyzer::assess(const ElementWindows& windows,
+                                          kpi::KpiId kpi) const {
+  AnalysisOutcome out;
+  const auto& before = windows.study_before;
+  const auto& after = windows.study_after;
+  if (before.observed_count() < 4 || after.observed_count() < 4) {
+    out.degenerate = true;
+    return out;
+  }
+  const ts::TestResult t =
+      ts::robust_rank_order(after.values(), before.values(), params_.alpha);
+  out.p_value = t.p_value;
+  out.statistic = t.statistic;
+  out.effect_kpi_units = ts::median(after) - ts::median(before);
+  const double floor_kpi =
+      params_.min_effect_sigma * kpi::info(kpi).typical_noise;
+  const bool material = std::fabs(out.effect_kpi_units) >= floor_kpi;
+  switch (t.shift) {
+    case ts::Shift::kNone: out.relative = RelativeChange::kNoChange; break;
+    case ts::Shift::kIncrease:
+      out.relative =
+          material ? RelativeChange::kIncrease : RelativeChange::kNoChange;
+      break;
+    case ts::Shift::kDecrease:
+      out.relative =
+          material ? RelativeChange::kDecrease : RelativeChange::kNoChange;
+      break;
+  }
+  out.verdict = verdict_from(out.relative, kpi::info(kpi).polarity);
+  return out;
+}
+
+}  // namespace litmus::core

@@ -1,0 +1,90 @@
+#include "litmus/unsupervised.h"
+
+#include <cmath>
+
+#include "tsmath/pca.h"
+#include "tsmath/stats.h"
+
+namespace litmus::core {
+namespace {
+
+// Packs study (column 0) + controls into a row-per-bin matrix over the
+// given window.
+ts::Matrix pack(const ts::TimeSeries& study,
+                std::span<const ts::TimeSeries> controls) {
+  ts::Matrix m(study.size(), 1 + controls.size());
+  m.set_column(0, study.values());
+  for (std::size_t c = 0; c < controls.size(); ++c) {
+    for (std::size_t r = 0; r < study.size(); ++r) {
+      const std::int64_t bin = study.start_bin() + static_cast<std::int64_t>(r);
+      m(r, 1 + c) = controls[c].at_bin(bin);
+    }
+  }
+  return m;
+}
+
+// Mean squared residual of column `coord` (the study element) across the
+// rows of `m` under `model`; missing when no complete rows exist. Network-
+// wide subspace detectors attribute an anomaly to the element whose
+// residual coordinate carries the energy, so the per-element score is the
+// squared residual in that coordinate.
+double mean_residual_energy(const ts::Matrix& m, const ts::PcaModel& model,
+                            std::size_t coord) {
+  double sum = 0;
+  std::size_t n = 0;
+  std::vector<double> row(m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] = m(r, c);
+    const std::vector<double> res = model.residual(row);
+    if (ts::is_missing(res[coord])) continue;
+    sum += res[coord] * res[coord];
+    ++n;
+  }
+  return n == 0 ? ts::kMissing : sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+AnalysisOutcome PcaBaselineAnalyzer::assess(const ElementWindows& w,
+                                            kpi::KpiId kpi) const {
+  AnalysisOutcome out;
+  if (w.control_before.empty() ||
+      w.control_before.size() != w.control_after.size() ||
+      w.study_before.observed_count() < 8 ||
+      w.study_after.observed_count() < 8) {
+    out.degenerate = true;
+    return out;
+  }
+
+  const ts::Matrix before = pack(w.study_before, w.control_before);
+  const ts::Matrix after = pack(w.study_after, w.control_after);
+  const ts::PcaModel model = ts::fit_pca(before, params_.n_components);
+  if (!model.ok) {
+    out.degenerate = true;
+    return out;
+  }
+
+  const double energy_before = mean_residual_energy(before, model, 0);
+  const double energy_after = mean_residual_energy(after, model, 0);
+  if (ts::is_missing(energy_before) || ts::is_missing(energy_after) ||
+      energy_before <= 0.0) {
+    out.degenerate = true;
+    return out;
+  }
+
+  const double ratio = energy_after / energy_before;
+  out.statistic = ratio;
+  out.p_value = ts::kMissing;  // the detector is threshold-based
+  // Absolute study shift — the only direction proxy the detector has.
+  out.effect_kpi_units =
+      ts::median(w.study_after) - ts::median(w.study_before);
+
+  if (ratio >= params_.energy_ratio_threshold) {
+    out.relative = out.effect_kpi_units >= 0 ? RelativeChange::kIncrease
+                                             : RelativeChange::kDecrease;
+  }
+  out.verdict = verdict_from(out.relative, kpi::info(kpi).polarity);
+  return out;
+}
+
+}  // namespace litmus::core

@@ -1,0 +1,48 @@
+#include "litmus/voting.h"
+
+namespace litmus::core {
+
+VoteSummary vote(std::span<const AnalysisOutcome> outcomes) {
+  VoteSummary s;
+  for (const auto& o : outcomes) {
+    if (o.degenerate) {
+      ++s.degenerates;
+      continue;
+    }
+    switch (o.verdict) {
+      case Verdict::kImprovement: ++s.improvements; break;
+      case Verdict::kDegradation: ++s.degradations; break;
+      case Verdict::kNoImpact: ++s.no_impacts; break;
+    }
+  }
+  const std::size_t votes = s.improvements + s.degradations + s.no_impacts;
+  if (votes == 0) return s;
+
+  std::size_t best = s.no_impacts;
+  s.verdict = Verdict::kNoImpact;
+  if (s.improvements >= best &&
+      s.improvements > 0) {  // impact wins no-impact ties
+    best = s.improvements;
+    s.verdict = Verdict::kImprovement;
+  }
+  if (s.degradations >= best && s.degradations > 0) {
+    if (s.verdict == Verdict::kImprovement && s.degradations == best) {
+      // Improvement/degradation tie: contradictory evidence.
+      s.verdict = Verdict::kNoImpact;
+      best = s.no_impacts;
+    } else {
+      best = s.degradations;
+      s.verdict = Verdict::kDegradation;
+    }
+  }
+  std::size_t winning = 0;
+  switch (s.verdict) {
+    case Verdict::kImprovement: winning = s.improvements; break;
+    case Verdict::kDegradation: winning = s.degradations; break;
+    case Verdict::kNoImpact: winning = s.no_impacts; break;
+  }
+  s.confidence = static_cast<double>(winning) / static_cast<double>(votes);
+  return s;
+}
+
+}  // namespace litmus::core

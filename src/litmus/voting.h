@@ -1,0 +1,28 @@
+// Voting across study-group elements (paper Section 3.2: "We also use
+// voting to summarize across multiple elements in the study group").
+#pragma once
+
+#include <span>
+
+#include "litmus/analysis.h"
+
+namespace litmus::core {
+
+struct VoteSummary {
+  Verdict verdict = Verdict::kNoImpact;
+  std::size_t improvements = 0;
+  std::size_t degradations = 0;
+  std::size_t no_impacts = 0;
+  std::size_t degenerates = 0;  ///< excluded from the vote
+  /// Fraction of votes won by the winning verdict (0 when nothing voted).
+  double confidence = 0.0;
+};
+
+/// Plurality vote over per-element verdicts. Degenerate outcomes abstain.
+/// Ties between Improvement and Degradation resolve to NoImpact — a split
+/// study group is not evidence for either direction; ties between an impact
+/// verdict and NoImpact resolve to the impact verdict (a real impact rarely
+/// reaches significance at every element).
+VoteSummary vote(std::span<const AnalysisOutcome> outcomes);
+
+}  // namespace litmus::core

@@ -1,0 +1,44 @@
+#include "simkit/clock.h"
+
+namespace litmus::sim {
+namespace {
+
+// Floor division/modulo for negative bins.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+std::int64_t floor_mod(std::int64_t a, std::int64_t b) noexcept {
+  return a - floor_div(a, b) * b;
+}
+
+}  // namespace
+
+std::int64_t day_of(std::int64_t hour_bin) noexcept {
+  return floor_div(hour_bin, kHoursPerDay);
+}
+
+int hour_of_day(std::int64_t hour_bin) noexcept {
+  return static_cast<int>(floor_mod(hour_bin, kHoursPerDay));
+}
+
+int day_of_week(std::int64_t hour_bin) noexcept {
+  return static_cast<int>(floor_mod(day_of(hour_bin), kDaysPerWeek));
+}
+
+bool is_weekend(std::int64_t hour_bin) noexcept {
+  const int dow = day_of_week(hour_bin);
+  return dow >= 5;  // Saturday(5), Sunday(6); epoch is a Monday
+}
+
+int day_of_year(std::int64_t hour_bin) noexcept {
+  return static_cast<int>(floor_mod(day_of(hour_bin), kDaysPerYear));
+}
+
+std::int64_t bin_at(std::int64_t year, int doy, int hour) noexcept {
+  return (year * kDaysPerYear + doy) * kHoursPerDay + hour;
+}
+
+}  // namespace litmus::sim

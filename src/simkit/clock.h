@@ -1,0 +1,43 @@
+// Simulation calendar.
+//
+// Bins are hours since the simulation epoch, which is defined to be
+// 00:00 on Monday, January 1 of simulation year 0 (years are 365 days; no
+// leap handling — the factors only need day-of-year phase). Daily series
+// use bin_minutes = 1440 and day indices.
+#pragma once
+
+#include <cstdint>
+
+namespace litmus::sim {
+
+inline constexpr int kHoursPerDay = 24;
+inline constexpr int kDaysPerWeek = 7;
+inline constexpr int kDaysPerYear = 365;
+inline constexpr int kHoursPerWeek = kHoursPerDay * kDaysPerWeek;
+inline constexpr int kHoursPerYear = kHoursPerDay * kDaysPerYear;
+
+/// Day index (can be negative) of an hourly bin.
+std::int64_t day_of(std::int64_t hour_bin) noexcept;
+
+/// Hour of day in [0, 24).
+int hour_of_day(std::int64_t hour_bin) noexcept;
+
+/// Day of week in [0, 7), 0 = Monday.
+int day_of_week(std::int64_t hour_bin) noexcept;
+
+bool is_weekend(std::int64_t hour_bin) noexcept;
+
+/// Day of year in [0, 365).
+int day_of_year(std::int64_t hour_bin) noexcept;
+
+/// Hourly bin at 00:00 of the given (year, day-of-year).
+std::int64_t bin_at(std::int64_t year, int day_of_year, int hour = 0) noexcept;
+
+/// Calendar helpers for US-style holiday windows used by the traffic
+/// factors. Day-of-year constants (0-based, non-leap).
+inline constexpr int kNewYearDoy = 0;
+inline constexpr int kIndependenceDoy = 184;   // Jul 4
+inline constexpr int kThanksgivingDoy = 329;   // ~Nov 26
+inline constexpr int kChristmasDoy = 358;      // Dec 25
+
+}  // namespace litmus::sim

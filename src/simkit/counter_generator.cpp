@@ -1,0 +1,62 @@
+#include "simkit/counter_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsmath/random.h"
+
+namespace litmus::sim {
+
+CounterGenerator::CounterGenerator(const KpiGenerator& base,
+                                   CounterModel model)
+    : base_(&base), model_(model) {}
+
+kpi::SessionRates CounterGenerator::rates_for(double quality,
+                                              double load) const {
+  auto scale_p = [&](double p0) {
+    return std::clamp(p0 * std::exp(-model_.quality_sensitivity * quality),
+                      0.0, model_.max_failure_probability);
+  };
+  kpi::SessionRates r = model_.baseline;
+  r.voice_attempts_per_bin *= load;
+  r.data_attempts_per_bin *= load;
+  r.voice_block_prob = scale_p(model_.baseline.voice_block_prob);
+  r.voice_drop_prob = scale_p(model_.baseline.voice_drop_prob);
+  r.data_block_prob = scale_p(model_.baseline.data_block_prob);
+  r.data_drop_prob = scale_p(model_.baseline.data_drop_prob);
+  r.mean_megabits_per_data_session =
+      model_.baseline.mean_megabits_per_data_session *
+      std::max(0.2, 1.0 + 0.08 * quality);
+  return r;
+}
+
+kpi::CounterSeries CounterGenerator::counters(net::ElementId element,
+                                              std::int64_t start,
+                                              std::size_t n) const {
+  const ts::TimeSeries latent = base_->latent_series(element, start, n);
+  const ts::TimeSeries load = base_->load_series(element, start, n);
+  ts::Rng rng(base_->config().seed ^ 0xC0DA ^
+              (element.value * 0x9E3779B97F4A7C15ULL) ^
+              (static_cast<std::uint64_t>(start + (1LL << 40)) *
+               0xD1B54A32D192ED03ULL));
+
+  kpi::CounterSeries out(start, n, 60);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ts::is_missing(latent[i])) continue;  // element dark: zero counters
+    const std::int64_t bin = start + static_cast<std::int64_t>(i);
+    const kpi::SessionRates rates = rates_for(latent[i], load[i]);
+    for (const auto& rec :
+         kpi::synthesize_bin_records(rng, element, bin, rates))
+      kpi::accumulate(out.at_bin(bin), rec);
+  }
+  return out;
+}
+
+ts::TimeSeries CounterGenerator::kpi_series(net::ElementId element,
+                                            kpi::KpiId kpi,
+                                            std::int64_t start,
+                                            std::size_t n) const {
+  return counters(element, start, n).kpi_series(kpi);
+}
+
+}  // namespace litmus::sim

@@ -1,0 +1,50 @@
+// Counter-level telemetry: the carrier pipeline derives KPIs from
+// performance counters, not the other way round (paper Section 2.2). This
+// generator maps the latent quality/load model to per-bin session outcomes
+// — attempts follow the offered load, failure probabilities move against
+// the latent quality — and rolls them into CounterSeries, so ratio KPIs
+// carry genuine binomial sampling noise and quiet bins go missing exactly
+// as production counters do.
+//
+// KpiGenerator remains the fast path for the evaluation sweeps; this class
+// is the high-fidelity path used where counter semantics matter (Fig 5,
+// CDR-level tests, aggregation work).
+#pragma once
+
+#include "kpi/cdr.h"
+#include "simkit/generator.h"
+
+namespace litmus::sim {
+
+struct CounterModel {
+  kpi::SessionRates baseline;  ///< rates at neutral quality and unit load
+  /// Failure probabilities scale as p = p0 * exp(-sensitivity * q); +q
+  /// (better service) means fewer blocks/drops.
+  double quality_sensitivity = 0.55;
+  double max_failure_probability = 0.5;
+};
+
+class CounterGenerator {
+ public:
+  explicit CounterGenerator(const KpiGenerator& base, CounterModel model = {});
+
+  /// Per-bin counters over [start, start+n). Bins where the element is dark
+  /// (outage) produce zero attempts — the KPI pipeline then reports the bin
+  /// missing, matching the latent path's behaviour.
+  kpi::CounterSeries counters(net::ElementId element, std::int64_t start,
+                              std::size_t n) const;
+
+  /// KPI series derived from the counters.
+  ts::TimeSeries kpi_series(net::ElementId element, kpi::KpiId kpi,
+                            std::int64_t start, std::size_t n) const;
+
+  /// The per-bin session rates implied by latent quality `q` and load `l`
+  /// (exposed for tests).
+  kpi::SessionRates rates_for(double quality, double load) const;
+
+ private:
+  const KpiGenerator* base_;
+  CounterModel model_;
+};
+
+}  // namespace litmus::sim

@@ -1,0 +1,54 @@
+// External-factor interface (paper Section 2.5).
+//
+// Factors contribute to two channels of the telemetry model:
+//
+//  * quality_effect: an additive contribution to the element's latent
+//    service-quality process q(t), expressed in "sigma units" — the scale of
+//    the element's own per-bin noise. Negative values degrade service.
+//  * load_factor: a multiplicative contribution to the element's offered
+//    traffic load (1.0 = neutral). High load degrades quality through the
+//    generator's congestion term (Section 2.5, "Traffic pattern changes").
+//
+// Factors are pure functions of (element, bin), so the generator can
+// evaluate any subset of elements over any window deterministically.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "cellnet/element.h"
+
+namespace litmus::sim {
+
+class ExternalFactor {
+ public:
+  virtual ~ExternalFactor() = default;
+
+  /// Additive latent-quality contribution in sigma units.
+  virtual double quality_effect(const net::NetworkElement& element,
+                                std::int64_t bin) const = 0;
+
+  /// Multiplicative offered-load contribution (1.0 = neutral).
+  virtual double load_factor(const net::NetworkElement& element,
+                             std::int64_t bin) const {
+    (void)element;
+    (void)bin;
+    return 1.0;
+  }
+
+  /// True when the factor takes the element out of service entirely at
+  /// `bin` (tower outage): the generator reports the bin as missing, since
+  /// an element that is down produces no counters.
+  virtual bool blackout(const net::NetworkElement& element,
+                        std::int64_t bin) const {
+    (void)element;
+    (void)bin;
+    return false;
+  }
+
+  virtual std::string_view name() const noexcept = 0;
+};
+
+using FactorPtr = std::shared_ptr<const ExternalFactor>;
+
+}  // namespace litmus::sim

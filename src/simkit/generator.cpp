@@ -1,0 +1,191 @@
+#include "simkit/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsmath/random.h"
+
+namespace litmus::sim {
+namespace {
+
+using litmus::ts::Rng;
+
+// AR(1) with stationary standard deviation `sigma`, burned in so the state
+// at the window start has forgotten the zero initial condition.
+std::vector<double> ar1_path(Rng& rng, double rho, double sigma,
+                             std::size_t n, int burn_in) {
+  const double innov = sigma * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  double state = 0.0;
+  for (int i = 0; i < burn_in; ++i) state = rho * state + innov * rng.normal();
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state = rho * state + innov * rng.normal();
+    out[i] = state;
+  }
+  return out;
+}
+
+}  // namespace
+
+KpiGenerator::KpiGenerator(const net::Topology& topo, GeneratorConfig cfg)
+    : topo_(&topo), cfg_(cfg) {}
+
+void KpiGenerator::add_factor(FactorPtr factor) {
+  factors_.push_back(std::move(factor));
+}
+
+const std::vector<double>& KpiGenerator::shared_component(
+    std::uint64_t tag, std::int64_t start, std::size_t n) const {
+  const auto key = std::make_tuple(tag, start, n);
+  const auto it = shared_cache_.find(key);
+  if (it != shared_cache_.end()) return it->second;
+  // Seed stream by (seed, tag, start) so the same window is reproducible;
+  // a window shift re-draws the shared path, which is fine — scenarios fix
+  // their windows up front.
+  Rng rng(cfg_.seed ^ (tag * 0xBF58476D1CE4E5B9ULL) ^
+          (static_cast<std::uint64_t>(start + (1LL << 40)) *
+           0x94D049BB133111EBULL));
+  std::vector<double> slow =
+      ar1_path(rng, cfg_.shared_slow_rho, 1.0, n, cfg_.burn_in);
+  const std::vector<double> fast =
+      ar1_path(rng, cfg_.shared_fast_rho, 1.0, n, cfg_.burn_in);
+  for (std::size_t i = 0; i < n; ++i)
+    slow[i] = cfg_.shared_slow_mix * slow[i] + cfg_.shared_fast_mix * fast[i];
+  auto [ins, _] = shared_cache_.emplace(key, std::move(slow));
+  return ins->second;
+}
+
+ts::TimeSeries KpiGenerator::load_series(net::ElementId element,
+                                         std::int64_t start,
+                                         std::size_t n) const {
+  const net::NetworkElement& e = topo_->get(element);
+  Rng rng(cfg_.seed ^ 0x1234567ULL ^
+          (element.value * 0xD1B54A32D192ED03ULL) ^
+          (static_cast<std::uint64_t>(start + (1LL << 40)) * 0x2545F4914F6CDD1DULL));
+  ts::TimeSeries out(start, n, 60);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t bin = start + static_cast<std::int64_t>(i);
+    double load = 1.0;
+    for (const auto& f : factors_) load *= f->load_factor(e, bin);
+    load *= std::max(0.0, 1.0 + 0.05 * rng.normal());
+    out[i] = load;
+  }
+  return out;
+}
+
+ts::TimeSeries KpiGenerator::volume_series(net::ElementId element,
+                                           std::int64_t start,
+                                           std::size_t n) const {
+  ts::TimeSeries load = load_series(element, start, n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!ts::is_missing(load[i])) load[i] *= cfg_.base_voice_attempts;
+  return load;
+}
+
+ts::TimeSeries KpiGenerator::latent_series(net::ElementId element,
+                                           std::int64_t start,
+                                           std::size_t n) const {
+  const net::NetworkElement& e = topo_->get(element);
+
+  const std::uint64_t region_tag =
+      0x100 + static_cast<std::uint64_t>(e.region);
+  const std::uint64_t market_tag = 0x10000 + e.market;
+  const std::vector<double>& region_path =
+      shared_component(region_tag, start, n);
+  const std::vector<double>& market_path =
+      shared_component(market_tag, start, n);
+
+  Rng rng(cfg_.seed ^ (element.value * 0x9E3779B97F4A7C15ULL) ^
+          (static_cast<std::uint64_t>(start + (1LL << 40)) *
+           0xBF58476D1CE4E5B9ULL));
+  const std::vector<double> ar =
+      ar1_path(rng, cfg_.element_rho, cfg_.element_ar_sigma, n, cfg_.burn_in);
+  const ts::TimeSeries load = load_series(element, start, n);
+
+  // Window-independent per-element loadings on the shared components.
+  const double region_load = region_loading(element);
+  Rng loading_rng(cfg_.seed ^ 0x10AD ^ 0x5EED ^
+                  (element.value * 0xD1B54A32D192ED03ULL));
+  const double market_loading =
+      1.0 + cfg_.loading_spread * loading_rng.uniform(-1.0, 1.0);
+
+  ts::TimeSeries out(start, n, 60);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t bin = start + static_cast<std::int64_t>(i);
+
+    bool dark = false;
+    double factor_quality = 0.0;
+    for (const auto& f : factors_) {
+      if (f->blackout(e, bin)) {
+        dark = true;
+        break;
+      }
+      factor_quality += f->quality_effect(e, bin);
+    }
+    if (dark) continue;  // stays missing
+
+    double q = cfg_.region_factor_weight * region_load * region_path[i] +
+               cfg_.market_factor_weight * market_loading * market_path[i] +
+               factor_quality + ar[i] + cfg_.white_sigma * rng.normal();
+
+    const double excess = load[i] - cfg_.congestion_threshold;
+    if (excess > 0.0) q -= cfg_.congestion_coeff * excess;
+
+    out[i] = q;
+  }
+  return out;
+}
+
+double KpiGenerator::region_loading(net::ElementId element) const {
+  Rng rng(cfg_.seed ^ 0x10AD ^ (element.value * 0x9E3779B97F4A7C15ULL));
+  return 1.0 + cfg_.loading_spread * rng.uniform(-1.0, 1.0);
+}
+
+double KpiGenerator::combined_loading(net::ElementId element) const {
+  Rng rng(cfg_.seed ^ 0x10AD ^ 0x5EED ^
+          (element.value * 0xD1B54A32D192ED03ULL));
+  const double market_loading =
+      1.0 + cfg_.loading_spread * rng.uniform(-1.0, 1.0);
+  const double wr = cfg_.region_factor_weight;
+  const double wm = cfg_.market_factor_weight;
+  if (wr + wm <= 0.0) return 1.0;
+  return (wr * region_loading(element) + wm * market_loading) / (wr + wm);
+}
+
+ts::TimeSeries KpiGenerator::latent_to_kpi(const ts::TimeSeries& latent,
+                                           kpi::KpiId id) const {
+  const kpi::KpiInfo& k = kpi::info(id);
+  ts::TimeSeries out = latent;
+  const double sign =
+      k.polarity == kpi::Polarity::kHigherIsBetter ? 1.0 : -1.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (ts::is_missing(out[i])) continue;
+    if (k.is_ratio) {
+      out[i] = k.typical_value + sign * k.typical_noise * out[i];
+    } else {
+      // Throughput: multiplicative around the operating point.
+      out[i] = k.typical_value *
+               (1.0 + sign * (k.typical_noise / k.typical_value) * out[i]);
+      out[i] = std::max(0.0, out[i]);
+    }
+  }
+  if (k.is_ratio) out.clamp(0.0, 1.0);
+  return out;
+}
+
+ts::TimeSeries KpiGenerator::kpi_series(net::ElementId element, kpi::KpiId id,
+                                        std::int64_t start,
+                                        std::size_t n) const {
+  return latent_to_kpi(latent_series(element, start, n), id);
+}
+
+std::vector<ts::TimeSeries> KpiGenerator::kpi_series(
+    std::span<const net::ElementId> ids, kpi::KpiId id, std::int64_t start,
+    std::size_t n) const {
+  std::vector<ts::TimeSeries> out;
+  out.reserve(ids.size());
+  for (const auto e : ids) out.push_back(kpi_series(e, id, start, n));
+  return out;
+}
+
+}  // namespace litmus::sim

@@ -1,0 +1,29 @@
+#include "simkit/injection.h"
+
+namespace litmus::sim {
+
+double sigma_to_kpi_delta(kpi::KpiId id, double magnitude_sigma) noexcept {
+  const kpi::KpiInfo& k = kpi::info(id);
+  const double sign =
+      k.polarity == kpi::Polarity::kHigherIsBetter ? 1.0 : -1.0;
+  return sign * k.typical_noise * magnitude_sigma;
+}
+
+void apply_injection(ts::TimeSeries& series, kpi::KpiId id,
+                     const Injection& injection) {
+  const double delta = sigma_to_kpi_delta(id, injection.magnitude_sigma);
+  switch (injection.shape) {
+    case InjectionShape::kLevelShift:
+      series.add_level(injection.at_bin, series.end_bin(), delta);
+      break;
+    case InjectionShape::kRamp:
+      series.add_ramp(injection.at_bin, injection.at_bin + injection.ramp_bins,
+                      delta);
+      series.add_level(injection.at_bin + injection.ramp_bins,
+                       series.end_bin(), delta);
+      break;
+  }
+  if (kpi::info(id).is_ratio) series.clamp(0.0, 1.0);
+}
+
+}  // namespace litmus::sim

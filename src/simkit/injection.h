@@ -1,0 +1,37 @@
+// Synthetic change injection (paper Section 4.3).
+//
+// The evaluation injects level shifts (and ramps) into generated KPI
+// series, at the study group, the control group, or both. Magnitudes are
+// expressed in latent sigma units — multiples of the KPI's per-bin noise —
+// and converted through the KPI catalogue so that a *positive* magnitude is
+// always a service-quality improvement regardless of polarity (a +2-sigma
+// injection lowers a dropped-call ratio but raises a retainability).
+#pragma once
+
+#include <cstdint>
+
+#include "kpi/kpi.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::sim {
+
+enum class InjectionShape : std::uint8_t {
+  kLevelShift,  ///< step at `at_bin`, persists to the end of the series
+  kRamp,        ///< linear ramp from 0 to full magnitude over `ramp_bins`
+};
+
+struct Injection {
+  std::int64_t at_bin = 0;
+  double magnitude_sigma = 0.0;  ///< + improves service, - degrades
+  InjectionShape shape = InjectionShape::kLevelShift;
+  std::int64_t ramp_bins = 24;
+};
+
+/// KPI-unit delta corresponding to a sigma-unit quality change for `id`.
+double sigma_to_kpi_delta(kpi::KpiId id, double magnitude_sigma) noexcept;
+
+/// Applies the injection to a KPI series in place (ratio KPIs re-clamped).
+void apply_injection(ts::TimeSeries& series, kpi::KpiId id,
+                     const Injection& injection);
+
+}  // namespace litmus::sim

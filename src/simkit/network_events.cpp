@@ -1,0 +1,59 @@
+#include "simkit/network_events.h"
+
+#include <algorithm>
+
+#include "tsmath/random.h"
+
+namespace litmus::sim {
+
+NetworkEventFactor::NetworkEventFactor(const net::Topology& topo,
+                                       std::vector<UpstreamEvent> upstream,
+                                       std::vector<OutageEvent> outages)
+    : outages_(std::move(outages)) {
+  upstream_.reserve(upstream.size());
+  for (auto& ev : upstream) {
+    ResolvedUpstream r;
+    const auto subtree = topo.subtree_of(ev.source);
+    if (ev.hit_fraction >= 1.0) {
+      r.affected.insert(subtree.begin(), subtree.end());
+    } else {
+      // Fig 6: the upgrade improves a *majority* of downstream towers, not
+      // all — model per-element hits deterministically.
+      ts::Rng rng(ev.seed ^ (ev.source.value * 0x9E3779B97F4A7C15ULL));
+      for (const auto id : subtree)
+        if (id == ev.source || rng.chance(ev.hit_fraction))
+          r.affected.insert(id);
+    }
+    r.event = std::move(ev);
+    upstream_.push_back(std::move(r));
+  }
+}
+
+double NetworkEventFactor::quality_effect(const net::NetworkElement& element,
+                                          std::int64_t bin) const {
+  double total = 0.0;
+  for (const auto& r : upstream_) {
+    const auto& ev = r.event;
+    if (bin < ev.start_bin || bin >= ev.end_bin) continue;
+    if (!r.affected.contains(element.id)) continue;
+    double scale = 1.0;
+    if (ev.ramp_bins > 0 && bin < ev.start_bin + ev.ramp_bins)
+      scale = static_cast<double>(bin - ev.start_bin + 1) /
+              static_cast<double>(ev.ramp_bins);
+    total += ev.sigma_shift * scale;
+  }
+  return total;
+}
+
+bool NetworkEventFactor::blackout(const net::NetworkElement& element,
+                                  std::int64_t bin) const {
+  for (const auto& o : outages_) {
+    if (bin < o.start_bin || bin >= o.end_bin) continue;
+    if (std::find(o.elements.begin(), o.elements.end(), element.id) !=
+        o.elements.end())
+      return true;
+  }
+  return false;
+}
+
+}  // namespace litmus::sim

@@ -1,0 +1,60 @@
+// Network-event external factors (paper Section 2.5, "Network events"):
+// changes and maintenance at *other* elements that spill into the study or
+// control group through topology — Fig 6's upstream RNC upgrade — plus
+// planned/unplanned outages.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "cellnet/topology.h"
+#include "simkit/factors.h"
+
+namespace litmus::sim {
+
+/// A performance-affecting event at `source` whose effect applies to the
+/// whole subtree below it from `start_bin` onward (level shift), optionally
+/// with a ramp-in and an end.
+struct UpstreamEvent {
+  net::ElementId source;
+  std::int64_t start_bin = 0;
+  std::int64_t end_bin = INT64_MAX;  ///< exclusive; default: permanent
+  double sigma_shift = 1.0;          ///< + improves, - degrades the subtree
+  std::int64_t ramp_bins = 0;        ///< linear ramp-in length
+  double hit_fraction = 1.0;         ///< fraction of subtree elements affected
+  std::uint64_t seed = 31;           ///< for the hit_fraction draw
+};
+
+/// A hard outage of a set of elements over a window: series go missing.
+struct OutageEvent {
+  std::vector<net::ElementId> elements;
+  std::int64_t start_bin = 0;
+  std::int64_t end_bin = 0;  ///< exclusive
+};
+
+class NetworkEventFactor final : public ExternalFactor {
+ public:
+  /// Resolves each upstream event's subtree against `topo` at construction.
+  NetworkEventFactor(const net::Topology& topo,
+                     std::vector<UpstreamEvent> upstream,
+                     std::vector<OutageEvent> outages = {});
+
+  double quality_effect(const net::NetworkElement& element,
+                        std::int64_t bin) const override;
+  std::string_view name() const noexcept override { return "network_events"; }
+
+  /// True when `element` is inside an outage window at `bin`.
+  bool blackout(const net::NetworkElement& element,
+                std::int64_t bin) const override;
+
+ private:
+  struct ResolvedUpstream {
+    UpstreamEvent event;
+    std::unordered_set<net::ElementId> affected;
+  };
+  std::vector<ResolvedUpstream> upstream_;
+  std::vector<OutageEvent> outages_;
+};
+
+}  // namespace litmus::sim

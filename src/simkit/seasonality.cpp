@@ -1,0 +1,110 @@
+#include "simkit/seasonality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "simkit/clock.h"
+#include "tsmath/random.h"
+
+namespace litmus::sim {
+
+FoliageFactor::FoliageFactor(double peak_sigma, std::uint64_t seed)
+    : peak_sigma_(peak_sigma), seed_(seed) {}
+
+double FoliageFactor::leaf_fraction(int doy) noexcept {
+  // Budding ramp over April (doy ~90-120), full canopy May-Aug, leaf-fall
+  // ramp over September-October (doy ~244-304).
+  constexpr int kBudStart = 90, kBudEnd = 120;
+  constexpr int kFallStart = 244, kFallEnd = 304;
+  auto smooth = [](double x) {  // smoothstep on [0,1]
+    x = std::clamp(x, 0.0, 1.0);
+    return x * x * (3.0 - 2.0 * x);
+  };
+  if (doy < kBudStart || doy >= kFallEnd) return 0.0;
+  if (doy < kBudEnd)
+    return smooth(static_cast<double>(doy - kBudStart) /
+                  (kBudEnd - kBudStart));
+  if (doy < kFallStart) return 1.0;
+  return 1.0 - smooth(static_cast<double>(doy - kFallStart) /
+                      (kFallEnd - kFallStart));
+}
+
+double FoliageFactor::intensity(const net::NetworkElement& element) const {
+  if (!net::has_foliage_seasonality(element.region)) return 0.0;
+  // Urban cores see less foliage than suburban/rural sites.
+  double terrain_scale = 1.0;
+  switch (element.config.terrain) {
+    case net::Terrain::kUrban: terrain_scale = 0.35; break;
+    case net::Terrain::kSuburban: terrain_scale = 0.9; break;
+    case net::Terrain::kRural: terrain_scale = 1.0; break;
+    case net::Terrain::kMountain: terrain_scale = 0.8; break;
+    case net::Terrain::kWater: terrain_scale = 0.6; break;
+    case net::Terrain::kFlat: terrain_scale = 0.7; break;
+  }
+  ts::Rng rng(seed_ ^ (0x9E3779B97F4A7C15ULL * element.id.value));
+  return terrain_scale * rng.uniform(0.4, 1.0);
+}
+
+double FoliageFactor::quality_effect(const net::NetworkElement& element,
+                                     std::int64_t bin) const {
+  const double inten = intensity(element);
+  if (inten == 0.0) return 0.0;
+  return -peak_sigma_ * inten * leaf_fraction(day_of_year(bin));
+}
+
+DiurnalLoadFactor::DiurnalLoadFactor(double amplitude)
+    : amplitude_(std::clamp(amplitude, 0.0, 0.95)) {}
+
+double DiurnalLoadFactor::load_factor(const net::NetworkElement& element,
+                                      std::int64_t bin) const {
+  const int hour = hour_of_day(bin);
+  const bool weekend = is_weekend(bin);
+  const double h = static_cast<double>(hour);
+
+  // Profile-specific shape in [-1, 1] around the daily mean.
+  double shape = 0.0;
+  switch (element.config.traffic) {
+    case net::TrafficProfile::kBusiness:
+      shape = weekend ? -0.7
+                      : (hour >= 9 && hour < 17 ? 1.0
+                         : hour >= 7 && hour < 20 ? 0.1
+                                                  : -0.8);
+      break;
+    case net::TrafficProfile::kResidential:
+      shape = (hour >= 18 && hour < 23) ? 1.0
+              : (hour >= 7 && hour < 18) ? 0.0
+                                         : -0.8;
+      if (weekend && hour >= 10 && hour < 23) shape = std::max(shape, 0.5);
+      break;
+    case net::TrafficProfile::kHighway:
+      shape = (!weekend && ((hour >= 7 && hour < 10) ||
+                            (hour >= 16 && hour < 19)))
+                  ? 1.0
+                  : (hour >= 10 && hour < 16 ? 0.2 : -0.7);
+      break;
+    case net::TrafficProfile::kStadium:
+      // Mostly idle; big bursts come from TrafficEventFactor.
+      shape = (hour >= 11 && hour < 22) ? 0.1 : -0.5;
+      break;
+    case net::TrafficProfile::kRecreation:
+      shape = weekend ? (hour >= 10 && hour < 20 ? 1.0 : -0.4)
+                      : (hour >= 17 && hour < 21 ? 0.5 : -0.6);
+      break;
+  }
+  // Smooth the blocky profile slightly with a daily harmonic so adjacent
+  // hours are not perfectly flat.
+  shape += 0.15 * std::sin(2.0 * std::numbers::pi * (h - 14.0) / 24.0);
+  return std::max(0.05, 1.0 + amplitude_ * shape);
+}
+
+CarrierTrendFactor::CarrierTrendFactor(double sigma_per_year)
+    : sigma_per_year_(sigma_per_year) {}
+
+double CarrierTrendFactor::quality_effect(const net::NetworkElement&,
+                                          std::int64_t bin) const {
+  return sigma_per_year_ * static_cast<double>(bin) /
+         static_cast<double>(kHoursPerYear);
+}
+
+}  // namespace litmus::sim

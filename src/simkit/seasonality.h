@@ -1,0 +1,75 @@
+// Seasonal external factors: yearly foliage, diurnal/weekly load, and the
+// slow carrier-improvement trend visible in Fig 3.
+#pragma once
+
+#include <cstdint>
+
+#include "simkit/factors.h"
+
+namespace litmus::sim {
+
+/// Yearly foliage seasonality (Fig 3): leaves bud in April and fall in
+/// September, degrading radio propagation while present. Only elements in
+/// foliage regions (Northeast/Midwest) are affected, with a per-element
+/// intensity in [0,1] derived deterministically from the element id — the
+/// paper's Fig 9 notes "different intensities of foliage" across elements.
+class FoliageFactor final : public ExternalFactor {
+ public:
+  /// `peak_sigma`: worst-case quality loss at full leaf-out for an element
+  /// with intensity 1.
+  explicit FoliageFactor(double peak_sigma = 2.0, std::uint64_t seed = 17);
+
+  double quality_effect(const net::NetworkElement& element,
+                        std::int64_t bin) const override;
+  std::string_view name() const noexcept override { return "foliage"; }
+
+  /// Leaf-out fraction in [0,1] for a day of year (0 in winter, 1 in
+  /// mid-summer, smooth shoulders in April and September).
+  static double leaf_fraction(int day_of_year) noexcept;
+
+  /// The per-element intensity this factor will use.
+  double intensity(const net::NetworkElement& element) const;
+
+ private:
+  double peak_sigma_;
+  std::uint64_t seed_;
+};
+
+/// Diurnal + weekly offered-load pattern, shaped by the element's traffic
+/// profile (Section 3.2's business-vs-lake example): business towers peak
+/// on weekday working hours, residential in the evening, recreation on
+/// weekends, highway at commute times, stadium flat (events come from
+/// TrafficEventFactor).
+class DiurnalLoadFactor final : public ExternalFactor {
+ public:
+  /// `amplitude` in [0,1): peak-to-trough swing around the 1.0 baseline.
+  explicit DiurnalLoadFactor(double amplitude = 0.45);
+
+  double quality_effect(const net::NetworkElement&,
+                        std::int64_t) const override {
+    return 0.0;
+  }
+  double load_factor(const net::NetworkElement& element,
+                     std::int64_t bin) const override;
+  std::string_view name() const noexcept override { return "diurnal_load"; }
+
+ private:
+  double amplitude_;
+};
+
+/// Slow fleet-wide improvement trend ("likely due to the continuous
+/// improvements performed by the carrier", Fig 3 caption).
+class CarrierTrendFactor final : public ExternalFactor {
+ public:
+  /// `sigma_per_year`: latent-quality gain per simulated year.
+  explicit CarrierTrendFactor(double sigma_per_year = 0.5);
+
+  double quality_effect(const net::NetworkElement& element,
+                        std::int64_t bin) const override;
+  std::string_view name() const noexcept override { return "carrier_trend"; }
+
+ private:
+  double sigma_per_year_;
+};
+
+}  // namespace litmus::sim

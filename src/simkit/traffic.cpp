@@ -1,0 +1,31 @@
+#include "simkit/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace litmus::sim {
+
+TrafficEventFactor::TrafficEventFactor(std::vector<HolidayWindow> holidays,
+                                       std::vector<VenueEvent> events)
+    : holidays_(std::move(holidays)), events_(std::move(events)) {}
+
+double TrafficEventFactor::load_factor(const net::NetworkElement& element,
+                                       std::int64_t bin) const {
+  double factor = 1.0;
+  for (const auto& h : holidays_) {
+    if (bin < h.start_bin || bin >= h.end_bin) continue;
+    if (h.region && *h.region != element.region) continue;
+    factor *= h.load_multiplier;
+  }
+  for (const auto& ev : events_) {
+    if (bin < ev.start_bin || bin >= ev.end_bin) continue;
+    const double d = net::haversine_km(ev.venue, element.location);
+    const double x = d / ev.radius_km;
+    if (x > 2.0) continue;
+    const double spatial = std::exp(-1.5 * x * x);
+    factor *= 1.0 + (ev.peak_load_multiplier - 1.0) * spatial;
+  }
+  return factor;
+}
+
+}  // namespace litmus::sim

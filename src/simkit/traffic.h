@@ -1,0 +1,51 @@
+// Traffic-pattern external factors (paper Section 2.5, "Traffic pattern
+// changes"): holidays that move load everywhere in a region, and big events
+// (games at stadiums) that concentrate load near a venue — Fig 5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cellnet/geo.h"
+#include "simkit/factors.h"
+
+namespace litmus::sim {
+
+/// A region-wide (or nationwide) load shift over a date window, e.g. a
+/// holiday season. `load_multiplier` > 1 raises traffic.
+struct HolidayWindow {
+  std::int64_t start_bin = 0;
+  std::int64_t end_bin = 0;                       ///< exclusive
+  double load_multiplier = 1.4;
+  std::optional<net::Region> region;              ///< nullopt = everywhere
+};
+
+/// A venue event: a sharp load spike near a point for a few hours.
+struct VenueEvent {
+  net::GeoPoint venue;
+  double radius_km = 8.0;
+  std::int64_t start_bin = 0;
+  std::int64_t end_bin = 0;                       ///< exclusive
+  double peak_load_multiplier = 4.0;              ///< at the venue
+};
+
+class TrafficEventFactor final : public ExternalFactor {
+ public:
+  TrafficEventFactor(std::vector<HolidayWindow> holidays,
+                     std::vector<VenueEvent> events);
+
+  double quality_effect(const net::NetworkElement&,
+                        std::int64_t) const override {
+    return 0.0;  // traffic affects quality only through the congestion term
+  }
+  double load_factor(const net::NetworkElement& element,
+                     std::int64_t bin) const override;
+  std::string_view name() const noexcept override { return "traffic_events"; }
+
+ private:
+  std::vector<HolidayWindow> holidays_;
+  std::vector<VenueEvent> events_;
+};
+
+}  // namespace litmus::sim

@@ -1,0 +1,123 @@
+#include "simkit/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsmath/random.h"
+
+namespace litmus::sim {
+
+const char* to_string(WeatherKind k) noexcept {
+  switch (k) {
+    case WeatherKind::kRain: return "rain";
+    case WeatherKind::kWind: return "wind";
+    case WeatherKind::kSevereStorm: return "severe_storm";
+    case WeatherKind::kHurricane: return "hurricane";
+  }
+  return "?";
+}
+
+WeatherEvent make_event(WeatherKind kind, net::GeoPoint center,
+                        std::int64_t start_bin, std::int64_t duration_bins) {
+  WeatherEvent ev;
+  ev.kind = kind;
+  ev.center = center;
+  ev.start_bin = start_bin;
+  ev.end_bin = start_bin + duration_bins;
+  switch (kind) {
+    case WeatherKind::kRain:
+      ev.radius_km = 250.0;
+      ev.peak_sigma = 0.8;
+      ev.outage_probability = 0.0;
+      break;
+    case WeatherKind::kWind:
+      ev.radius_km = 150.0;
+      ev.peak_sigma = 1.8;
+      ev.outage_probability = 0.0;
+      break;
+    case WeatherKind::kSevereStorm:
+      ev.radius_km = 120.0;
+      ev.peak_sigma = 3.0;
+      ev.outage_probability = 0.04;
+      break;
+    case WeatherKind::kHurricane:
+      ev.radius_km = 400.0;
+      ev.peak_sigma = 4.0;
+      ev.outage_probability = 0.12;
+      break;
+  }
+  return ev;
+}
+
+WeatherFactor::WeatherFactor(std::vector<WeatherEvent> events,
+                             std::uint64_t seed)
+    : events_(std::move(events)), seed_(seed) {}
+
+double WeatherFactor::footprint(const WeatherEvent& ev,
+                                const net::GeoPoint& p) {
+  const double d = net::haversine_km(ev.center, p);
+  // Gaussian decay: ~1 at the center, 0.5 at radius, ~0 beyond 2.5 radii.
+  const double x = d / ev.radius_km;
+  if (x > 2.5) return 0.0;
+  return std::exp(-0.6931 * x * x);
+}
+
+double WeatherFactor::envelope(const WeatherEvent& ev, std::int64_t bin) {
+  if (bin < ev.start_bin || bin >= ev.end_bin) return 0.0;
+  const double len = static_cast<double>(ev.end_bin - ev.start_bin);
+  const double t = (static_cast<double>(bin - ev.start_bin) + 0.5) / len;
+  // Asymmetric pulse: quick onset, slower recovery.
+  const double up = std::min(1.0, t / 0.25);
+  const double down = std::min(1.0, (1.0 - t) / 0.45);
+  return std::min(up, down);
+}
+
+bool WeatherFactor::outage_hit(const WeatherEvent& ev, std::size_t event_index,
+                               const net::NetworkElement& element) const {
+  if (ev.outage_probability <= 0.0) return false;
+  if (!net::is_tower(element.kind)) return false;
+  const double fp = footprint(ev, element.location);
+  if (fp < 0.3) return false;
+  ts::Rng rng(seed_ ^ (event_index * 0xD1B54A32D192ED03ULL) ^
+              (element.id.value * 0x9E3779B97F4A7C15ULL));
+  return rng.chance(ev.outage_probability * fp);
+}
+
+double WeatherFactor::quality_effect(const net::NetworkElement& element,
+                                     std::int64_t bin) const {
+  double total = 0.0;
+  for (const auto& ev : events_) {
+    const double env = envelope(ev, bin);
+    if (env == 0.0) continue;
+    total -= ev.peak_sigma * env * footprint(ev, element.location);
+  }
+  return total;
+}
+
+double WeatherFactor::load_factor(const net::NetworkElement& element,
+                                  std::int64_t bin) const {
+  // Severe events spike call volumes (people checking in) while degrading
+  // quality; mild rain does not move load.
+  double factor = 1.0;
+  for (const auto& ev : events_) {
+    if (ev.kind != WeatherKind::kSevereStorm &&
+        ev.kind != WeatherKind::kHurricane)
+      continue;
+    const double env = envelope(ev, bin);
+    if (env == 0.0) continue;
+    factor *= 1.0 + 0.4 * env * footprint(ev, element.location);
+  }
+  return factor;
+}
+
+bool WeatherFactor::blackout(const net::NetworkElement& element,
+                             std::int64_t bin) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& ev = events_[i];
+    if (bin < ev.start_bin || bin >= ev.end_bin) continue;
+    if (outage_hit(ev, i, element)) return true;
+  }
+  return false;
+}
+
+}  // namespace litmus::sim

@@ -1,0 +1,69 @@
+// Weather external factors (paper Section 2.5, "Weather changes"): rain,
+// severe storms/tornadoes, hurricanes. Each event has a geographic footprint
+// with distance decay and a temporal profile; severe events can also knock
+// towers out entirely (outages, Fig 4 / Section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cellnet/geo.h"
+#include "simkit/factors.h"
+
+namespace litmus::sim {
+
+enum class WeatherKind : std::uint8_t {
+  kRain,        ///< steady rainfall, mild broad impact
+  kWind,        ///< strong winds (Fig 1)
+  kSevereStorm, ///< storms / damaging hail / tornado (Fig 4)
+  kHurricane,   ///< long multi-day event with outages (Sandy, Section 5.3)
+};
+
+const char* to_string(WeatherKind k) noexcept;
+
+struct WeatherEvent {
+  WeatherKind kind = WeatherKind::kRain;
+  net::GeoPoint center;
+  double radius_km = 150.0;      ///< footprint half-decay radius
+  std::int64_t start_bin = 0;
+  std::int64_t end_bin = 0;      ///< exclusive
+  double peak_sigma = 1.5;       ///< quality loss at the center, at peak
+  double outage_probability = 0; ///< per-tower chance of outage during event
+};
+
+/// Returns a typical configuration for a given kind (used by scenarios).
+WeatherEvent make_event(WeatherKind kind, net::GeoPoint center,
+                        std::int64_t start_bin, std::int64_t duration_bins);
+
+class WeatherFactor final : public ExternalFactor {
+ public:
+  explicit WeatherFactor(std::vector<WeatherEvent> events,
+                         std::uint64_t seed = 23);
+
+  double quality_effect(const net::NetworkElement& element,
+                        std::int64_t bin) const override;
+  double load_factor(const net::NetworkElement& element,
+                     std::int64_t bin) const override;
+  std::string_view name() const noexcept override { return "weather"; }
+
+  /// True when `element` is knocked out by an event at `bin`. The generator
+  /// marks these bins missing (towers out of service report nothing).
+  bool blackout(const net::NetworkElement& element,
+                std::int64_t bin) const override;
+
+  const std::vector<WeatherEvent>& events() const noexcept { return events_; }
+
+ private:
+  /// Spatial decay in [0,1] for an element against one event.
+  static double footprint(const WeatherEvent& ev, const net::GeoPoint& p);
+  /// Temporal envelope in [0,1] over the event window.
+  static double envelope(const WeatherEvent& ev, std::int64_t bin);
+  /// Deterministic outage decision for (event, element).
+  bool outage_hit(const WeatherEvent& ev, std::size_t event_index,
+                  const net::NetworkElement& element) const;
+
+  std::vector<WeatherEvent> events_;
+  std::uint64_t seed_;
+};
+
+}  // namespace litmus::sim

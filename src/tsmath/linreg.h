@@ -1,0 +1,45 @@
+// Ordinary least squares via Householder QR.
+//
+// The paper (Section 3.2) deliberately uses *unregularized* linear
+// regression: ridge/lasso shrinkage would allow post-change shifts in a
+// small number of control elements to bend the forecast, which is exactly
+// what the sampling + median-aggregation machinery is designed to prevent.
+// QR is used (rather than normal equations) for numerical robustness when
+// control-group series are strongly collinear — which they are by design,
+// since controls are chosen to be spatially correlated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tsmath/matrix.h"
+
+namespace litmus::ts {
+
+struct LinearModel {
+  std::vector<double> coefficients;  ///< one per design column
+  double intercept = 0.0;
+  bool with_intercept = true;
+  double r_squared = 0.0;            ///< in-sample fit quality
+  double residual_stddev = 0.0;
+  bool ok = false;                   ///< false when the fit is degenerate
+
+  /// Forecast for one design row.
+  double predict_row(std::span<const double> row) const;
+
+  /// Forecast for every row of `design`.
+  std::vector<double> predict(const Matrix& design) const;
+};
+
+/// Fits y ≈ X beta (+ intercept). Rows of X where y or any regressor is
+/// missing are dropped. Requires at least cols+2 complete rows; otherwise
+/// returns a model with ok == false.
+LinearModel fit_ols(const Matrix& design, std::span<const double> y,
+                    bool with_intercept = true);
+
+/// Householder QR least-squares solve of A x = b (A.rows() >= A.cols()).
+/// Returns empty vector when A is numerically rank-deficient.
+std::vector<double> qr_solve(const Matrix& a, std::span<const double> b);
+
+}  // namespace litmus::ts

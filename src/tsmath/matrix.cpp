@@ -1,0 +1,68 @@
+#include "tsmath/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace litmus::ts {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::span<const double> Matrix::column(std::size_t c) const noexcept {
+  return std::span<const double>(data_.data() + c * rows_, rows_);
+}
+
+std::span<double> Matrix::column(std::size_t c) noexcept {
+  return std::span<double>(data_.data() + c * rows_, rows_);
+}
+
+void Matrix::set_column(std::size_t c, std::span<const double> values) {
+  if (values.size() != rows_)
+    throw std::invalid_argument("set_column: size mismatch");
+  std::copy(values.begin(), values.end(), data_.begin() +
+            static_cast<std::ptrdiff_t>(c * rows_));
+}
+
+Matrix Matrix::select_columns(std::span<const std::size_t> cols) const {
+  Matrix out(rows_, cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] >= cols_)
+      throw std::out_of_range("select_columns: column index out of range");
+    out.set_column(i, column(cols[i]));
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double xc = x[c];
+    const auto col = column(c);
+    for (std::size_t r = 0; r < rows_; ++r) y[r] += col[r] * xc;
+  }
+  return y;
+}
+
+std::vector<double> Matrix::transpose_multiply(
+    std::span<const double> y) const {
+  if (y.size() != rows_)
+    throw std::invalid_argument("transpose_multiply: size mismatch");
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const auto col = column(c);
+    double s = 0;
+    for (std::size_t r = 0; r < rows_; ++r) s += col[r] * y[r];
+    out[c] = s;
+  }
+  return out;
+}
+
+bool Matrix::has_missing() const noexcept {
+  for (double v : data_)
+    if (std::isnan(v)) return true;
+  return false;
+}
+
+}  // namespace litmus::ts

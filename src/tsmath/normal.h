@@ -1,0 +1,20 @@
+// Standard normal distribution helpers for the rank tests' large-sample
+// approximations.
+#pragma once
+
+namespace litmus::ts {
+
+/// Standard normal probability density.
+double normal_pdf(double z);
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |error| < 1e-9 over (0,1)).
+double normal_quantile(double p);
+
+/// Two-sided p-value for a standard-normal statistic.
+double two_sided_p(double z);
+
+}  // namespace litmus::ts

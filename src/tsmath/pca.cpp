@@ -1,0 +1,138 @@
+#include "tsmath/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsmath/random.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::ts {
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace
+
+double PcaModel::explained_fraction() const noexcept {
+  if (!ok || total_variance <= 0.0) return 0.0;
+  double captured = 0;
+  for (double e : eigenvalues) captured += e;
+  return std::min(1.0, captured / total_variance);
+}
+
+std::vector<double> PcaModel::residual(std::span<const double> row) const {
+  std::vector<double> r(row.size(), kMissing);
+  if (!ok || row.size() != mean.size()) return r;
+  for (double v : row)
+    if (is_missing(v)) return r;
+  for (std::size_t i = 0; i < row.size(); ++i) r[i] = row[i] - mean[i];
+  for (const auto& pc : components) {
+    const double proj = dot(r, pc);
+    axpy(-proj, pc, r);
+  }
+  return r;
+}
+
+double PcaModel::residual_energy(std::span<const double> row) const {
+  const std::vector<double> r = residual(row);
+  double s = 0;
+  for (double v : r) {
+    if (is_missing(v)) return kMissing;
+    s += v * v;
+  }
+  return s;
+}
+
+PcaModel fit_pca(const Matrix& data, std::size_t n_components,
+                 std::size_t max_iterations, double tolerance) {
+  PcaModel model;
+  const std::size_t dims = data.cols();
+  if (dims == 0) return model;
+  n_components = std::min(n_components, dims);
+
+  // Complete-case rows.
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    bool complete = true;
+    for (std::size_t c = 0; c < dims; ++c)
+      if (is_missing(data(r, c))) {
+        complete = false;
+        break;
+      }
+    if (complete) rows.push_back(r);
+  }
+  if (rows.size() < n_components + 2) return model;
+
+  model.mean.assign(dims, 0.0);
+  for (const std::size_t r : rows)
+    for (std::size_t c = 0; c < dims; ++c) model.mean[c] += data(r, c);
+  for (double& m : model.mean) m /= static_cast<double>(rows.size());
+
+  // Covariance matrix (dims x dims).
+  Matrix cov(dims, dims, 0.0);
+  for (const std::size_t r : rows)
+    for (std::size_t i = 0; i < dims; ++i) {
+      const double di = data(r, i) - model.mean[i];
+      for (std::size_t j = i; j < dims; ++j)
+        cov(i, j) += di * (data(r, j) - model.mean[j]);
+    }
+  const double denom = static_cast<double>(rows.size() - 1);
+  for (std::size_t i = 0; i < dims; ++i)
+    for (std::size_t j = i; j < dims; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  for (std::size_t i = 0; i < dims; ++i) model.total_variance += cov(i, i);
+
+  // Orthogonal power iteration with deflation.
+  Rng rng(0xA11CEDULL);
+  for (std::size_t k = 0; k < n_components; ++k) {
+    std::vector<double> v(dims);
+    for (double& x : v) x = rng.normal();
+    double lambda = 0.0;
+    for (std::size_t it = 0; it < max_iterations; ++it) {
+      // w = cov * v, then re-orthogonalize against found components.
+      std::vector<double> w(dims, 0.0);
+      for (std::size_t i = 0; i < dims; ++i) {
+        double s = 0;
+        for (std::size_t j = 0; j < dims; ++j) s += cov(i, j) * v[j];
+        w[i] = s;
+      }
+      for (const auto& pc : model.components) {
+        const double proj = dot(w, pc);
+        axpy(-proj, pc, w);
+      }
+      const double n = norm(w);
+      if (n < 1e-14) break;  // exhausted variance
+      for (std::size_t i = 0; i < dims; ++i) w[i] /= n;
+      double delta = 0;
+      for (std::size_t i = 0; i < dims; ++i)
+        delta = std::max(delta, std::fabs(w[i] - v[i]));
+      // Sign flips count as converged too.
+      double delta_neg = 0;
+      for (std::size_t i = 0; i < dims; ++i)
+        delta_neg = std::max(delta_neg, std::fabs(w[i] + v[i]));
+      v = std::move(w);
+      lambda = n;
+      if (std::min(delta, delta_neg) < tolerance) break;
+    }
+    if (lambda < 1e-14) break;
+    model.eigenvalues.push_back(lambda);
+    model.components.push_back(std::move(v));
+  }
+
+  model.ok = !model.components.empty();
+  return model;
+}
+
+}  // namespace litmus::ts

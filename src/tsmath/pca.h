@@ -1,0 +1,46 @@
+// Principal component analysis via covariance + orthogonal power iteration.
+//
+// Used by the unsupervised-baseline analyzer (litmus/unsupervised.h): the
+// paper's related-work discussion (Section 2.4) contrasts Litmus with
+// PCA/subspace network-wide anomaly detection (Lakhina et al., Huang et
+// al.) and argues such detectors cannot attribute a *relative* change to
+// the study group. We implement the detector so the claim is testable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tsmath/matrix.h"
+
+namespace litmus::ts {
+
+struct PcaModel {
+  std::vector<double> mean;          ///< per-column mean
+  /// Principal directions, one vector of length n_cols per component,
+  /// ordered by decreasing eigenvalue.
+  std::vector<std::vector<double>> components;
+  std::vector<double> eigenvalues;   ///< variance captured per component
+  double total_variance = 0.0;
+  bool ok = false;
+
+  std::size_t dimensions() const noexcept { return mean.size(); }
+
+  /// Fraction of variance captured by the retained components.
+  double explained_fraction() const noexcept;
+
+  /// Projects a row onto the principal subspace and returns the residual
+  /// (row - mean - projection). NaN entries invalidate the result (all-NaN
+  /// residual).
+  std::vector<double> residual(std::span<const double> row) const;
+
+  /// Squared norm of the residual; NaN when the row has missing entries.
+  double residual_energy(std::span<const double> row) const;
+};
+
+/// Fits PCA on the rows of `data` (rows = observations, columns =
+/// variables), keeping `n_components` directions. Rows containing NaN are
+/// dropped. Requires at least n_components + 2 complete rows.
+PcaModel fit_pca(const Matrix& data, std::size_t n_components,
+                 std::size_t max_iterations = 200, double tolerance = 1e-10);
+
+}  // namespace litmus::ts

@@ -1,0 +1,71 @@
+#include "tsmath/ranks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tsmath/timeseries.h"
+
+namespace litmus::ts {
+
+std::vector<double> midranks(std::span<const double> xs) {
+  std::vector<std::size_t> idx;
+  idx.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (!is_missing(xs[i])) idx.push_back(i);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> ranks(xs.size(), kMissing);
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    // Positions i..j (0-based) share the mid-rank of 1-based ranks i+1..j+1.
+    const double r = 0.5 * (static_cast<double>(i + 1) +
+                            static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = r;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<double> placements(std::span<const double> xs,
+                               std::span<const double> ys) {
+  std::vector<double> sorted_y;
+  sorted_y.reserve(ys.size());
+  for (double v : ys)
+    if (!is_missing(v)) sorted_y.push_back(v);
+  std::sort(sorted_y.begin(), sorted_y.end());
+
+  std::vector<double> out(xs.size(), kMissing);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (is_missing(xs[i])) continue;
+    const auto lo = std::lower_bound(sorted_y.begin(), sorted_y.end(), xs[i]);
+    const auto hi = std::upper_bound(lo, sorted_y.end(), xs[i]);
+    const double below = static_cast<double>(lo - sorted_y.begin());
+    const double equal = static_cast<double>(hi - lo);
+    out[i] = below + 0.5 * equal;
+  }
+  return out;
+}
+
+double tie_correction_sum(std::span<const double> xs) {
+  std::vector<double> v;
+  v.reserve(xs.size());
+  for (double x : xs)
+    if (!is_missing(x)) v.push_back(x);
+  std::sort(v.begin(), v.end());
+  double sum = 0;
+  std::size_t i = 0;
+  while (i < v.size()) {
+    std::size_t j = i;
+    while (j + 1 < v.size() && v[j + 1] == v[i]) ++j;
+    const double t = static_cast<double>(j - i + 1);
+    sum += t * t * t - t;
+    i = j + 1;
+  }
+  return sum;
+}
+
+}  // namespace litmus::ts

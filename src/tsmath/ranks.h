@@ -1,0 +1,24 @@
+// Ranking utilities shared by the rank-based tests in rank_tests.h.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace litmus::ts {
+
+/// Mid-ranks (1-based): ties receive the average of the ranks they span.
+/// Missing (NaN) inputs receive NaN ranks and do not consume rank mass.
+std::vector<double> midranks(std::span<const double> xs);
+
+/// Placement counts used by the Fligner-Policello robust rank-order test:
+/// out[i] = #{ j : ys[j] < xs[i] } + 0.5 * #{ j : ys[j] == xs[i] }.
+/// Missing values in either input are ignored (missing xs produce NaN).
+std::vector<double> placements(std::span<const double> xs,
+                               std::span<const double> ys);
+
+/// Sum of t^3 - t over tie groups of size t; used in the Wilcoxon
+/// tie-corrected variance.
+double tie_correction_sum(std::span<const double> xs);
+
+}  // namespace litmus::ts

@@ -1,0 +1,153 @@
+#include "cellnet/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::net {
+namespace {
+
+TEST(Builder, DeterministicForSameSeed) {
+  BuildSpec spec;
+  spec.seed = 42;
+  const Topology a = NetworkBuilder(spec).build();
+  const Topology b = NetworkBuilder(spec).build();
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto id : a.all()) {
+    const auto& ea = a.get(id);
+    const auto& eb = b.get(id);
+    EXPECT_EQ(ea.name, eb.name);
+    EXPECT_DOUBLE_EQ(ea.location.lat_deg, eb.location.lat_deg);
+    EXPECT_EQ(ea.config.software, eb.config.software);
+    EXPECT_EQ(ea.config.son_enabled, eb.config.son_enabled);
+  }
+}
+
+TEST(Builder, DifferentSeedsDiffer) {
+  BuildSpec a_spec, b_spec;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  const Topology a = NetworkBuilder(a_spec).build();
+  const Topology b = NetworkBuilder(b_spec).build();
+  ASSERT_EQ(a.size(), b.size());  // same structure...
+  bool any_diff = false;          // ...different details
+  for (const auto id : a.all())
+    if (a.get(id).location.lat_deg != b.get(id).location.lat_deg)
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Builder, ExpectedElementCounts) {
+  BuildSpec spec;
+  spec.regions = {Region::kNortheast};
+  spec.markets_per_region = 2;
+  spec.mscs_per_region = 2;
+  spec.rncs_per_msc = 3;
+  spec.nodebs_per_rnc = 4;
+  spec.bscs_per_region = 1;
+  spec.bts_per_bsc = 5;
+  spec.enodebs_per_market = 3;
+  const Topology t = NetworkBuilder(spec).build();
+  EXPECT_EQ(t.of_kind(ElementKind::kMsc).size(), 2u);
+  EXPECT_EQ(t.of_kind(ElementKind::kRnc).size(), 6u);
+  EXPECT_EQ(t.of_kind(ElementKind::kNodeB).size(), 24u);
+  EXPECT_EQ(t.of_kind(ElementKind::kBsc).size(), 1u);
+  EXPECT_EQ(t.of_kind(ElementKind::kBts).size(), 5u);
+  EXPECT_EQ(t.of_kind(ElementKind::kEnodeB).size(), 6u);
+  EXPECT_EQ(t.of_kind(ElementKind::kMme).size(), 1u);
+  EXPECT_EQ(t.of_kind(ElementKind::kSgw).size(), 1u);
+  EXPECT_EQ(t.of_kind(ElementKind::kPgw).size(), 1u);
+}
+
+TEST(Builder, EveryTowerHasProperAncestry) {
+  BuildSpec default_spec;
+  const Topology t = NetworkBuilder(default_spec).build();
+  for (const auto id : t.of_kind(ElementKind::kNodeB)) {
+    EXPECT_TRUE(t.ancestor_of_kind(id, ElementKind::kRnc).has_value());
+    EXPECT_TRUE(t.ancestor_of_kind(id, ElementKind::kMsc).has_value());
+  }
+  for (const auto id : t.of_kind(ElementKind::kBts))
+    EXPECT_TRUE(t.ancestor_of_kind(id, ElementKind::kBsc).has_value());
+  for (const auto id : t.of_kind(ElementKind::kEnodeB))
+    EXPECT_TRUE(t.ancestor_of_kind(id, ElementKind::kMme).has_value());
+}
+
+TEST(Builder, TechnologiesMatchKinds) {
+  BuildSpec default_spec;
+  const Topology t = NetworkBuilder(default_spec).build();
+  for (const auto id : t.all()) {
+    const auto& e = t.get(id);
+    if (e.kind == ElementKind::kNodeB || e.kind == ElementKind::kRnc) {
+      EXPECT_EQ(e.technology, Technology::kUmts);
+    }
+    if (e.kind == ElementKind::kBts || e.kind == ElementKind::kBsc) {
+      EXPECT_EQ(e.technology, Technology::kGsm);
+    }
+    if (e.kind == ElementKind::kEnodeB || e.kind == ElementKind::kMme) {
+      EXPECT_EQ(e.technology, Technology::kLte);
+    }
+  }
+}
+
+TEST(Builder, RegionsAssignedAsRequested) {
+  BuildSpec spec;
+  spec.regions = {Region::kWest, Region::kSoutheast};
+  const Topology t = NetworkBuilder(spec).build();
+  EXPECT_FALSE(t.in_region(Region::kWest).empty());
+  EXPECT_FALSE(t.in_region(Region::kSoutheast).empty());
+  EXPECT_TRUE(t.in_region(Region::kMidwest).empty());
+}
+
+TEST(Builder, NeighborLinksOnlySameTechnologyWithinRadius) {
+  BuildSpec default_spec;
+  const Topology t = NetworkBuilder(default_spec).build();
+  for (const auto id : t.all()) {
+    const auto& e = t.get(id);
+    for (const auto n : t.neighbors_of(id)) {
+      EXPECT_EQ(t.get(n).technology, e.technology);
+      EXPECT_LE(haversine_km(e.location, t.get(n).location), 8.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Builder, SonFractionRoughlyRespected) {
+  BuildSpec spec;
+  spec.son_fraction = 0.5;
+  spec.nodebs_per_rnc = 20;
+  const Topology t = NetworkBuilder(spec).build();
+  std::size_t towers = 0, son = 0;
+  for (const auto id : t.all()) {
+    if (!is_tower(t.get(id).kind)) continue;
+    ++towers;
+    if (t.get(id).config.son_enabled) ++son;
+  }
+  const double frac = static_cast<double>(son) / static_cast<double>(towers);
+  EXPECT_NEAR(frac, 0.5, 0.15);
+}
+
+TEST(Builder, TowersHaveAntennaConfig) {
+  BuildSpec default_spec;
+  const Topology t = NetworkBuilder(default_spec).build();
+  for (const auto id : t.of_kind(ElementKind::kNodeB)) {
+    const auto& a = t.get(id).config.antenna;
+    EXPECT_GE(a.tilt_deg, 0.0);
+    EXPECT_LE(a.tilt_deg, 8.0);
+    EXPECT_GE(a.tx_power_dbm, 40.0);
+    EXPECT_LE(a.tx_power_dbm, 46.0);
+  }
+}
+
+TEST(Builder, SmallRegionHelper) {
+  const Topology t = build_small_region(Region::kMidwest, 5, 4, 6);
+  EXPECT_EQ(t.of_kind(ElementKind::kRnc).size(), 4u);
+  EXPECT_EQ(t.of_kind(ElementKind::kNodeB).size(), 24u);
+  EXPECT_TRUE(t.in_region(Region::kNortheast).empty());
+}
+
+TEST(Builder, IdsAreDenseFromOne) {
+  BuildSpec default_spec;
+  const Topology t = NetworkBuilder(default_spec).build();
+  std::uint32_t expected = 1;
+  for (const auto id : t.all()) EXPECT_EQ(id.value, expected++);
+}
+
+}  // namespace
+}  // namespace litmus::net

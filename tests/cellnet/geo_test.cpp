@@ -1,0 +1,65 @@
+#include "cellnet/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::net {
+namespace {
+
+TEST(Haversine, ZeroDistanceForSamePoint) {
+  const GeoPoint p{40.0, -74.0};
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Haversine, KnownCityPair) {
+  // NYC to LA is ~3936 km.
+  const GeoPoint nyc{40.7128, -74.0060};
+  const GeoPoint la{34.0522, -118.2437};
+  EXPECT_NEAR(haversine_km(nyc, la), 3936.0, 40.0);
+}
+
+TEST(Haversine, Symmetric) {
+  const GeoPoint a{41.0, -73.0};
+  const GeoPoint b{33.0, -84.0};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, OneDegreeLatitude) {
+  // One degree of latitude is ~111 km everywhere.
+  const GeoPoint a{40.0, -100.0};
+  const GeoPoint b{41.0, -100.0};
+  EXPECT_NEAR(haversine_km(a, b), 111.2, 1.0);
+}
+
+TEST(ZipCode, ZeroPadsToFiveDigits) {
+  EXPECT_EQ(ZipCode{732}.to_string(), "00732");
+  EXPECT_EQ(ZipCode{10001}.to_string(), "10001");
+}
+
+TEST(ZipCode, Ordering) {
+  EXPECT_LT(ZipCode{100}, ZipCode{200});
+  EXPECT_EQ(ZipCode{100}, ZipCode{100});
+}
+
+TEST(RegionOf, AnchorsMapToTheirRegions) {
+  for (const Region r :
+       {Region::kNortheast, Region::kSoutheast, Region::kMidwest,
+        Region::kSouthwest, Region::kWest}) {
+    EXPECT_EQ(region_of(region_anchor(r)), r) << to_string(r);
+  }
+}
+
+TEST(RegionOf, TotalOverOddPoints) {
+  // Any coordinates produce *some* region (no crash, no gap).
+  (void)region_of({0.0, 0.0});
+  (void)region_of({90.0, 180.0});
+  (void)region_of({-90.0, -180.0});
+}
+
+TEST(FoliageRegions, NortheastYesSoutheastNo) {
+  EXPECT_TRUE(has_foliage_seasonality(Region::kNortheast));
+  EXPECT_FALSE(has_foliage_seasonality(Region::kSoutheast));
+  EXPECT_FALSE(has_foliage_seasonality(Region::kWest));
+}
+
+}  // namespace
+}  // namespace litmus::net

@@ -1,0 +1,66 @@
+#include "cellnet/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace litmus::net {
+namespace {
+
+TEST(Types, TowerClassification) {
+  EXPECT_TRUE(is_tower(ElementKind::kBts));
+  EXPECT_TRUE(is_tower(ElementKind::kNodeB));
+  EXPECT_TRUE(is_tower(ElementKind::kEnodeB));
+  EXPECT_FALSE(is_tower(ElementKind::kRnc));
+  EXPECT_FALSE(is_tower(ElementKind::kMsc));
+}
+
+TEST(Types, ControllerClassification) {
+  EXPECT_TRUE(is_controller(ElementKind::kBsc));
+  EXPECT_TRUE(is_controller(ElementKind::kRnc));
+  // In LTE the eNodeB is its own controller (paper Section 2.1).
+  EXPECT_TRUE(is_controller(ElementKind::kEnodeB));
+  EXPECT_FALSE(is_controller(ElementKind::kNodeB));
+}
+
+TEST(Types, CoreClassification) {
+  for (const auto k : {ElementKind::kMsc, ElementKind::kGmsc,
+                       ElementKind::kSgsn, ElementKind::kGgsn,
+                       ElementKind::kMme, ElementKind::kSgw,
+                       ElementKind::kPgw, ElementKind::kHss,
+                       ElementKind::kPcrf})
+    EXPECT_TRUE(is_core(k)) << to_string(k);
+  EXPECT_FALSE(is_core(ElementKind::kRnc));
+  EXPECT_FALSE(is_core(ElementKind::kNodeB));
+}
+
+TEST(Types, ToStringsAreDistinct) {
+  std::unordered_set<std::string> names;
+  for (int k = 0; k <= static_cast<int>(ElementKind::kPcrf); ++k)
+    names.insert(to_string(static_cast<ElementKind>(k)));
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(ElementKind::kPcrf) + 1);
+}
+
+TEST(Types, ElementIdComparesAndHashes) {
+  EXPECT_EQ(ElementId{3}, ElementId{3});
+  EXPECT_NE(ElementId{3}, ElementId{4});
+  EXPECT_LT(ElementId{3}, ElementId{4});
+  std::unordered_set<ElementId> set{ElementId{1}, ElementId{2}, ElementId{1}};
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(kInvalidElement.value, 0u);
+}
+
+TEST(Types, TechnologyNames) {
+  EXPECT_STREQ(to_string(Technology::kGsm), "GSM");
+  EXPECT_STREQ(to_string(Technology::kUmts), "UMTS");
+  EXPECT_STREQ(to_string(Technology::kLte), "LTE");
+}
+
+TEST(Types, RegionNames) {
+  EXPECT_STREQ(to_string(Region::kNortheast), "Northeast");
+  EXPECT_STREQ(to_string(Region::kSouthwest), "Southwest");
+}
+
+}  // namespace
+}  // namespace litmus::net

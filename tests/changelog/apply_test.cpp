@@ -1,0 +1,156 @@
+#include "changelog/apply.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::chg {
+namespace {
+
+net::Topology topo() {
+  net::Topology t;
+  auto add = [&](std::uint32_t id, net::ElementKind kind,
+                 net::ElementId parent = net::kInvalidElement) {
+    net::NetworkElement e;
+    e.id = net::ElementId{id};
+    e.kind = kind;
+    e.name = "e" + std::to_string(id);
+    e.parent = parent;
+    t.add(e);
+  };
+  add(1, net::ElementKind::kMsc);
+  add(2, net::ElementKind::kRnc, net::ElementId{1});
+  add(3, net::ElementKind::kRnc, net::ElementId{1});
+  add(4, net::ElementKind::kNodeB, net::ElementId{2});
+  return t;
+}
+
+ChangeRecord record(ChangeType type, std::uint32_t element,
+                    std::string parameter) {
+  ChangeRecord r;
+  r.type = type;
+  r.element = net::ElementId{element};
+  r.parameter = std::move(parameter);
+  return r;
+}
+
+TEST(ApplyChange, SoftwareUpgrade) {
+  net::Topology t = topo();
+  const auto r =
+      apply_change(record(ChangeType::kSoftwareUpgrade, 2, "6.1.4"), t);
+  ASSERT_TRUE(r.applied) << r.message;
+  EXPECT_EQ(t.get(net::ElementId{2}).config.software,
+            (net::SoftwareVersion{6, 1, 4}));
+}
+
+TEST(ApplyChange, SoftwareUpgradeBadVersion) {
+  net::Topology t = topo();
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kSoftwareUpgrade, 2, "latest"), t)
+          .applied);
+}
+
+TEST(ApplyChange, HardwareUpgrade) {
+  net::Topology t = topo();
+  ASSERT_TRUE(
+      apply_change(record(ChangeType::kHardwareUpgrade, 4, "model=RBS6601"),
+                   t)
+          .applied);
+  EXPECT_EQ(t.get(net::ElementId{4}).config.equipment_model, "RBS6601");
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kHardwareUpgrade, 4, "RBS6601"), t)
+          .applied);
+}
+
+TEST(ApplyChange, FeatureActivationToggle) {
+  net::Topology t = topo();
+  ASSERT_TRUE(
+      apply_change(record(ChangeType::kFeatureActivation, 4, "son=on"), t)
+          .applied);
+  EXPECT_TRUE(t.get(net::ElementId{4}).config.son_enabled);
+  ASSERT_TRUE(
+      apply_change(record(ChangeType::kFeatureActivation, 4, "son=off"), t)
+          .applied);
+  EXPECT_FALSE(t.get(net::ElementId{4}).config.son_enabled);
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kFeatureActivation, 4, "son=maybe"), t)
+          .applied);
+}
+
+TEST(ApplyChange, ConfigParameters) {
+  net::Topology t = topo();
+  ASSERT_TRUE(apply_change(record(ChangeType::kConfigChange, 4,
+                                  "antenna.tilt_deg=4.5"),
+                           t)
+                  .applied);
+  EXPECT_DOUBLE_EQ(t.get(net::ElementId{4}).config.antenna.tilt_deg, 4.5);
+  ASSERT_TRUE(apply_change(record(ChangeType::kConfigChange, 2,
+                                  "gold.radio_link_failure_timer_ms=4000"),
+                           t)
+                  .applied);
+  EXPECT_EQ(
+      t.get(net::ElementId{2}).config.gold.radio_link_failure_timer_ms, 4000);
+  ASSERT_TRUE(apply_change(record(ChangeType::kConfigChange, 2,
+                                  "gold.access_threshold_dbm=-108"),
+                           t)
+                  .applied);
+  EXPECT_EQ(t.get(net::ElementId{2}).config.gold.access_threshold_dbm, -108);
+}
+
+TEST(ApplyChange, ConfigRejectsUnknownKeyAndBadValues) {
+  net::Topology t = topo();
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kConfigChange, 4, "frobnicate=1"), t)
+          .applied);
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kConfigChange, 4, "antenna.tilt_deg=x"),
+                   t)
+          .applied);
+  EXPECT_FALSE(apply_change(record(ChangeType::kConfigChange, 4,
+                                   "gold.radio_link_failure_timer_ms=-5"),
+                            t)
+                   .applied);
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kConfigChange, 4, "notanassignment"), t)
+          .applied);
+}
+
+TEST(ApplyChange, RehomeMovesSubtree) {
+  net::Topology t = topo();
+  ASSERT_TRUE(
+      apply_change(record(ChangeType::kTopologyChange, 4, "parent=3"), t)
+          .applied);
+  EXPECT_EQ(t.get(net::ElementId{4}).parent, net::ElementId{3});
+  EXPECT_EQ(t.children_of(net::ElementId{3}).size(), 1u);
+  EXPECT_TRUE(t.children_of(net::ElementId{2}).empty());
+}
+
+TEST(ApplyChange, RehomeRejectsCycles) {
+  net::Topology t = topo();
+  // RNC 2 under its own child NodeB 4: cycle.
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kTopologyChange, 2, "parent=4"), t)
+          .applied);
+  // Self-parenting.
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kTopologyChange, 2, "parent=2"), t)
+          .applied);
+  // Unknown parent.
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kTopologyChange, 2, "parent=99"), t)
+          .applied);
+}
+
+TEST(ApplyChange, UnknownElementFails) {
+  net::Topology t = topo();
+  EXPECT_FALSE(
+      apply_change(record(ChangeType::kSoftwareUpgrade, 42, "1.0.0"), t)
+          .applied);
+}
+
+TEST(ApplyChange, TrafficMoveIsNoOp) {
+  net::Topology t = topo();
+  const auto r = apply_change(record(ChangeType::kTrafficMove, 1, ""), t);
+  EXPECT_TRUE(r.applied);
+}
+
+}  // namespace
+}  // namespace litmus::chg

@@ -1,0 +1,128 @@
+#include "changelog/changelog.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::chg {
+namespace {
+
+net::NetworkElement elem(std::uint32_t id, net::ElementKind kind,
+                         net::ElementId parent = net::kInvalidElement) {
+  net::NetworkElement e;
+  e.id = net::ElementId{id};
+  e.kind = kind;
+  e.name = "e" + std::to_string(id);
+  e.parent = parent;
+  return e;
+}
+
+net::Topology topo() {
+  net::Topology t;
+  t.add(elem(1, net::ElementKind::kRnc));
+  t.add(elem(2, net::ElementKind::kNodeB, net::ElementId{1}));
+  t.add(elem(3, net::ElementKind::kNodeB, net::ElementId{1}));
+  t.add(elem(4, net::ElementKind::kRnc));
+  t.add(elem(5, net::ElementKind::kNodeB, net::ElementId{4}));
+  t.add_neighbor_link(net::ElementId{3}, net::ElementId{5});
+  return t;
+}
+
+ChangeRecord record(net::ElementId element, std::int64_t bin,
+                    ChangeType type = ChangeType::kConfigChange) {
+  ChangeRecord r;
+  r.element = element;
+  r.bin = bin;
+  r.type = type;
+  return r;
+}
+
+TEST(ChangeLog, AddAssignsSequentialIds) {
+  ChangeLog log;
+  const ChangeId a = log.add(record(net::ElementId{1}, 0));
+  const ChangeId b = log.add(record(net::ElementId{2}, 5));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(ChangeLog, FindById) {
+  ChangeLog log;
+  const ChangeId id = log.add(record(net::ElementId{3}, 7));
+  const auto found = log.find(id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->element, net::ElementId{3});
+  EXPECT_FALSE(log.find(999).has_value());
+}
+
+TEST(ChangeLog, AtElementSortedByBin) {
+  ChangeLog log;
+  log.add(record(net::ElementId{1}, 50));
+  log.add(record(net::ElementId{1}, 10));
+  log.add(record(net::ElementId{2}, 20));
+  const auto v = log.at_element(net::ElementId{1});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].bin, 10);
+  EXPECT_EQ(v[1].bin, 50);
+}
+
+TEST(ChangeLog, InWindowHalfOpen) {
+  ChangeLog log;
+  log.add(record(net::ElementId{1}, 10));
+  log.add(record(net::ElementId{1}, 20));
+  log.add(record(net::ElementId{1}, 30));
+  const auto v = log.in_window(10, 30);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0].bin, 10);
+  EXPECT_EQ(v[1].bin, 20);
+}
+
+TEST(ChangeLog, ConflictingChangesUsesImpactScope) {
+  const net::Topology t = topo();
+  ChangeLog log;
+  const ChangeId mine = log.add(record(net::ElementId{1}, 100));
+  log.add(record(net::ElementId{2}, 110));  // inside subtree of 1
+  log.add(record(net::ElementId{5}, 120));  // neighbor of tower 3 -> in scope
+  log.add(record(net::ElementId{4}, 130));  // unrelated RNC, not in scope
+
+  const auto conflicts =
+      log.conflicting_changes(t, net::ElementId{1}, 90, 200, mine);
+  ASSERT_EQ(conflicts.size(), 2u);
+  EXPECT_EQ(conflicts[0].element, net::ElementId{2});
+  EXPECT_EQ(conflicts[1].element, net::ElementId{5});
+}
+
+TEST(ChangeLog, ConflictExcludesOwnRecord) {
+  const net::Topology t = topo();
+  ChangeLog log;
+  ChangeRecord r = record(net::ElementId{1}, 100);
+  const ChangeId id = log.add(r);
+  EXPECT_TRUE(log.conflicting_changes(t, net::ElementId{1}, 0, 200, id)
+                  .empty());
+}
+
+TEST(ChangeLog, WindowIsCleanChecksBothSides) {
+  const net::Topology t = topo();
+  ChangeLog log;
+  ChangeRecord mine = record(net::ElementId{1}, 100);
+  mine.id = log.add(mine);
+
+  EXPECT_TRUE(log.window_is_clean(t, mine, 50, 50));
+  log.add(record(net::ElementId{2}, 60));  // inside lookback
+  EXPECT_FALSE(log.window_is_clean(t, mine, 50, 50));
+  EXPECT_TRUE(log.window_is_clean(t, mine, 30, 50));  // 60 < 100-30
+}
+
+TEST(ChangeRecord, EnumNames) {
+  EXPECT_STREQ(to_string(ChangeType::kSoftwareUpgrade), "software_upgrade");
+  EXPECT_STREQ(to_string(ChangeFrequency::kLow), "low");
+  EXPECT_STREQ(to_string(Expectation::kImprovement), "improvement");
+}
+
+TEST(ChangeRecord, DefaultsAreLowFrequencyNoImpact) {
+  const ChangeRecord r;
+  EXPECT_EQ(r.frequency, ChangeFrequency::kLow);
+  EXPECT_EQ(r.expectation, Expectation::kNoImpact);
+  EXPECT_FALSE(r.is_ffa);
+}
+
+}  // namespace
+}  // namespace litmus::chg

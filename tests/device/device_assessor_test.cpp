@@ -1,0 +1,125 @@
+#include "device/device_assessor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "simkit/seasonality.h"
+#include "simkit/weather.h"
+
+namespace litmus::dev {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  std::unique_ptr<sim::KpiGenerator> gen;
+  std::vector<net::ElementId> towers;
+
+  explicit Fixture(std::uint64_t seed = 451, bool with_weather = false) {
+    topo = net::build_small_region(net::Region::kNortheast, seed, 2, 6);
+    gen = std::make_unique<sim::KpiGenerator>(
+        topo, sim::GeneratorConfig{.seed = seed});
+    gen->add_factor(std::make_shared<sim::DiurnalLoadFactor>());
+    towers = topo.of_kind(net::ElementKind::kNodeB);
+    if (with_weather) {
+      auto storm = sim::make_event(sim::WeatherKind::kSevereStorm,
+                                   topo.get(towers[0]).location, 24, 48);
+      gen->add_factor(std::make_shared<sim::WeatherFactor>(
+          std::vector<sim::WeatherEvent>{storm}));
+    }
+  }
+};
+
+TEST(DeviceAssessor, DetectsBadFirmwareRollout) {
+  Fixture f;
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  DeviceEvent rollout;
+  rollout.device = DeviceClassId{2};
+  rollout.start_bin = 0;
+  rollout.sigma_shift = -1.5;  // the firmware regresses service
+  seg.add_event(rollout);
+
+  const DeviceImpactAssessor assessor(seg);
+  const DeviceAssessment a = assessor.assess(
+      DeviceClassId{2}, f.towers, kpi::KpiId::kVoiceRetainability, 0);
+  EXPECT_EQ(a.summary.verdict, core::Verdict::kDegradation);
+  EXPECT_GT(a.summary.degradations, f.towers.size() / 2);
+}
+
+TEST(DeviceAssessor, CleanRolloutIsNoImpact) {
+  Fixture f;
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  const DeviceImpactAssessor assessor(seg);
+  const DeviceAssessment a = assessor.assess(
+      DeviceClassId{2}, f.towers, kpi::KpiId::kVoiceRetainability, 0);
+  EXPECT_EQ(a.summary.verdict, core::Verdict::kNoImpact);
+}
+
+TEST(DeviceAssessor, GoodRolloutDetectedAsImprovement) {
+  Fixture f;
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  DeviceEvent rollout;
+  rollout.device = DeviceClassId{1};
+  rollout.start_bin = 0;
+  rollout.sigma_shift = +1.5;
+  seg.add_event(rollout);
+  const DeviceImpactAssessor assessor(seg);
+  EXPECT_EQ(assessor
+                .assess(DeviceClassId{1}, f.towers,
+                        kpi::KpiId::kVoiceRetainability, 0)
+                .summary.verdict,
+            core::Verdict::kImprovement);
+}
+
+TEST(DeviceAssessor, NetworkConfoundCancelsAcrossClasses) {
+  // A storm hits the market right after a neutral rollout. Every class on
+  // every tower degrades together; the rollout must still be judged
+  // no-impact because the other classes are its controls.
+  Fixture f(452, /*with_weather=*/true);
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  const DeviceImpactAssessor assessor(seg);
+  const DeviceAssessment a = assessor.assess(
+      DeviceClassId{3}, f.towers, kpi::KpiId::kVoiceRetainability, 0);
+  EXPECT_EQ(a.summary.verdict, core::Verdict::kNoImpact);
+}
+
+TEST(DeviceAssessor, ExclusionListRemovesChangedClassFromControls) {
+  // A rollout degrades class 2. Assessing *class 1* must not be distorted
+  // by the moved class sitting in its control group: with class 2 excluded,
+  // class 1 reads no-impact; with it included, the relative read is biased.
+  Fixture f;
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  DeviceEvent rollout;
+  rollout.device = DeviceClassId{2};
+  rollout.start_bin = 0;
+  rollout.sigma_shift = -1.5;
+  seg.add_event(rollout);
+  const DeviceImpactAssessor assessor(seg);
+
+  const std::vector<DeviceClassId> exclude{DeviceClassId{2}};
+  const DeviceAssessment clean = assessor.assess(
+      DeviceClassId{1}, f.towers, kpi::KpiId::kVoiceRetainability, 0,
+      exclude);
+  EXPECT_EQ(clean.summary.verdict, core::Verdict::kNoImpact);
+
+  const DeviceAssessment biased = assessor.assess(
+      DeviceClassId{1}, f.towers, kpi::KpiId::kVoiceRetainability, 0);
+  // One third of the unexcluded control group moved by -1.5 sigma: the
+  // biased read flags a spurious relative improvement at most towers.
+  EXPECT_EQ(biased.summary.verdict, core::Verdict::kImprovement);
+}
+
+TEST(DeviceAssessor, PerElementOutcomesPopulated) {
+  Fixture f;
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  const DeviceImpactAssessor assessor(seg);
+  const DeviceAssessment a = assessor.assess(
+      DeviceClassId{4}, f.towers, kpi::KpiId::kDataRetainability, 0);
+  EXPECT_EQ(a.per_element.size(), f.towers.size());
+  EXPECT_EQ(a.elements.size(), f.towers.size());
+  EXPECT_EQ(a.kpi, kpi::KpiId::kDataRetainability);
+}
+
+}  // namespace
+}  // namespace litmus::dev

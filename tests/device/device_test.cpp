@@ -1,0 +1,49 @@
+#include "device/device.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::dev {
+namespace {
+
+TEST(DeviceCatalog, StandardHasFourClasses) {
+  const DeviceCatalog cat = DeviceCatalog::standard();
+  EXPECT_EQ(cat.size(), 4u);
+  double share = 0;
+  for (const auto& c : cat.all()) share += c.traffic_share;
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(DeviceCatalog, GetById) {
+  const DeviceCatalog cat = DeviceCatalog::standard();
+  const DeviceClass& c = cat.get(DeviceClassId{2});
+  EXPECT_EQ(c.id, DeviceClassId{2});
+  EXPECT_FALSE(c.vendor.empty());
+  EXPECT_THROW(cat.get(DeviceClassId{99}), std::out_of_range);
+}
+
+TEST(DeviceCatalog, OthersExcludesOne) {
+  const DeviceCatalog cat = DeviceCatalog::standard();
+  const auto others = cat.others(DeviceClassId{3});
+  EXPECT_EQ(others.size(), 3u);
+  for (const auto id : others) EXPECT_NE(id, DeviceClassId{3});
+}
+
+TEST(DeviceCatalog, EmptyRejected) {
+  EXPECT_THROW(DeviceCatalog({}), std::invalid_argument);
+}
+
+TEST(DeviceCatalog, LegacyMixIsMostSensitive) {
+  // Older radios feel bad coverage hardest — encoded in the catalog.
+  const DeviceCatalog cat = DeviceCatalog::standard();
+  double max_sensitivity = 0;
+  DeviceClassId most{0};
+  for (const auto& c : cat.all())
+    if (c.network_sensitivity > max_sensitivity) {
+      max_sensitivity = c.network_sensitivity;
+      most = c.id;
+    }
+  EXPECT_EQ(most, DeviceClassId{4});
+}
+
+}  // namespace
+}  // namespace litmus::dev

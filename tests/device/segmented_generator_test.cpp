@@ -1,0 +1,113 @@
+#include "device/segmented_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "simkit/network_events.h"
+#include "tsmath/stats.h"
+
+namespace litmus::dev {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  std::unique_ptr<sim::KpiGenerator> gen;
+  net::ElementId tower;
+
+  Fixture() {
+    topo = net::build_small_region(net::Region::kWest, 91, 2, 5);
+    gen = std::make_unique<sim::KpiGenerator>(topo,
+                                              sim::GeneratorConfig{.seed = 91});
+    tower = topo.of_kind(net::ElementKind::kNodeB).front();
+  }
+};
+
+TEST(SegmentedGenerator, Deterministic) {
+  Fixture f;
+  const SegmentedGenerator a(*f.gen, DeviceCatalog::standard());
+  const SegmentedGenerator b(*f.gen, DeviceCatalog::standard());
+  const auto sa = a.kpi_series(f.tower, DeviceClassId{1},
+                               kpi::KpiId::kVoiceRetainability, 0, 100);
+  const auto sb = b.kpi_series(f.tower, DeviceClassId{1},
+                               kpi::KpiId::kVoiceRetainability, 0, 100);
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(SegmentedGenerator, ClassesShareElementLatent) {
+  Fixture f;
+  const SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  const auto a = seg.device_latent(f.tower, DeviceClassId{1}, 0, 600);
+  const auto b = seg.device_latent(f.tower, DeviceClassId{3}, 0, 600);
+  // Strong correlation through the common network latent.
+  EXPECT_GT(ts::pearson(a.values(), b.values()), 0.5);
+  // But not identical series.
+  bool diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) diff = true;
+  EXPECT_TRUE(diff);
+}
+
+TEST(SegmentedGenerator, BaselineOffsetsShowUp) {
+  Fixture f;
+  const SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  // Class 1 (+0.3 sigma) vs class 4 (-0.4 sigma): persistent level gap.
+  const auto hi = seg.device_latent(f.tower, DeviceClassId{1}, 0, 800);
+  const auto lo = seg.device_latent(f.tower, DeviceClassId{4}, 0, 800);
+  EXPECT_GT(ts::mean(hi) - ts::mean(lo), 0.4);
+}
+
+TEST(SegmentedGenerator, EventShiftsOnlyThatClass) {
+  Fixture f;
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  DeviceEvent ev;
+  ev.device = DeviceClassId{2};
+  ev.start_bin = 0;
+  ev.sigma_shift = -2.0;
+  seg.add_event(ev);
+
+  SegmentedGenerator clean(*f.gen, DeviceCatalog::standard());
+  const auto dirty2 = seg.device_latent(f.tower, DeviceClassId{2}, 0, 300);
+  const auto clean2 = clean.device_latent(f.tower, DeviceClassId{2}, 0, 300);
+  const auto dirty3 = seg.device_latent(f.tower, DeviceClassId{3}, 0, 300);
+  const auto clean3 = clean.device_latent(f.tower, DeviceClassId{3}, 0, 300);
+  EXPECT_NEAR(ts::mean(dirty2) - ts::mean(clean2), -2.0, 0.1);
+  EXPECT_NEAR(ts::mean(dirty3) - ts::mean(clean3), 0.0, 0.05);
+}
+
+TEST(SegmentedGenerator, EventWindowAndRamp) {
+  Fixture f;
+  SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  DeviceEvent ev;
+  ev.device = DeviceClassId{1};
+  ev.start_bin = 0;
+  ev.end_bin = 100;
+  ev.sigma_shift = 3.0;
+  ev.ramp_bins = 10;
+  seg.add_event(ev);
+  SegmentedGenerator clean(*f.gen, DeviceCatalog::standard());
+  const auto dirty = seg.device_latent(f.tower, DeviceClassId{1}, -50, 250);
+  const auto base = clean.device_latent(f.tower, DeviceClassId{1}, -50, 250);
+  const auto delta = dirty.minus(base);
+  EXPECT_DOUBLE_EQ(delta.at_bin(-10), 0.0);
+  EXPECT_LT(delta.at_bin(2), 3.0);  // ramping
+  EXPECT_NEAR(delta.at_bin(50), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(delta.at_bin(150), 0.0);  // past end
+}
+
+TEST(SegmentedGenerator, KpiMappingMatchesNetworkGenerator) {
+  Fixture f;
+  const SegmentedGenerator seg(*f.gen, DeviceCatalog::standard());
+  const auto s = seg.kpi_series(f.tower, DeviceClassId{3},
+                                kpi::KpiId::kVoiceRetainability, 0, 500);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (ts::is_missing(s[i])) continue;
+    EXPECT_GE(s[i], 0.0);
+    EXPECT_LE(s[i], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace litmus::dev

@@ -1,0 +1,86 @@
+#include "eval/labeling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace litmus::eval {
+namespace {
+
+using core::Verdict;
+
+TEST(Labeling, Table1CompleteMapping) {
+  // Truth improvement.
+  EXPECT_EQ(label(Verdict::kImprovement, Verdict::kImprovement), Outcome::kTp);
+  EXPECT_EQ(label(Verdict::kImprovement, Verdict::kDegradation), Outcome::kFn);
+  EXPECT_EQ(label(Verdict::kImprovement, Verdict::kNoImpact), Outcome::kFn);
+  // Truth degradation.
+  EXPECT_EQ(label(Verdict::kDegradation, Verdict::kDegradation), Outcome::kTp);
+  EXPECT_EQ(label(Verdict::kDegradation, Verdict::kImprovement), Outcome::kFn);
+  EXPECT_EQ(label(Verdict::kDegradation, Verdict::kNoImpact), Outcome::kFn);
+  // Truth no impact.
+  EXPECT_EQ(label(Verdict::kNoImpact, Verdict::kImprovement), Outcome::kFp);
+  EXPECT_EQ(label(Verdict::kNoImpact, Verdict::kDegradation), Outcome::kFp);
+  EXPECT_EQ(label(Verdict::kNoImpact, Verdict::kNoImpact), Outcome::kTn);
+}
+
+TEST(Confusion, AddAndTotal) {
+  ConfusionCounts c;
+  c.add(Outcome::kTp);
+  c.add(Outcome::kTp);
+  c.add(Outcome::kTn);
+  c.add(Outcome::kFp);
+  c.add(Outcome::kFn);
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.total(), 5u);
+}
+
+TEST(Confusion, MetricsMatchPaperFormulas) {
+  ConfusionCounts c;
+  c.tp = 234;
+  c.tn = 79;
+  c.fp = 0;
+  c.fn = 0;
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.true_negative_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+
+  // The paper's DiD column: 186 TP, 79 TN, 0 FP, 48 FN.
+  ConfusionCounts did;
+  did.tp = 186;
+  did.tn = 79;
+  did.fp = 0;
+  did.fn = 48;
+  EXPECT_NEAR(did.precision(), 1.0, 1e-12);
+  EXPECT_NEAR(did.recall(), 0.7949, 5e-4);
+  EXPECT_NEAR(did.accuracy(), 0.8466, 5e-4);
+}
+
+TEST(Confusion, ZeroDenominatorsAreNan) {
+  const ConfusionCounts c;
+  EXPECT_TRUE(std::isnan(c.precision()));
+  EXPECT_TRUE(std::isnan(c.recall()));
+  EXPECT_TRUE(std::isnan(c.true_negative_rate()));
+  EXPECT_TRUE(std::isnan(c.accuracy()));
+}
+
+TEST(Confusion, Accumulate) {
+  ConfusionCounts a, b;
+  a.tp = 1;
+  a.fn = 2;
+  b.tp = 3;
+  b.fp = 4;
+  a += b;
+  EXPECT_EQ(a.tp, 4u);
+  EXPECT_EQ(a.fn, 2u);
+  EXPECT_EQ(a.fp, 4u);
+}
+
+TEST(Labeling, OutcomeNames) {
+  EXPECT_STREQ(to_string(Outcome::kTp), "TP");
+  EXPECT_STREQ(to_string(Outcome::kFn), "FN");
+}
+
+}  // namespace
+}  // namespace litmus::eval

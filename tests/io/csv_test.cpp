@@ -1,0 +1,67 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace litmus::io {
+namespace {
+
+TEST(Csv, SplitTrimsFields) {
+  const auto f = split_csv_line(" a , b,c ,  d\t");
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+  EXPECT_EQ(f[3], "d");
+}
+
+TEST(Csv, SplitKeepsEmptyFields) {
+  const auto f = split_csv_line("a,,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "");
+}
+
+TEST(Csv, ReadSkipsCommentsAndBlanks) {
+  std::istringstream in("# header\n\n1,2\n  \n# more\n3,4\n");
+  auto r1 = read_csv_row(in);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ((*r1)[0], "1");
+  auto r2 = read_csv_row(in);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ((*r2)[1], "4");
+  EXPECT_FALSE(read_csv_row(in).has_value());
+}
+
+TEST(Csv, WriteRow) {
+  std::ostringstream out;
+  write_csv_row(out, {"x", "y", "z"});
+  EXPECT_EQ(out.str(), "x,y,z\n");
+}
+
+TEST(Csv, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-0.25"), -0.25);
+  EXPECT_FALSE(parse_double("3.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(Csv, ParseDoubleOrMissing) {
+  EXPECT_DOUBLE_EQ(parse_double_or_missing("1.5"), 1.5);
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("nan")));
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("NA")));
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("")));
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("junk")));
+}
+
+TEST(Csv, ParseIntStrict) {
+  EXPECT_EQ(*parse_int("-42"), -42);
+  EXPECT_EQ(*parse_int("7"), 7);
+  EXPECT_FALSE(parse_int("7.5").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+}  // namespace
+}  // namespace litmus::io

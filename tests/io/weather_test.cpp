@@ -1,0 +1,85 @@
+#include "io/weather.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace litmus::io {
+namespace {
+
+TEST(WeatherCsv, ParseKinds) {
+  EXPECT_EQ(parse_weather_kind("rain"), sim::WeatherKind::kRain);
+  EXPECT_EQ(parse_weather_kind("hurricane"), sim::WeatherKind::kHurricane);
+  EXPECT_EQ(parse_weather_kind("severe_storm"),
+            sim::WeatherKind::kSevereStorm);
+  EXPECT_FALSE(parse_weather_kind("drizzle").has_value());
+}
+
+TEST(WeatherCsv, LoadBasicEvent) {
+  std::istringstream in(
+      "# kind, lat, lon, radius_km, start_bin, duration_bins, severity\n"
+      "severe_storm, 32.8, -96.8, 120, 432, 48, 3.5\n");
+  const auto events = load_weather_csv(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, sim::WeatherKind::kSevereStorm);
+  EXPECT_DOUBLE_EQ(events[0].center.lat_deg, 32.8);
+  EXPECT_DOUBLE_EQ(events[0].radius_km, 120.0);
+  EXPECT_EQ(events[0].start_bin, 432);
+  EXPECT_EQ(events[0].end_bin, 480);
+  EXPECT_DOUBLE_EQ(events[0].peak_sigma, 3.5);
+}
+
+TEST(WeatherCsv, ZeroSeverityKeepsPreset) {
+  std::istringstream in("hurricane, 41.0, -74.0, 400, 0, 96, 0\n");
+  const auto events = load_weather_csv(in);
+  ASSERT_EQ(events.size(), 1u);
+  const auto preset =
+      sim::make_event(sim::WeatherKind::kHurricane, {41.0, -74.0}, 0, 96);
+  EXPECT_DOUBLE_EQ(events[0].peak_sigma, preset.peak_sigma);
+  EXPECT_DOUBLE_EQ(events[0].outage_probability,
+                   preset.outage_probability);
+}
+
+TEST(WeatherCsv, MalformedRowsThrow) {
+  std::istringstream bad_kind("tsunami, 1, 1, 10, 0, 5, 1\n");
+  EXPECT_THROW(load_weather_csv(bad_kind), std::runtime_error);
+  std::istringstream short_row("rain, 1, 1, 10\n");
+  EXPECT_THROW(load_weather_csv(short_row), std::runtime_error);
+  std::istringstream bad_duration("rain, 1, 1, 10, 0, -5, 1\n");
+  EXPECT_THROW(load_weather_csv(bad_duration), std::runtime_error);
+  std::istringstream bad_radius("rain, 1, 1, 0, 0, 5, 1\n");
+  EXPECT_THROW(load_weather_csv(bad_radius), std::runtime_error);
+}
+
+TEST(WeatherCsv, RoundTrip) {
+  std::vector<sim::WeatherEvent> events;
+  events.push_back(sim::make_event(sim::WeatherKind::kWind, {40.0, -75.0},
+                                   100, 72));
+  events.push_back(sim::make_event(sim::WeatherKind::kRain, {33.0, -84.0},
+                                   -50, 24));
+  std::stringstream buf;
+  save_weather_csv(buf, events);
+  const auto loaded = load_weather_csv(buf);
+  ASSERT_EQ(loaded.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(loaded[i].kind, events[i].kind);
+    EXPECT_NEAR(loaded[i].center.lat_deg, events[i].center.lat_deg, 1e-3);
+    EXPECT_EQ(loaded[i].start_bin, events[i].start_bin);
+    EXPECT_EQ(loaded[i].end_bin, events[i].end_bin);
+    EXPECT_NEAR(loaded[i].peak_sigma, events[i].peak_sigma, 1e-2);
+  }
+}
+
+TEST(WeatherCsv, LoadedEventsDriveWeatherFactor) {
+  std::istringstream in("wind, 41.0, -74.0, 150, 10, 20, 2.0\n");
+  const sim::WeatherFactor factor(load_weather_csv(in));
+  net::NetworkElement e;
+  e.id = net::ElementId{1};
+  e.kind = net::ElementKind::kNodeB;
+  e.location = {41.0, -74.0};
+  EXPECT_LT(factor.quality_effect(e, 20), 0.0);
+  EXPECT_DOUBLE_EQ(factor.quality_effect(e, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace litmus::io

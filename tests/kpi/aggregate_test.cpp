@@ -1,0 +1,100 @@
+#include "kpi/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::kpi {
+namespace {
+
+CounterSeries make_series(std::uint64_t attempts, std::uint64_t drops,
+                          std::size_t n = 4) {
+  CounterSeries s(0, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i].voice_attempts = attempts;
+    s[i].voice_blocked = 0;
+    s[i].voice_established = attempts;
+    s[i].voice_dropped = drops;
+  }
+  return s;
+}
+
+TEST(SumCounters, AddsAcrossElements) {
+  const std::vector<CounterSeries> v{make_series(100, 1), make_series(50, 5)};
+  const CounterSeries total = sum_counters(v);
+  EXPECT_EQ(total.at_bin(0).voice_attempts, 150u);
+  EXPECT_EQ(total.at_bin(0).voice_dropped, 6u);
+}
+
+TEST(SumCounters, EmptyThrows) {
+  EXPECT_THROW(sum_counters({}), std::invalid_argument);
+}
+
+TEST(AggregateKpi, RatioFromSummedCountersNotMeanOfRatios) {
+  // Element A: 1000 calls, 10 drops (ratio 0.99). Element B: 10 calls, 5
+  // drops (ratio 0.5). Correct traffic-weighted retainability is
+  // 1 - 15/1010 ~ 0.985, not the unweighted mean 0.745.
+  CounterSeries a(0, 1), b(0, 1);
+  a[0].voice_established = 1000;
+  a[0].voice_dropped = 10;
+  b[0].voice_established = 10;
+  b[0].voice_dropped = 5;
+  const std::vector<CounterSeries> v{a, b};
+  const ts::TimeSeries k = aggregate_kpi(v, KpiId::kVoiceRetainability);
+  EXPECT_NEAR(k.at_bin(0), 1.0 - 15.0 / 1010.0, 1e-12);
+}
+
+TEST(Downsample, SumsGroups) {
+  CounterSeries s(0, 5);
+  for (std::size_t i = 0; i < 5; ++i) s[i].voice_attempts = 10;
+  const CounterSeries d = downsample(s, 2);
+  EXPECT_EQ(d.size(), 2u);  // trailing partial group dropped
+  EXPECT_EQ(d[0].voice_attempts, 20u);
+  EXPECT_EQ(d.bin_minutes(), 120);
+}
+
+TEST(Downsample, BadFactorThrows) {
+  CounterSeries s(0, 4);
+  EXPECT_THROW(downsample(s, 0), std::invalid_argument);
+}
+
+TEST(DownsampleMean, AveragesMissingAware) {
+  ts::TimeSeries s(0, {1.0, 3.0, ts::kMissing, 5.0, 7.0, 9.0});
+  const ts::TimeSeries d = downsample_mean(s, 2);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);  // single observed value in the group
+  EXPECT_DOUBLE_EQ(d[2], 8.0);
+}
+
+TEST(DownsampleMean, AllMissingGroupStaysMissing) {
+  ts::TimeSeries s(0, {ts::kMissing, ts::kMissing, 1.0, 1.0});
+  const ts::TimeSeries d = downsample_mean(s, 2);
+  EXPECT_TRUE(ts::is_missing(d[0]));
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+}
+
+TEST(PointwiseMean, AlignsOnCommonRange) {
+  std::vector<ts::TimeSeries> v;
+  v.emplace_back(0, std::vector<double>{1.0, 2.0, 3.0});
+  v.emplace_back(1, std::vector<double>{10.0, 20.0, 30.0});
+  const ts::TimeSeries m = pointwise_mean(v);
+  EXPECT_EQ(m.start_bin(), 1);
+  EXPECT_EQ(m.end_bin(), 3);
+  EXPECT_DOUBLE_EQ(m.at_bin(1), 6.0);
+  EXPECT_DOUBLE_EQ(m.at_bin(2), 11.5);
+}
+
+TEST(PointwiseMean, SkipsMissingPerBin) {
+  std::vector<ts::TimeSeries> v;
+  v.emplace_back(0, std::vector<double>{1.0, ts::kMissing});
+  v.emplace_back(0, std::vector<double>{3.0, 5.0});
+  const ts::TimeSeries m = pointwise_mean(v);
+  EXPECT_DOUBLE_EQ(m.at_bin(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at_bin(1), 5.0);
+}
+
+TEST(PointwiseMean, EmptyThrows) {
+  EXPECT_THROW(pointwise_mean({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace litmus::kpi

@@ -1,0 +1,104 @@
+#include "kpi/counters.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::kpi {
+namespace {
+
+CounterBin sample_bin() {
+  CounterBin c;
+  c.voice_attempts = 100;
+  c.voice_blocked = 5;
+  c.voice_established = 95;
+  c.voice_dropped = 2;
+  c.data_attempts = 200;
+  c.data_blocked = 10;
+  c.data_established = 190;
+  c.data_dropped = 19;
+  c.megabits_delivered = 3600.0;
+  return c;
+}
+
+TEST(CounterBin, Accumulate) {
+  CounterBin a = sample_bin();
+  a += sample_bin();
+  EXPECT_EQ(a.voice_attempts, 200u);
+  EXPECT_EQ(a.data_dropped, 38u);
+  EXPECT_DOUBLE_EQ(a.megabits_delivered, 7200.0);
+}
+
+TEST(ComputeKpi, VoiceAccessibility) {
+  EXPECT_NEAR(compute_kpi(sample_bin(), KpiId::kVoiceAccessibility, 60),
+              0.95, 1e-12);
+}
+
+TEST(ComputeKpi, VoiceRetainability) {
+  EXPECT_NEAR(compute_kpi(sample_bin(), KpiId::kVoiceRetainability, 60),
+              1.0 - 2.0 / 95.0, 1e-12);
+}
+
+TEST(ComputeKpi, DataAccessibilityAndRetainability) {
+  EXPECT_NEAR(compute_kpi(sample_bin(), KpiId::kDataAccessibility, 60), 0.95,
+              1e-12);
+  EXPECT_NEAR(compute_kpi(sample_bin(), KpiId::kDataRetainability, 60), 0.9,
+              1e-12);
+}
+
+TEST(ComputeKpi, ThroughputIsMbps) {
+  // 3600 Mb over 60 minutes = 1 Mb/s.
+  EXPECT_NEAR(compute_kpi(sample_bin(), KpiId::kDataThroughput, 60), 1.0,
+              1e-12);
+  EXPECT_NEAR(compute_kpi(sample_bin(), KpiId::kDataThroughput, 30), 2.0,
+              1e-12);
+}
+
+TEST(ComputeKpi, DroppedCallRatio) {
+  EXPECT_NEAR(compute_kpi(sample_bin(), KpiId::kDroppedVoiceCallRatio, 60),
+              2.0 / 95.0, 1e-12);
+}
+
+TEST(ComputeKpi, ZeroDenominatorsAreMissing) {
+  const CounterBin empty;
+  for (const KpiId id :
+       {KpiId::kVoiceAccessibility, KpiId::kVoiceRetainability,
+        KpiId::kDataAccessibility, KpiId::kDataRetainability,
+        KpiId::kDroppedVoiceCallRatio})
+    EXPECT_TRUE(ts::is_missing(compute_kpi(empty, id, 60)));
+  // Throughput of an idle bin is legitimately zero, not missing.
+  EXPECT_DOUBLE_EQ(compute_kpi(empty, KpiId::kDataThroughput, 60), 0.0);
+}
+
+TEST(CounterSeries, SpanAndAccess) {
+  CounterSeries s(10, 3);
+  EXPECT_EQ(s.start_bin(), 10);
+  EXPECT_EQ(s.end_bin(), 13);
+  s.at_bin(11).voice_attempts = 7;
+  EXPECT_EQ(s.at_bin(11).voice_attempts, 7u);
+  EXPECT_THROW(s.at_bin(13), std::out_of_range);
+  EXPECT_THROW(s.at_bin(9), std::out_of_range);
+}
+
+TEST(CounterSeries, KpiSeriesDerivation) {
+  CounterSeries s(0, 2);
+  s.at_bin(0) = sample_bin();
+  // bin 1 left empty -> missing accessibility.
+  const ts::TimeSeries k = s.kpi_series(KpiId::kVoiceAccessibility);
+  EXPECT_NEAR(k.at_bin(0), 0.95, 1e-12);
+  EXPECT_TRUE(ts::is_missing(k.at_bin(1)));
+}
+
+TEST(CounterSeries, PlusEqualsRequiresSameSpan) {
+  CounterSeries a(0, 2), b(0, 2), c(1, 2);
+  a.at_bin(0) = sample_bin();
+  b.at_bin(0) = sample_bin();
+  a += b;
+  EXPECT_EQ(a.at_bin(0).voice_attempts, 200u);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+TEST(CounterSeries, RejectsBadBinMinutes) {
+  EXPECT_THROW(CounterSeries(0, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace litmus::kpi

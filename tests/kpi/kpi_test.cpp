@@ -1,0 +1,52 @@
+#include "kpi/kpi.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace litmus::kpi {
+namespace {
+
+TEST(KpiCatalogue, AllKpisEnumerated) {
+  EXPECT_EQ(all_kpis().size(), 6u);
+}
+
+TEST(KpiCatalogue, InfoMatchesId) {
+  for (const KpiId id : all_kpis()) EXPECT_EQ(info(id).id, id);
+}
+
+TEST(KpiCatalogue, Polarities) {
+  EXPECT_EQ(info(KpiId::kVoiceRetainability).polarity,
+            Polarity::kHigherIsBetter);
+  EXPECT_EQ(info(KpiId::kDataThroughput).polarity,
+            Polarity::kHigherIsBetter);
+  EXPECT_EQ(info(KpiId::kDroppedVoiceCallRatio).polarity,
+            Polarity::kLowerIsBetter);
+}
+
+TEST(KpiCatalogue, RatioFlagsAndRanges) {
+  for (const KpiId id : all_kpis()) {
+    const KpiInfo& k = info(id);
+    if (k.is_ratio) {
+      EXPECT_GE(k.typical_value, 0.0) << k.name;
+      EXPECT_LE(k.typical_value, 1.0) << k.name;
+    }
+    EXPECT_GT(k.typical_noise, 0.0) << k.name;
+  }
+  EXPECT_FALSE(info(KpiId::kDataThroughput).is_ratio);
+}
+
+TEST(KpiCatalogue, NamesDistinct) {
+  std::unordered_set<std::string_view> names;
+  for (const KpiId id : all_kpis()) names.insert(info(id).name);
+  EXPECT_EQ(names.size(), all_kpis().size());
+}
+
+TEST(KpiCatalogue, ParseRoundTrip) {
+  for (const KpiId id : all_kpis())
+    EXPECT_EQ(parse_kpi(to_string(id)), id);
+  EXPECT_FALSE(parse_kpi("nonsense").has_value());
+}
+
+}  // namespace
+}  // namespace litmus::kpi

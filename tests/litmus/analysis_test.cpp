@@ -1,0 +1,52 @@
+#include "litmus/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::core {
+namespace {
+
+TEST(VerdictFrom, NoChangeIsAlwaysNoImpact) {
+  EXPECT_EQ(verdict_from(RelativeChange::kNoChange,
+                         kpi::Polarity::kHigherIsBetter),
+            Verdict::kNoImpact);
+  EXPECT_EQ(verdict_from(RelativeChange::kNoChange,
+                         kpi::Polarity::kLowerIsBetter),
+            Verdict::kNoImpact);
+}
+
+TEST(VerdictFrom, HigherIsBetterMapping) {
+  EXPECT_EQ(verdict_from(RelativeChange::kIncrease,
+                         kpi::Polarity::kHigherIsBetter),
+            Verdict::kImprovement);
+  EXPECT_EQ(verdict_from(RelativeChange::kDecrease,
+                         kpi::Polarity::kHigherIsBetter),
+            Verdict::kDegradation);
+}
+
+TEST(VerdictFrom, LowerIsBetterMapping) {
+  // A dropped-call-ratio increase is a degradation.
+  EXPECT_EQ(verdict_from(RelativeChange::kIncrease,
+                         kpi::Polarity::kLowerIsBetter),
+            Verdict::kDegradation);
+  EXPECT_EQ(verdict_from(RelativeChange::kDecrease,
+                         kpi::Polarity::kLowerIsBetter),
+            Verdict::kImprovement);
+}
+
+TEST(Analysis, EnumNames) {
+  EXPECT_STREQ(to_string(RelativeChange::kNoChange), "no_change");
+  EXPECT_STREQ(to_string(RelativeChange::kIncrease), "increase");
+  EXPECT_STREQ(to_string(Verdict::kImprovement), "improvement");
+  EXPECT_STREQ(to_string(Verdict::kDegradation), "degradation");
+  EXPECT_STREQ(to_string(Verdict::kNoImpact), "no_impact");
+}
+
+TEST(Analysis, DefaultOutcomeIsDegenerateFree) {
+  const AnalysisOutcome o;
+  EXPECT_EQ(o.verdict, Verdict::kNoImpact);
+  EXPECT_FALSE(o.degenerate);
+  EXPECT_TRUE(ts::is_missing(o.p_value));
+}
+
+}  // namespace
+}  // namespace litmus::core

@@ -1,0 +1,172 @@
+#include "litmus/assessor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "litmus/report.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+
+namespace litmus::core {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  std::unique_ptr<sim::KpiGenerator> gen;
+  std::vector<net::ElementId> rncs;
+
+  // True effect (sigma) applied to the first RNC's subtree at bin 0.
+  explicit Fixture(double study_effect_sigma, std::uint64_t seed = 314) {
+    topo = net::build_small_region(net::Region::kSoutheast, seed, 6, 6);
+    rncs = topo.of_kind(net::ElementKind::kRnc);
+    gen = std::make_unique<sim::KpiGenerator>(topo,
+                                              sim::GeneratorConfig{.seed = seed});
+    if (study_effect_sigma != 0.0) {
+      sim::UpstreamEvent ev;
+      ev.source = rncs[0];
+      ev.start_bin = 0;
+      ev.sigma_shift = study_effect_sigma;
+      gen->add_factor(std::make_shared<sim::NetworkEventFactor>(
+          topo, std::vector<sim::UpstreamEvent>{ev}));
+    }
+  }
+
+  SeriesProvider provider() {
+    return [g = gen.get()](net::ElementId e, kpi::KpiId k, std::int64_t s,
+                           std::size_t n) { return g->kpi_series(e, k, s, n); };
+  }
+
+  std::vector<net::ElementId> study() const { return {rncs[0]}; }
+  std::vector<net::ElementId> controls() const {
+    return {rncs.begin() + 1, rncs.end()};
+  }
+};
+
+TEST(Assessor, DetectsTrueImprovement) {
+  Fixture f(+1.5);
+  Assessor assessor(f.topo, f.provider());
+  const ChangeAssessment a = assessor.assess(
+      f.study(), f.controls(), kpi::KpiId::kVoiceRetainability, 0);
+  EXPECT_EQ(a.summary.verdict, Verdict::kImprovement);
+  ASSERT_EQ(a.per_element.size(), 1u);
+  EXPECT_EQ(a.per_element[0].element, f.rncs[0]);
+  EXPECT_FALSE(a.per_element[0].outcome.degenerate);
+}
+
+TEST(Assessor, NeutralChangeIsNoImpact) {
+  Fixture f(0.0);
+  Assessor assessor(f.topo, f.provider());
+  const ChangeAssessment a = assessor.assess(
+      f.study(), f.controls(), kpi::KpiId::kVoiceRetainability, 0);
+  EXPECT_EQ(a.summary.verdict, Verdict::kNoImpact);
+}
+
+TEST(Assessor, WindowsAlignAroundChangeBin) {
+  Fixture f(0.0);
+  AssessmentConfig cfg;
+  cfg.before_bins = 48;
+  cfg.after_bins = 24;
+  cfg.guard_bins = 6;
+  Assessor assessor(f.topo, f.provider(), cfg);
+  const ElementWindows w = assessor.windows_for(
+      f.rncs[0], f.controls(), kpi::KpiId::kVoiceRetainability, 100);
+  EXPECT_EQ(w.study_before.start_bin(), 52);
+  EXPECT_EQ(w.study_before.end_bin(), 100);
+  EXPECT_EQ(w.study_after.start_bin(), 106);
+  EXPECT_EQ(w.study_after.end_bin(), 130);
+  ASSERT_EQ(w.control_before.size(), f.controls().size());
+  EXPECT_EQ(w.control_before[0].size(), 48u);
+  EXPECT_EQ(w.control_after[0].size(), 24u);
+}
+
+TEST(Assessor, RejectsBadConfig) {
+  Fixture f(0.0);
+  AssessmentConfig cfg;
+  cfg.before_bins = 2;
+  EXPECT_THROW(Assessor(f.topo, f.provider(), cfg), std::invalid_argument);
+  EXPECT_THROW(Assessor(f.topo, nullptr), std::invalid_argument);
+}
+
+TEST(Assessor, SelectionVariantPicksControlsOutsideScope) {
+  Fixture f(+1.5);
+  Assessor assessor(f.topo, f.provider());
+  const ChangeAssessment a = assessor.assess_with_selection(
+      f.study(), all_of({same_upstream(net::ElementKind::kMsc)}),
+      kpi::KpiId::kVoiceRetainability, 0);
+  EXPECT_FALSE(a.control_group.empty());
+  const auto scope = f.topo.impact_scope(f.rncs[0]);
+  for (const auto c : a.control_group) EXPECT_FALSE(scope.contains(c));
+  EXPECT_EQ(a.summary.verdict, Verdict::kImprovement);
+}
+
+TEST(Assessor, FfaGoWhenNoDegradation) {
+  Fixture f(+1.5);
+  Assessor assessor(f.topo, f.provider());
+  const std::vector<kpi::KpiId> kpis{kpi::KpiId::kVoiceRetainability,
+                                     kpi::KpiId::kDataRetainability};
+  const FfaDecision d =
+      assessor.ffa_decision(f.study(), f.controls(), kpis, 0);
+  EXPECT_TRUE(d.go);
+  EXPECT_EQ(d.per_kpi.size(), 2u);
+  EXPECT_FALSE(d.rationale.empty());
+}
+
+TEST(Assessor, FfaNoGoOnDegradation) {
+  Fixture f(-1.5);
+  Assessor assessor(f.topo, f.provider());
+  const std::vector<kpi::KpiId> kpis{kpi::KpiId::kVoiceRetainability};
+  const FfaDecision d =
+      assessor.ffa_decision(f.study(), f.controls(), kpis, 0);
+  EXPECT_FALSE(d.go);
+  EXPECT_NE(d.rationale.find("degradation"), std::string::npos);
+}
+
+TEST(Report, FormatsContainKeyFacts) {
+  Fixture f(+1.5);
+  Assessor assessor(f.topo, f.provider());
+  const ChangeAssessment a = assessor.assess(
+      f.study(), f.controls(), kpi::KpiId::kVoiceRetainability, 0);
+  const std::string text = format_assessment(a, f.topo);
+  EXPECT_NE(text.find("voice_retainability"), std::string::npos);
+  EXPECT_NE(text.find("improvement"), std::string::npos);
+  EXPECT_NE(text.find(f.topo.get(f.rncs[0]).name), std::string::npos);
+
+  const std::string line = one_line_summary(a);
+  EXPECT_NE(line.find("improvement"), std::string::npos);
+
+  const FfaDecision d = assessor.ffa_decision(
+      f.study(), f.controls(),
+      std::vector<kpi::KpiId>{kpi::KpiId::kVoiceRetainability}, 0);
+  const std::string ffa = format_ffa_decision(d, f.topo);
+  EXPECT_NE(ffa.find("GO"), std::string::npos);
+}
+
+TEST(Assessor, MultiElementStudyVotes) {
+  // Apply the change effect to two RNCs; both should vote improvement.
+  net::Topology topo = net::build_small_region(net::Region::kWest, 555, 6, 6);
+  const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+  sim::KpiGenerator gen(topo, {.seed = 555});
+  std::vector<sim::UpstreamEvent> evs;
+  for (int i = 0; i < 2; ++i) {
+    sim::UpstreamEvent ev;
+    ev.source = rncs[static_cast<std::size_t>(i)];
+    ev.start_bin = 0;
+    ev.sigma_shift = 1.5;
+    evs.push_back(ev);
+  }
+  gen.add_factor(std::make_shared<sim::NetworkEventFactor>(topo, evs));
+  Assessor assessor(topo,
+                    [&gen](net::ElementId e, kpi::KpiId k, std::int64_t s,
+                           std::size_t n) { return gen.kpi_series(e, k, s, n); });
+  const std::vector<net::ElementId> study{rncs[0], rncs[1]};
+  const std::vector<net::ElementId> controls(rncs.begin() + 2, rncs.end());
+  const ChangeAssessment a =
+      assessor.assess(study, controls, kpi::KpiId::kVoiceRetainability, 0);
+  EXPECT_EQ(a.summary.verdict, Verdict::kImprovement);
+  EXPECT_EQ(a.summary.improvements, 2u);
+}
+
+}  // namespace
+}  // namespace litmus::core

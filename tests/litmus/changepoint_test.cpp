@@ -1,0 +1,147 @@
+#include "litmus/changepoint.h"
+
+#include <gtest/gtest.h>
+
+#include "test_windows.h"
+#include "tsmath/random.h"
+
+namespace litmus::core {
+namespace {
+
+ts::TimeSeries shifted_series(std::size_t n, std::int64_t shift_at,
+                              double delta, double noise,
+                              std::uint64_t seed) {
+  ts::Rng rng(seed);
+  ts::TimeSeries s(0, n, 60);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t b = static_cast<std::int64_t>(i);
+    s[i] = rng.normal(0.0, noise) + (b >= shift_at ? delta : 0.0);
+  }
+  return s;
+}
+
+TEST(ChangePoint, LocatesCleanLevelShift) {
+  const ts::TimeSeries s = shifted_series(200, 120, 3.0, 0.5, 1);
+  const ChangePoint cp = locate_level_shift(s);
+  ASSERT_TRUE(cp.found);
+  EXPECT_NEAR(static_cast<double>(cp.bin), 120.0, 3.0);
+  EXPECT_NEAR(cp.shift, 3.0, 0.4);
+  EXPECT_GT(cp.score, 0.5);
+}
+
+TEST(ChangePoint, LocatesDownShift) {
+  const ts::TimeSeries s = shifted_series(200, 60, -2.0, 0.5, 2);
+  const ChangePoint cp = locate_level_shift(s);
+  ASSERT_TRUE(cp.found);
+  EXPECT_NEAR(static_cast<double>(cp.bin), 60.0, 3.0);
+  EXPECT_LT(cp.shift, -1.5);
+}
+
+TEST(ChangePoint, StableSeriesNotFlagged) {
+  const ts::TimeSeries s = shifted_series(200, 1000, 0.0, 0.5, 3);
+  EXPECT_FALSE(locate_level_shift(s).found);
+}
+
+TEST(ChangePoint, RobustToOutliers) {
+  ts::TimeSeries s = shifted_series(200, 130, 2.0, 0.5, 4);
+  s[20] = 1e6;
+  s[70] = -1e6;
+  const ChangePoint cp = locate_level_shift(s);
+  ASSERT_TRUE(cp.found);
+  EXPECT_NEAR(static_cast<double>(cp.bin), 130.0, 4.0);
+}
+
+TEST(ChangePoint, HandlesMissingBins) {
+  ts::TimeSeries s = shifted_series(200, 100, 2.5, 0.5, 5);
+  for (std::size_t i = 40; i < 60; ++i) s[i] = ts::kMissing;
+  const ChangePoint cp = locate_level_shift(s);
+  ASSERT_TRUE(cp.found);
+  EXPECT_NEAR(static_cast<double>(cp.bin), 100.0, 4.0);
+}
+
+TEST(ChangePoint, TooShortNotFound) {
+  const ts::TimeSeries s = shifted_series(10, 5, 3.0, 0.1, 6);
+  EXPECT_FALSE(locate_level_shift(s, /*min_segment=*/6).found);
+}
+
+TEST(ChangePoint, MinSegmentExcludesEdges) {
+  // A "shift" in the last three points must not be reported when each
+  // segment needs at least 10 observations.
+  ts::TimeSeries s = shifted_series(60, 57, 5.0, 0.3, 7);
+  const ChangePoint cp = locate_level_shift(s, /*min_segment=*/10);
+  if (cp.found) {
+    EXPECT_LE(cp.bin, 50);
+  }
+}
+
+TEST(ChangePoint, LocatesRelativeChangeFromForecast) {
+  // Full pipeline: injected study shift at bin 0; the locator should place
+  // the onset of the forecast-difference shift at ~bin 0.
+  testing::WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  spec.seed = 8;
+  const RobustSpatialRegression alg;
+  RobustSpatialRegression::Forecast fc;
+  ASSERT_TRUE(alg.forecast(testing::make_windows(spec), fc));
+  const ChangePoint cp = locate_relative_change(fc);
+  ASSERT_TRUE(cp.found);
+  EXPECT_NEAR(static_cast<double>(cp.bin), 0.0, 12.0);
+  EXPECT_GT(cp.shift, 0.0);
+}
+
+TEST(ChangePoint, NoRelativeChangeNotFlagged) {
+  testing::WindowSpec spec;
+  spec.seed = 9;
+  const RobustSpatialRegression alg;
+  RobustSpatialRegression::Forecast fc;
+  ASSERT_TRUE(alg.forecast(testing::make_windows(spec), fc));
+  EXPECT_FALSE(locate_relative_change(fc).found);
+}
+
+TEST(ChangePoint, LocatesMidAfterWindowOnset) {
+  // The shift starts halfway through the after window (a storm two days in,
+  // not the change itself): the locator should say so.
+  testing::WindowSpec spec;
+  spec.seed = 10;
+  core::ElementWindows w = testing::make_windows(spec);
+  const double delta = 2.0 * kpi::info(spec.kpi).typical_noise;
+  w.study_after.add_level(168, w.study_after.end_bin(), delta);
+  const RobustSpatialRegression alg;
+  RobustSpatialRegression::Forecast fc;
+  ASSERT_TRUE(alg.forecast(w, fc));
+  const ChangePoint cp = locate_relative_change(fc);
+  ASSERT_TRUE(cp.found);
+  EXPECT_NEAR(static_cast<double>(cp.bin), 168.0, 20.0);
+}
+
+
+TEST(ShiftShape, LevelShiftClassifiedLevel) {
+  const ts::TimeSeries s = shifted_series(200, 100, 3.0, 0.4, 21);
+  const ChangePoint cp = locate_level_shift(s);
+  ASSERT_TRUE(cp.found);
+  EXPECT_EQ(classify_shift(s, cp), ShiftShape::kLevel);
+}
+
+TEST(ShiftShape, RampClassifiedRamp) {
+  ts::Rng rng(22);
+  ts::TimeSeries s(0, 240u, 60);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double ramp =
+        i > 100 ? 4.0 * static_cast<double>(i - 100) / 140.0 : 0.0;
+    s[i] = rng.normal(0.0, 0.4) + ramp;
+  }
+  const ChangePoint cp = locate_level_shift(s);
+  ASSERT_TRUE(cp.found);
+  EXPECT_EQ(classify_shift(s, cp), ShiftShape::kRamp);
+}
+
+TEST(ShiftShape, DegenerateDefaultsToLevel) {
+  const ts::TimeSeries s = shifted_series(30, 1000, 0.0, 0.4, 23);
+  ChangePoint not_found;
+  EXPECT_EQ(classify_shift(s, not_found), ShiftShape::kLevel);
+  EXPECT_STREQ(to_string(ShiftShape::kLevel), "level");
+  EXPECT_STREQ(to_string(ShiftShape::kRamp), "ramp");
+}
+
+}  // namespace
+}  // namespace litmus::core

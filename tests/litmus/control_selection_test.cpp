@@ -1,0 +1,256 @@
+#include "litmus/control_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cellnet/builder.h"
+
+namespace litmus::core {
+namespace {
+
+net::Topology national() {
+  net::BuildSpec spec;
+  spec.seed = 77;
+  return net::NetworkBuilder(spec).build();
+}
+
+bool contains(const std::vector<net::ElementId>& v, net::ElementId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+TEST(Predicates, SameZip) {
+  const net::Topology t = national();
+  const auto pred = same_zip();
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  bool found_match = false;
+  for (const auto a : nodes)
+    for (const auto b : nodes) {
+      if (a == b) continue;
+      if (pred(t, a, b)) {
+        EXPECT_EQ(t.get(a).zip, t.get(b).zip);
+        found_match = true;
+      }
+    }
+  EXPECT_TRUE(found_match);
+}
+
+TEST(Predicates, WithinKm) {
+  const net::Topology t = national();
+  const auto near = within_km(5.0);
+  const auto far = within_km(1e6);
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  const auto a = nodes[0];
+  std::size_t near_count = 0, far_count = 0;
+  for (const auto b : nodes) {
+    if (b == a) continue;
+    if (near(t, a, b)) ++near_count;
+    if (far(t, a, b)) ++far_count;
+  }
+  EXPECT_LT(near_count, far_count);
+  EXPECT_EQ(far_count, nodes.size() - 1);
+}
+
+TEST(Predicates, SameRegionAndTechnology) {
+  const net::Topology t = national();
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  const auto bts = t.of_kind(net::ElementKind::kBts);
+  ASSERT_FALSE(nodes.empty());
+  ASSERT_FALSE(bts.empty());
+  EXPECT_FALSE(same_technology()(t, nodes[0], bts[0]));
+  EXPECT_TRUE(same_technology()(t, nodes[0], nodes[1]));
+  bool cross_region_rejected = false;
+  for (const auto b : nodes)
+    if (t.get(b).region != t.get(nodes[0]).region &&
+        !same_region()(t, nodes[0], b))
+      cross_region_rejected = true;
+  EXPECT_TRUE(cross_region_rejected);
+}
+
+TEST(Predicates, SameParentAndUpstream) {
+  const net::Topology t = national();
+  const auto rncs = t.of_kind(net::ElementKind::kRnc);
+  const auto kids_a = t.children_of(rncs[0]);
+  const auto kids_b = t.children_of(rncs[1]);
+  ASSERT_GE(kids_a.size(), 2u);
+  ASSERT_GE(kids_b.size(), 1u);
+  EXPECT_TRUE(same_parent()(t, kids_a[0], kids_a[1]));
+  EXPECT_FALSE(same_parent()(t, kids_a[0], kids_b[0]));
+  EXPECT_TRUE(
+      same_upstream(net::ElementKind::kRnc)(t, kids_a[0], kids_a[1]));
+  // Same MSC can hold even across RNCs.
+  const auto msc_a = t.ancestor_of_kind(kids_a[0], net::ElementKind::kMsc);
+  const auto msc_b = t.ancestor_of_kind(kids_b[0], net::ElementKind::kMsc);
+  EXPECT_EQ(same_upstream(net::ElementKind::kMsc)(t, kids_a[0], kids_b[0]),
+            msc_a == msc_b);
+}
+
+TEST(Predicates, RootHasNoParentMatch) {
+  const net::Topology t = national();
+  // Two parentless roots never satisfy same_parent.
+  std::vector<net::ElementId> roots;
+  for (const auto id : t.all())
+    if (t.get(id).parent == net::kInvalidElement) roots.push_back(id);
+  ASSERT_GE(roots.size(), 2u);
+  EXPECT_FALSE(same_parent()(t, roots[0], roots[1]));
+}
+
+TEST(Predicates, ConfigurationFamily) {
+  const net::Topology t = national();
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  const auto a = nodes[0];
+  for (const auto b : nodes) {
+    if (b == a) continue;
+    if (same_software_version()(t, a, b)) {
+      EXPECT_EQ(t.get(a).config.software, t.get(b).config.software);
+    }
+    if (same_equipment_model()(t, a, b)) {
+      EXPECT_EQ(t.get(a).config.equipment_model,
+                t.get(b).config.equipment_model);
+    }
+    if (son_state_matches()(t, a, b)) {
+      EXPECT_EQ(t.get(a).config.son_enabled, t.get(b).config.son_enabled);
+    }
+  }
+}
+
+TEST(Predicates, SimilarAntennaTolerance) {
+  const net::Topology t = national();
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  const auto loose = similar_antenna(90.0, 90.0);
+  const auto tight = similar_antenna(0.0, 0.0);
+  std::size_t loose_n = 0, tight_n = 0;
+  for (const auto b : nodes) {
+    if (b == nodes[0]) continue;
+    if (loose(t, nodes[0], b)) ++loose_n;
+    if (tight(t, nodes[0], b)) ++tight_n;
+  }
+  EXPECT_EQ(loose_n, nodes.size() - 1);
+  EXPECT_LT(tight_n, loose_n);
+}
+
+TEST(Predicates, TerrainAndTraffic) {
+  const net::Topology t = national();
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  for (const auto b : nodes) {
+    if (b == nodes[0]) continue;
+    if (same_terrain()(t, nodes[0], b)) {
+      EXPECT_EQ(t.get(nodes[0]).config.terrain, t.get(b).config.terrain);
+    }
+    if (same_traffic_profile()(t, nodes[0], b)) {
+      EXPECT_EQ(t.get(nodes[0]).config.traffic, t.get(b).config.traffic);
+    }
+  }
+}
+
+TEST(Composition, AllOfAnyOfNegate) {
+  const net::Topology t = national();
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  const auto a = nodes[0];
+  const auto b = nodes[1];
+  const auto yes = within_km(1e6);
+  const auto no = within_km(0.0);
+  EXPECT_TRUE(all_of({yes, yes})(t, a, b));
+  EXPECT_FALSE(all_of({yes, no})(t, a, b));
+  EXPECT_TRUE(any_of({no, yes})(t, a, b));
+  EXPECT_FALSE(any_of({no, no})(t, a, b));
+  EXPECT_TRUE(negate(no)(t, a, b));
+  EXPECT_FALSE(negate(yes)(t, a, b));
+}
+
+TEST(Selection, ExcludesImpactScope) {
+  const net::Topology t = national();
+  const auto rncs = t.of_kind(net::ElementKind::kRnc);
+  const std::vector<net::ElementId> study{t.children_of(rncs[0])[0]};
+  const SelectionResult r =
+      select_control_group(t, study, within_km(1e9));
+  // Nothing in the study tower's impact scope (itself + neighbors) shows up.
+  const auto scope = t.impact_scope(study[0]);
+  for (const auto c : r.controls) EXPECT_FALSE(scope.contains(c));
+  EXPECT_GT(r.excluded_by_scope, 0u);
+}
+
+TEST(Selection, OnlySameKindCandidates) {
+  const net::Topology t = national();
+  const std::vector<net::ElementId> study{
+      t.of_kind(net::ElementKind::kRnc)[0]};
+  const SelectionResult r =
+      select_control_group(t, study, same_technology());
+  ASSERT_FALSE(r.controls.empty());
+  for (const auto c : r.controls)
+    EXPECT_EQ(t.get(c).kind, net::ElementKind::kRnc);
+}
+
+TEST(Selection, RespectsMaxSizeAndPrefersClosest) {
+  const net::Topology t = national();
+  const std::vector<net::ElementId> study{
+      t.of_kind(net::ElementKind::kNodeB)[0]};
+  SelectionPolicy policy;
+  policy.max_size = 5;
+  const SelectionResult r =
+      select_control_group(t, study, within_km(1e9), policy);
+  EXPECT_EQ(r.controls.size(), 5u);
+  // The kept five must all be at least as close as any excluded candidate.
+  double worst_kept = 0;
+  for (const auto c : r.controls)
+    worst_kept = std::max(worst_kept,
+                          net::haversine_km(t.get(study[0]).location,
+                                            t.get(c).location));
+  std::size_t closer_excluded = 0;
+  for (const auto id : t.of_kind(net::ElementKind::kNodeB)) {
+    if (id == study[0] || contains(r.controls, id)) continue;
+    if (t.impact_scope(study[0]).contains(id)) continue;
+    if (net::haversine_km(t.get(study[0]).location, t.get(id).location) <
+        worst_kept - 1e-9)
+      ++closer_excluded;
+  }
+  EXPECT_EQ(closer_excluded, 0u);
+}
+
+TEST(Selection, MinSizeFlag) {
+  const net::Topology t = national();
+  const std::vector<net::ElementId> study{
+      t.of_kind(net::ElementKind::kNodeB)[0]};
+  SelectionPolicy policy;
+  policy.min_size = 10000;  // impossible
+  const SelectionResult r =
+      select_control_group(t, study, within_km(1e9), policy);
+  EXPECT_FALSE(r.meets_min_size);
+}
+
+TEST(Selection, EmptyStudyGroupYieldsNothing) {
+  const net::Topology t = national();
+  const SelectionResult r = select_control_group(t, {}, within_km(1e9));
+  EXPECT_TRUE(r.controls.empty());
+}
+
+TEST(Selection, MultiElementStudyUnionsScopes) {
+  const net::Topology t = national();
+  const auto rncs = t.of_kind(net::ElementKind::kRnc);
+  const std::vector<net::ElementId> study{rncs[0], rncs[1]};
+  const SelectionResult r = select_control_group(t, study, same_technology());
+  for (const auto s : study) {
+    const auto scope = t.impact_scope(s);
+    for (const auto c : r.controls) EXPECT_FALSE(scope.contains(c));
+  }
+  // The study elements themselves are never controls.
+  EXPECT_FALSE(contains(r.controls, rncs[0]));
+  EXPECT_FALSE(contains(r.controls, rncs[1]));
+}
+
+TEST(Selection, MultiVariatePredicateFromPaper) {
+  // "cell towers sharing the common set of upstream RNCs and upstream RNCs
+  // with same OS" — Section 3.3's multi-variate example.
+  const net::Topology t = national();
+  const auto nodes = t.of_kind(net::ElementKind::kNodeB);
+  const std::vector<net::ElementId> study{nodes[0]};
+  const auto pred = all_of({same_upstream(net::ElementKind::kRnc),
+                            same_technology()});
+  const SelectionResult r = select_control_group(t, study, pred);
+  for (const auto c : r.controls)
+    EXPECT_EQ(t.ancestor_of_kind(c, net::ElementKind::kRnc),
+              t.ancestor_of_kind(nodes[0], net::ElementKind::kRnc));
+}
+
+}  // namespace
+}  // namespace litmus::core

@@ -1,0 +1,141 @@
+#include "litmus/did.h"
+
+#include <gtest/gtest.h>
+
+#include "test_windows.h"
+#include "tsmath/stats.h"
+
+namespace litmus::core {
+namespace {
+
+using testing::WindowSpec;
+using testing::make_windows;
+
+TEST(DiD, DetectsStudyOnlyShift) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  const DiDAnalyzer alg;
+  const AnalysisOutcome o = alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_EQ(o.verdict, Verdict::kImprovement);
+  EXPECT_GT(o.effect_kpi_units, 0.0);
+}
+
+TEST(DiD, CancelsSharedExternalShift) {
+  // Same injection in study and every control: relative change is zero.
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  spec.control_shift_sigma = 2.0;
+  const DiDAnalyzer alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+TEST(DiD, DetectsRelativeGapWhenBothShift) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.5;
+  spec.control_shift_sigma = 1.0;
+  const DiDAnalyzer alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kImprovement);
+}
+
+TEST(DiD, ControlOnlyShiftIsRelativeChange) {
+  WindowSpec spec;
+  spec.control_shift_sigma = 2.0;  // controls improve, study does not
+  const DiDAnalyzer alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kDegradation);
+}
+
+TEST(DiD, PairwiseValuesMatchDefinition) {
+  // Deterministic miniature: verify equation (1) numerically.
+  ElementWindows w;
+  w.study_before = ts::TimeSeries(-4, {1.0, 1.0, 1.0, 1.0});
+  w.study_after = ts::TimeSeries(0, {3.0, 3.0, 3.0, 3.0});
+  w.control_before.push_back(ts::TimeSeries(-4, {2.0, 2.0, 2.0, 2.0}));
+  w.control_after.push_back(ts::TimeSeries(0, {2.5, 2.5, 2.5, 2.5}));
+  w.control_before.push_back(ts::TimeSeries(-4, {0.0, 0.0, 0.0, 0.0}));
+  w.control_after.push_back(ts::TimeSeries(0, {0.0, 0.0, 0.0, 0.0}));
+  const DiDAnalyzer alg;
+  const std::vector<double> d = alg.pairwise_did(w);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0 - 0.5);
+  EXPECT_DOUBLE_EQ(d[1], 2.0 - 0.0);
+}
+
+TEST(DiD, MeanAggregationIsBiasedByOneContaminatedControl) {
+  // The weakness the paper exploits: one control with a big unrelated shift
+  // in the same direction as the study's real improvement masks it.
+  WindowSpec spec;
+  spec.n_controls = 8;
+  spec.study_shift_sigma = 1.0;
+  spec.contamination = {{0, 8.0}};  // one control jumps +8 sigma
+  const DiDAnalyzer mean_alg;
+  const AnalysisOutcome o = mean_alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_NE(o.verdict, Verdict::kImprovement);  // masked (FN or flipped)
+}
+
+TEST(DiD, MedianAggregationSurvivesContamination) {
+  WindowSpec spec;
+  spec.n_controls = 8;
+  spec.study_shift_sigma = 1.0;
+  spec.contamination = {{0, 8.0}};
+  DiDParams params;
+  params.aggregate = CentralMeasure::kMedian;
+  const DiDAnalyzer alg(params);
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kImprovement);
+}
+
+TEST(DiD, MedianHRobustToStudyOutlierBins) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  ElementWindows w = make_windows(spec);
+  // A few absurd spikes in the study-after window.
+  w.study_after[0] = 0.0;
+  w.study_after[1] = 0.0;
+  DiDParams params;
+  params.h = CentralMeasure::kMedian;
+  const DiDAnalyzer alg(params);
+  EXPECT_EQ(alg.assess(w, spec.kpi).verdict, Verdict::kImprovement);
+}
+
+TEST(DiD, ThresholdGatesSmallEffects) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 0.2;
+  spec.shared_weight = 0.0;
+  DiDParams params;
+  params.threshold_sigma = 0.4;
+  const DiDAnalyzer alg(params);
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+TEST(DiD, DegenerateWithoutControls) {
+  WindowSpec spec;
+  spec.n_controls = 0;
+  const DiDAnalyzer alg;
+  const AnalysisOutcome o = alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_TRUE(o.degenerate);
+}
+
+TEST(DiD, DegenerateOnMismatchedControlLists) {
+  WindowSpec spec;
+  ElementWindows w = make_windows(spec);
+  w.control_after.pop_back();
+  const DiDAnalyzer alg;
+  EXPECT_TRUE(alg.assess(w, spec.kpi).degenerate);
+}
+
+TEST(DiD, PolarityMapsDirection) {
+  WindowSpec spec;
+  spec.kpi = kpi::KpiId::kDroppedVoiceCallRatio;
+  spec.study_shift_sigma = 2.0;  // quality up -> ratio down
+  const DiDAnalyzer alg;
+  const AnalysisOutcome o = alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_EQ(o.verdict, Verdict::kImprovement);
+  EXPECT_LT(o.effect_kpi_units, 0.0);
+}
+
+}  // namespace
+}  // namespace litmus::core

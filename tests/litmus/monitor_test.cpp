@@ -1,0 +1,118 @@
+#include "litmus/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "simkit/generator.h"
+#include "simkit/network_events.h"
+
+namespace litmus::core {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  std::unique_ptr<sim::KpiGenerator> gen;
+  net::ElementId study;
+  std::vector<net::ElementId> controls;
+
+  /// effect_sigma applied to the study subtree at `effect_bin`.
+  Fixture(double effect_sigma, std::int64_t effect_bin,
+          std::uint64_t seed = 733) {
+    topo = net::build_small_region(net::Region::kMidwest, seed, 6, 4);
+    const auto rncs = topo.of_kind(net::ElementKind::kRnc);
+    study = rncs[0];
+    controls.assign(rncs.begin() + 1, rncs.end());
+    gen = std::make_unique<sim::KpiGenerator>(
+        topo, sim::GeneratorConfig{.seed = seed});
+    if (effect_sigma != 0.0) {
+      sim::UpstreamEvent ev;
+      ev.source = study;
+      ev.start_bin = effect_bin;
+      ev.sigma_shift = effect_sigma;
+      gen->add_factor(std::make_shared<sim::NetworkEventFactor>(
+          topo, std::vector<sim::UpstreamEvent>{ev}));
+    }
+  }
+
+  SeriesProvider provider() {
+    return [g = gen.get()](net::ElementId e, kpi::KpiId k, std::int64_t s,
+                           std::size_t n) { return g->kpi_series(e, k, s, n); };
+  }
+};
+
+constexpr auto kKpi = kpi::KpiId::kVoiceRetainability;
+
+TEST(Monitor, ConfirmsDegradationAfterHysteresis) {
+  Fixture f(-1.8, 0);
+  ChangeMonitor monitor(f.provider(), f.study, f.controls, kKpi, 0);
+  const auto readings = monitor.advance(14 * 24);
+  ASSERT_GE(readings.size(), 3u);
+  EXPECT_EQ(monitor.state(), MonitorState::kDegrading);
+  // The first reading alone cannot have confirmed (needs 3 consecutive).
+  EXPECT_NE(readings.front().state, MonitorState::kDegrading);
+}
+
+TEST(Monitor, QuietChangeStaysQuiet) {
+  Fixture f(0.0, 0);
+  ChangeMonitor monitor(f.provider(), f.study, f.controls, kKpi, 0);
+  monitor.advance(14 * 24);
+  EXPECT_EQ(monitor.state(), MonitorState::kQuiet);
+}
+
+TEST(Monitor, CatchesLateOnsetRegression) {
+  // The defect appears five days after the change (e.g. a slow leak): the
+  // one-shot assessment at +3d would pass, the monitor flips later.
+  Fixture f(-1.8, 5 * 24);
+  ChangeMonitor monitor(f.provider(), f.study, f.controls, kKpi, 0);
+  monitor.advance(4 * 24);
+  EXPECT_EQ(monitor.state(), MonitorState::kQuiet);
+  monitor.advance(12 * 24);
+  EXPECT_EQ(monitor.state(), MonitorState::kDegrading);
+}
+
+TEST(Monitor, AdvanceIsIncrementalAndIdempotent) {
+  Fixture f(1.5, 0);
+  ChangeMonitor monitor(f.provider(), f.study, f.controls, kKpi, 0);
+  const auto first = monitor.advance(5 * 24);
+  const auto again = monitor.advance(5 * 24);  // no new complete windows
+  EXPECT_TRUE(again.empty());
+  const auto more = monitor.advance(8 * 24);
+  EXPECT_FALSE(more.empty());
+  EXPECT_EQ(monitor.history().size(), first.size() + more.size());
+}
+
+TEST(Monitor, WarmupBeforeFirstWindow) {
+  Fixture f(1.5, 0);
+  ChangeMonitor monitor(f.provider(), f.study, f.controls, kKpi, 0);
+  EXPECT_EQ(monitor.state(), MonitorState::kWarmup);
+  EXPECT_TRUE(monitor.advance(2 * 24).empty());  // window is 3 days
+  EXPECT_EQ(monitor.state(), MonitorState::kWarmup);
+}
+
+TEST(Monitor, ImprovementConfirmed) {
+  Fixture f(1.8, 0);
+  ChangeMonitor monitor(f.provider(), f.study, f.controls, kKpi, 0);
+  monitor.advance(14 * 24);
+  EXPECT_EQ(monitor.state(), MonitorState::kImproving);
+}
+
+TEST(Monitor, RejectsBadConfig) {
+  Fixture f(0.0, 0);
+  MonitorConfig bad;
+  bad.window_bins = 4;
+  EXPECT_THROW(
+      ChangeMonitor(f.provider(), f.study, f.controls, kKpi, 0, bad),
+      std::invalid_argument);
+  EXPECT_THROW(ChangeMonitor(nullptr, f.study, f.controls, kKpi, 0),
+               std::invalid_argument);
+}
+
+TEST(Monitor, StateNames) {
+  EXPECT_STREQ(to_string(MonitorState::kWarmup), "warmup");
+  EXPECT_STREQ(to_string(MonitorState::kDegrading), "degrading");
+}
+
+}  // namespace
+}  // namespace litmus::core

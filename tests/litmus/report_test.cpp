@@ -1,0 +1,98 @@
+#include "litmus/report.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::core {
+namespace {
+
+net::Topology tiny_topo() {
+  net::Topology t;
+  net::NetworkElement parent;
+  parent.id = net::ElementId{1};
+  parent.kind = net::ElementKind::kMsc;
+  parent.name = "MSC-A";
+  t.add(parent);
+  for (std::uint32_t i = 2; i <= 4; ++i) {
+    net::NetworkElement e;
+    e.id = net::ElementId{i};
+    e.kind = net::ElementKind::kRnc;
+    e.name = "RNC-" + std::to_string(i);
+    e.parent = net::ElementId{1};
+    t.add(e);
+  }
+  return t;
+}
+
+ChangeAssessment sample_assessment() {
+  ChangeAssessment a;
+  a.kpi = kpi::KpiId::kVoiceRetainability;
+  a.change_bin = 0;
+  a.study_group = {net::ElementId{2}, net::ElementId{3}, net::ElementId{4}};
+  a.control_group = {net::ElementId{1}};
+  AnalysisOutcome improvement;
+  improvement.verdict = Verdict::kImprovement;
+  improvement.relative = RelativeChange::kIncrease;
+  improvement.p_value = 0.0004;
+  improvement.effect_kpi_units = 0.011;
+  AnalysisOutcome quiet;
+  quiet.verdict = Verdict::kNoImpact;
+  quiet.p_value = 0.42;
+  quiet.effect_kpi_units = 0.0001;
+  AnalysisOutcome dead;
+  dead.degenerate = true;
+  a.per_element = {{net::ElementId{2}, improvement},
+                   {net::ElementId{3}, quiet},
+                   {net::ElementId{4}, dead}};
+  const std::vector<AnalysisOutcome> outcomes{improvement, quiet, dead};
+  a.summary = vote(outcomes);
+  return a;
+}
+
+TEST(Report, OneLineSummaryCountsAndAbstentions) {
+  const std::string line = one_line_summary(sample_assessment());
+  EXPECT_NE(line.find("voice_retainability"), std::string::npos);
+  EXPECT_NE(line.find("improvement"), std::string::npos);
+  EXPECT_NE(line.find("1/2 elements"), std::string::npos);
+  EXPECT_NE(line.find("1 abstained"), std::string::npos);
+}
+
+TEST(Report, AssessmentTableListsEveryElement) {
+  const net::Topology t = tiny_topo();
+  const std::string text = format_assessment(sample_assessment(), t);
+  EXPECT_NE(text.find("RNC-2"), std::string::npos);
+  EXPECT_NE(text.find("RNC-3"), std::string::npos);
+  EXPECT_NE(text.find("RNC-4"), std::string::npos);
+  EXPECT_NE(text.find("(no data)"), std::string::npos);  // degenerate row
+  EXPECT_NE(text.find("<0.001"), std::string::npos);     // tiny p formatting
+  EXPECT_NE(text.find("+0.011"), std::string::npos);     // signed effect
+  EXPECT_NE(text.find("control group: 1"), std::string::npos);
+}
+
+TEST(Report, FfaDecisionShowsGoAndNoGo) {
+  const net::Topology t = tiny_topo();
+  FfaDecision go;
+  go.go = true;
+  go.rationale = "all clear";
+  go.per_kpi = {sample_assessment()};
+  const std::string go_text = format_ffa_decision(go, t);
+  EXPECT_NE(go_text.find("DECISION: GO"), std::string::npos);
+  EXPECT_NE(go_text.find("all clear"), std::string::npos);
+
+  FfaDecision stop;
+  stop.go = false;
+  stop.rationale = "degradation on voice";
+  const std::string stop_text = format_ffa_decision(stop, t);
+  EXPECT_NE(stop_text.find("DECISION: NO-GO"), std::string::npos);
+}
+
+TEST(Report, MissingPValueRendersNa) {
+  net::Topology t = tiny_topo();
+  ChangeAssessment a = sample_assessment();
+  a.per_element[0].outcome.p_value = ts::kMissing;
+  a.per_element[0].outcome.effect_kpi_units = ts::kMissing;
+  const std::string text = format_assessment(a, t);
+  EXPECT_NE(text.find("n/a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace litmus::core

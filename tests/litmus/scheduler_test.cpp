@@ -1,0 +1,112 @@
+#include "litmus/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "simkit/clock.h"
+
+namespace litmus::core {
+namespace {
+
+TEST(Scheduler, AprilWorseThanWinterInNortheast) {
+  const ChangeScheduler sched(net::Region::kNortheast, {});
+  const WindowScore winter =
+      sched.score(net::kInvalidElement, sim::bin_at(0, 40));   // February
+  const WindowScore april =
+      sched.score(net::kInvalidElement, sim::bin_at(0, 105));  // mid-April
+  EXPECT_GT(april.foliage_drift_sigma, winter.foliage_drift_sigma + 0.3);
+  EXPECT_GT(april.penalty, winter.penalty);
+}
+
+TEST(Scheduler, SoutheastHasNoFoliagePenalty) {
+  const ChangeScheduler sched(net::Region::kSoutheast, {});
+  const WindowScore april =
+      sched.score(net::kInvalidElement, sim::bin_at(0, 105));
+  EXPECT_DOUBLE_EQ(april.foliage_drift_sigma, 0.0);
+}
+
+TEST(Scheduler, HolidayOverlapPenalized) {
+  sim::HolidayWindow holiday;
+  holiday.start_bin = sim::bin_at(0, 355);
+  holiday.end_bin = sim::bin_at(1, 3);
+  holiday.region = net::Region::kSoutheast;
+  const ChangeScheduler sched(net::Region::kSoutheast, {holiday});
+  const WindowScore christmas =
+      sched.score(net::kInvalidElement, sim::bin_at(0, 358));
+  const WindowScore summer =
+      sched.score(net::kInvalidElement, sim::bin_at(0, 200));
+  EXPECT_GT(christmas.holiday_overlap, 0.2);
+  EXPECT_DOUBLE_EQ(summer.holiday_overlap, 0.0);
+  EXPECT_GT(christmas.penalty, summer.penalty);
+}
+
+TEST(Scheduler, HolidayOtherRegionIgnored) {
+  sim::HolidayWindow holiday;
+  holiday.start_bin = 0;
+  holiday.end_bin = sim::bin_at(0, 30);
+  holiday.region = net::Region::kWest;
+  const ChangeScheduler sched(net::Region::kSoutheast, {holiday});
+  EXPECT_DOUBLE_EQ(
+      sched.score(net::kInvalidElement, sim::bin_at(0, 15)).holiday_overlap,
+      0.0);
+}
+
+TEST(Scheduler, ConflictingPlannedChangesCounted) {
+  net::Topology topo;
+  net::NetworkElement rnc;
+  rnc.id = net::ElementId{1};
+  rnc.kind = net::ElementKind::kRnc;
+  topo.add(rnc);
+  net::NetworkElement nb;
+  nb.id = net::ElementId{2};
+  nb.kind = net::ElementKind::kNodeB;
+  nb.parent = net::ElementId{1};
+  topo.add(nb);
+
+  chg::ChangeLog planned;
+  chg::ChangeRecord other;
+  other.element = net::ElementId{2};
+  other.bin = sim::bin_at(0, 202);
+  planned.add(other);
+
+  const ChangeScheduler sched(net::Region::kSoutheast, {}, &topo, &planned);
+  const WindowScore clashing =
+      sched.score(net::ElementId{1}, sim::bin_at(0, 200));
+  const WindowScore clear =
+      sched.score(net::ElementId{1}, sim::bin_at(0, 100));
+  EXPECT_EQ(clashing.conflicting_changes, 1u);
+  EXPECT_EQ(clear.conflicting_changes, 0u);
+  EXPECT_GT(clashing.penalty, clear.penalty);
+}
+
+TEST(Scheduler, RecommendReturnsSortedBest) {
+  sim::HolidayWindow holiday;
+  holiday.start_bin = sim::bin_at(0, 180);
+  holiday.end_bin = sim::bin_at(0, 210);
+  const ChangeScheduler sched(net::Region::kNortheast, {holiday});
+  const auto top = sched.recommend(net::kInvalidElement, sim::bin_at(0, 0),
+                                   sim::bin_at(0, 364), 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_LE(top[i - 1].penalty, top[i].penalty);
+  // The best windows in the Northeast sit in deep winter or mid-summer
+  // plateau — never on the April ramp or inside the holiday.
+  for (const auto& w : top) {
+    const int doy = sim::day_of_year(w.change_bin);
+    EXPECT_FALSE(doy >= 95 && doy <= 130) << "April ramp picked: " << doy;
+    EXPECT_LT(w.holiday_overlap, 0.05);
+  }
+}
+
+TEST(Scheduler, RationaleMentionsDrivers) {
+  sim::HolidayWindow holiday;
+  holiday.start_bin = sim::bin_at(0, 355);
+  holiday.end_bin = sim::bin_at(1, 5);
+  const ChangeScheduler sched(net::Region::kNortheast, {holiday});
+  const WindowScore s =
+      sched.score(net::kInvalidElement, sim::bin_at(0, 358));
+  EXPECT_NE(s.rationale.find("holiday"), std::string::npos);
+  EXPECT_NE(s.rationale.find("foliage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace litmus::core

@@ -1,0 +1,221 @@
+#include "litmus/spatial_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "test_windows.h"
+#include "tsmath/stats.h"
+
+namespace litmus::core {
+namespace {
+
+using testing::WindowSpec;
+using testing::make_windows;
+
+TEST(SpatialRegression, DetectsStudyImprovement) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  const RobustSpatialRegression alg;
+  const AnalysisOutcome o = alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_EQ(o.verdict, Verdict::kImprovement);
+  EXPECT_LT(o.p_value, 0.01);
+  EXPECT_FALSE(ts::is_missing(o.fit_r_squared));
+}
+
+TEST(SpatialRegression, DetectsStudyDegradation) {
+  WindowSpec spec;
+  spec.study_shift_sigma = -2.0;
+  const RobustSpatialRegression alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kDegradation);
+}
+
+TEST(SpatialRegression, CancelsSharedExternalShift) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  spec.control_shift_sigma = 2.0;  // same external move everywhere
+  const RobustSpatialRegression alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+TEST(SpatialRegression, ControlOnlyShiftIsRelativeChange) {
+  WindowSpec spec;
+  spec.control_shift_sigma = 2.0;
+  const RobustSpatialRegression alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kDegradation);
+}
+
+TEST(SpatialRegression, RobustToContaminatedMinority) {
+  // Two of ten controls carry a huge unrelated shift in the improvement
+  // direction; the paper's mechanism (sampling + median + regression) must
+  // still find the study's real 1-sigma improvement, where mean-DiD fails
+  // (see did_test.cpp's matching case).
+  WindowSpec spec;
+  spec.n_controls = 10;
+  spec.study_shift_sigma = 1.0;
+  spec.contamination = {{0, 8.0}, {1, 8.0}};
+  const RobustSpatialRegression alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kImprovement);
+}
+
+TEST(SpatialRegression, QuietNullIsNoImpact) {
+  WindowSpec spec;
+  const RobustSpatialRegression alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+TEST(SpatialRegression, PolarityMapsDirection) {
+  WindowSpec spec;
+  spec.kpi = kpi::KpiId::kDroppedVoiceCallRatio;
+  spec.study_shift_sigma = -2.0;  // quality loss -> ratio increases
+  const RobustSpatialRegression alg;
+  const AnalysisOutcome o = alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_EQ(o.verdict, Verdict::kDegradation);
+  EXPECT_GT(o.effect_kpi_units, 0.0);
+}
+
+TEST(SpatialRegression, ForecastArtifactsAreConsistent) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 1.5;
+  const RobustSpatialRegression alg;
+  RobustSpatialRegression::Forecast fc;
+  ASSERT_TRUE(alg.forecast(make_windows(spec), fc));
+  // k > N/2 (paper requirement).
+  EXPECT_GT(fc.effective_k, spec.n_controls / 2);
+  EXPECT_LE(fc.effective_k, spec.n_controls);
+  EXPECT_GT(fc.successful_iterations, 0u);
+  EXPECT_GT(fc.median_r_squared, 0.3);  // strong spatial dependency
+  // Forecast difference medians reflect the injected shift.
+  const double shift = ts::median(fc.forecast_diff_after) -
+                       ts::median(fc.forecast_diff_before);
+  const double expected =
+      1.5 * kpi::info(spec.kpi).typical_noise;
+  EXPECT_NEAR(shift, expected, 0.4 * expected);
+}
+
+TEST(SpatialRegression, ForecastTracksSharedFactor) {
+  WindowSpec spec;
+  const RobustSpatialRegression alg;
+  RobustSpatialRegression::Forecast fc;
+  const ElementWindows w = make_windows(spec);
+  ASSERT_TRUE(alg.forecast(w, fc));
+  // The forecast should explain most of the study's variance: the residual
+  // (forecast diff) must be materially tighter than the raw series.
+  const double raw_sd = ts::stddev(w.study_before.values());
+  const double resid_sd = ts::stddev(fc.forecast_diff_before.values());
+  EXPECT_LT(resid_sd, 0.8 * raw_sd);
+}
+
+TEST(SpatialRegression, DegenerateWithoutControls) {
+  WindowSpec spec;
+  spec.n_controls = 0;
+  const RobustSpatialRegression alg;
+  EXPECT_TRUE(alg.assess(make_windows(spec), spec.kpi).degenerate);
+}
+
+TEST(SpatialRegression, DegenerateOnShortSeries) {
+  WindowSpec spec;
+  spec.before = 6;
+  spec.after = 6;
+  const RobustSpatialRegression alg;
+  EXPECT_TRUE(alg.assess(make_windows(spec), spec.kpi).degenerate);
+}
+
+TEST(SpatialRegression, DeterministicAcrossRuns) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 0.7;
+  const RobustSpatialRegression alg;
+  const ElementWindows w = make_windows(spec);
+  const AnalysisOutcome a = alg.assess(w, spec.kpi);
+  const AnalysisOutcome b = alg.assess(w, spec.kpi);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_DOUBLE_EQ(a.p_value, b.p_value);
+  EXPECT_DOUBLE_EQ(a.effect_kpi_units, b.effect_kpi_units);
+}
+
+TEST(SpatialRegression, SmallControlGroupStillWorks) {
+  WindowSpec spec;
+  spec.n_controls = 3;
+  spec.study_shift_sigma = 2.0;
+  const RobustSpatialRegression alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kImprovement);
+}
+
+TEST(SpatialRegression, HandlesMissingBinsInControls) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  ElementWindows w = make_windows(spec);
+  for (std::size_t i = 0; i < 40; ++i) w.control_before[0][i] = ts::kMissing;
+  for (std::size_t i = 0; i < 40; ++i) w.control_after[1][i] = ts::kMissing;
+  const RobustSpatialRegression alg;
+  EXPECT_EQ(alg.assess(w, spec.kpi).verdict, Verdict::kImprovement);
+}
+
+TEST(SpatialRegression, EffectFloorGatesTinyShifts) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 0.1;
+  spec.before = 2000;
+  spec.after = 2000;
+  const RobustSpatialRegression alg;  // default floor 0.25 sigma
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+TEST(SpatialRegression, MeanAggregationKnobChangesForecast) {
+  WindowSpec spec;
+  spec.n_controls = 10;
+  spec.contamination = {{0, 10.0}};
+  SpatialRegressionParams median_params;
+  SpatialRegressionParams mean_params;
+  mean_params.aggregation = ForecastAggregation::kMean;
+  RobustSpatialRegression::Forecast med_fc, mean_fc;
+  const ElementWindows w = make_windows(spec);
+  ASSERT_TRUE(RobustSpatialRegression(median_params).forecast(w, med_fc));
+  ASSERT_TRUE(RobustSpatialRegression(mean_params).forecast(w, mean_fc));
+  // With contamination present the two aggregations must disagree somewhere.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < med_fc.median_forecast_after.size(); ++i) {
+    const double a = med_fc.median_forecast_after[i];
+    const double b = mean_fc.median_forecast_after[i];
+    if (!ts::is_missing(a) && !ts::is_missing(b) && a != b) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SpatialRegression, WilcoxonKnobStillDetects) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  SpatialRegressionParams params;
+  params.test = ComparisonTest::kWilcoxon;
+  const RobustSpatialRegression alg(params);
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kImprovement);
+}
+
+// Property sweep: detection holds across seeds and both directions.
+class DetectionProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DetectionProperty, FindsInjectedShift) {
+  const auto [seed, sigma] = GetParam();
+  WindowSpec spec;
+  spec.seed = static_cast<std::uint64_t>(seed);
+  spec.study_shift_sigma = sigma;
+  const RobustSpatialRegression alg;
+  const AnalysisOutcome o = alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_EQ(o.verdict,
+            sigma > 0 ? Verdict::kImprovement : Verdict::kDegradation)
+      << "seed=" << seed << " sigma=" << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetectionProperty,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6, 7),
+                       ::testing::Values(-2.0, -1.0, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace litmus::core

@@ -1,0 +1,88 @@
+// Shared fixtures for analyzer tests: synthetic ElementWindows with a known
+// spatial-dependency structure, built directly (not via eval/group_sim) so
+// the core tests do not depend on the eval library.
+#pragma once
+
+#include <vector>
+
+#include "litmus/analysis.h"
+#include "simkit/injection.h"
+#include "tsmath/random.h"
+
+namespace litmus::core::testing {
+
+struct WindowSpec {
+  std::size_t n_controls = 10;
+  std::size_t before = 14 * 24;
+  std::size_t after = 14 * 24;
+  double study_shift_sigma = 0.0;    ///< injected at the study after bin 0
+  double control_shift_sigma = 0.0;  ///< injected at every control
+  std::uint64_t seed = 1;
+  double shared_weight = 1.0;        ///< shared-factor weight (spatial dep.)
+  kpi::KpiId kpi = kpi::KpiId::kVoiceRetainability;
+  /// Controls whose index is listed get an extra level change at bin 0.
+  std::vector<std::pair<std::size_t, double>> contamination;
+};
+
+/// Builds windows where every element is
+///   kpi_typical + noise_scale * (w * F(t) + e_i(t))
+/// with F a shared AR(1) and e_i element noise — the minimal structure the
+/// analyzers rely on.
+inline ElementWindows make_windows(const WindowSpec& spec) {
+  ts::Rng shared_rng(spec.seed * 1000003);
+  const std::size_t total = spec.before + spec.after;
+  const std::int64_t start = -static_cast<std::int64_t>(spec.before);
+
+  std::vector<double> shared(total);
+  double f = 0.0;
+  for (auto& v : shared) {
+    f = 0.9 * f + 0.4359 * shared_rng.normal();  // stationary sigma 1
+    v = f;
+  }
+
+  const kpi::KpiInfo& info = kpi::info(spec.kpi);
+  auto make_series = [&](std::uint64_t tag, double inject_sigma,
+                         double extra_sigma) {
+    ts::Rng rng(spec.seed ^ (tag * 0x9E3779B97F4A7C15ULL));
+    ts::TimeSeries s(start, total, 60);
+    for (std::size_t i = 0; i < total; ++i) {
+      const double latent =
+          spec.shared_weight * shared[i] + rng.normal(0.0, 0.8);
+      const double sign =
+          info.polarity == kpi::Polarity::kHigherIsBetter ? 1.0 : -1.0;
+      s[i] = info.typical_value + sign * info.typical_noise * latent;
+    }
+    if (inject_sigma != 0.0) {
+      sim::Injection inj;
+      inj.at_bin = 0;
+      inj.magnitude_sigma = inject_sigma;
+      sim::apply_injection(s, spec.kpi, inj);
+    }
+    if (extra_sigma != 0.0) {
+      sim::Injection inj;
+      inj.at_bin = 0;
+      inj.magnitude_sigma = extra_sigma;
+      sim::apply_injection(s, spec.kpi, inj);
+    }
+    return s;
+  };
+
+  ElementWindows w;
+  const ts::TimeSeries study =
+      make_series(1, spec.study_shift_sigma, 0.0);
+  w.study_before = study.slice_bins(start, 0);
+  w.study_after = study.slice_bins(0, static_cast<std::int64_t>(spec.after));
+  for (std::size_t c = 0; c < spec.n_controls; ++c) {
+    double extra = 0.0;
+    for (const auto& [idx, sigma] : spec.contamination)
+      if (idx == c) extra = sigma;
+    const ts::TimeSeries ctrl =
+        make_series(100 + c, spec.control_shift_sigma, extra);
+    w.control_before.push_back(ctrl.slice_bins(start, 0));
+    w.control_after.push_back(
+        ctrl.slice_bins(0, static_cast<std::int64_t>(spec.after)));
+  }
+  return w;
+}
+
+}  // namespace litmus::core::testing

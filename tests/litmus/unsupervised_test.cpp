@@ -1,0 +1,77 @@
+#include "litmus/unsupervised.h"
+
+#include <gtest/gtest.h>
+
+#include "litmus/spatial_regression.h"
+#include "test_windows.h"
+
+namespace litmus::core {
+namespace {
+
+using testing::WindowSpec;
+using testing::make_windows;
+
+TEST(PcaBaseline, DetectsStudyShift) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.5;
+  const PcaBaselineAnalyzer alg;
+  const AnalysisOutcome o = alg.assess(make_windows(spec), spec.kpi);
+  EXPECT_EQ(o.verdict, Verdict::kImprovement);
+  EXPECT_GT(o.statistic, 2.0);  // residual-energy ratio
+}
+
+TEST(PcaBaseline, QuietNullUndetected) {
+  WindowSpec spec;
+  const PcaBaselineAnalyzer alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+TEST(PcaBaseline, SharedShiftStaysInNormalSubspace) {
+  // A common move of every column rides the principal component and does
+  // not inflate the residual: no detection (this part the detector gets
+  // right).
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  spec.control_shift_sigma = 2.0;
+  const PcaBaselineAnalyzer alg;
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+TEST(PcaBaseline, Fig7cDirectionIsWrong) {
+  // The paper's key argument (Section 2.4 / Fig 7(c)): both groups improve
+  // absolutely while the study element *relatively degrades*. The detector
+  // may fire, but its only direction proxy is the study's absolute shift —
+  // so it cannot report the degradation. Litmus can.
+  WindowSpec spec;
+  spec.study_shift_sigma = 1.0;   // study improves a little...
+  spec.control_shift_sigma = 3.0; // ...controls improve a lot
+  const PcaBaselineAnalyzer pca;
+  const AnalysisOutcome o = pca.assess(make_windows(spec), spec.kpi);
+  EXPECT_NE(o.verdict, Verdict::kDegradation);  // the wrong answer, by design
+
+  const RobustSpatialRegression litmus_alg;
+  EXPECT_EQ(litmus_alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kDegradation);  // the right answer
+}
+
+TEST(PcaBaseline, DegenerateWithoutControls) {
+  WindowSpec spec;
+  spec.n_controls = 0;
+  const PcaBaselineAnalyzer alg;
+  EXPECT_TRUE(alg.assess(make_windows(spec), spec.kpi).degenerate);
+}
+
+TEST(PcaBaseline, ThresholdControlsSensitivity) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.5;
+  PcaBaselineParams loose;
+  loose.energy_ratio_threshold = 1e9;  // effectively off
+  const PcaBaselineAnalyzer alg(loose);
+  EXPECT_EQ(alg.assess(make_windows(spec), spec.kpi).verdict,
+            Verdict::kNoImpact);
+}
+
+}  // namespace
+}  // namespace litmus::core

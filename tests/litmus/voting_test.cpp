@@ -1,0 +1,103 @@
+#include "litmus/voting.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::core {
+namespace {
+
+AnalysisOutcome outcome(Verdict v, bool degenerate = false) {
+  AnalysisOutcome o;
+  o.verdict = v;
+  o.degenerate = degenerate;
+  return o;
+}
+
+TEST(Voting, EmptyInputIsNoImpactZeroConfidence) {
+  const VoteSummary s = vote({});
+  EXPECT_EQ(s.verdict, Verdict::kNoImpact);
+  EXPECT_DOUBLE_EQ(s.confidence, 0.0);
+}
+
+TEST(Voting, UnanimousImprovement) {
+  const std::vector<AnalysisOutcome> v(3, outcome(Verdict::kImprovement));
+  const VoteSummary s = vote(v);
+  EXPECT_EQ(s.verdict, Verdict::kImprovement);
+  EXPECT_EQ(s.improvements, 3u);
+  EXPECT_DOUBLE_EQ(s.confidence, 1.0);
+}
+
+TEST(Voting, MajorityWins) {
+  const std::vector<AnalysisOutcome> v{
+      outcome(Verdict::kDegradation), outcome(Verdict::kDegradation),
+      outcome(Verdict::kNoImpact)};
+  const VoteSummary s = vote(v);
+  EXPECT_EQ(s.verdict, Verdict::kDegradation);
+  EXPECT_NEAR(s.confidence, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Voting, ImpactBeatsNoImpactTie) {
+  // A real impact rarely reaches significance at every element; the tie
+  // between one significant improvement and one quiet element resolves to
+  // the impact verdict.
+  const std::vector<AnalysisOutcome> v{outcome(Verdict::kImprovement),
+                                       outcome(Verdict::kNoImpact)};
+  EXPECT_EQ(vote(v).verdict, Verdict::kImprovement);
+}
+
+TEST(Voting, ContradictoryTieIsNoImpact) {
+  const std::vector<AnalysisOutcome> v{outcome(Verdict::kImprovement),
+                                       outcome(Verdict::kDegradation)};
+  EXPECT_EQ(vote(v).verdict, Verdict::kNoImpact);
+}
+
+TEST(Voting, DegeneratesAbstain) {
+  const std::vector<AnalysisOutcome> v{
+      outcome(Verdict::kImprovement),
+      outcome(Verdict::kDegradation, /*degenerate=*/true),
+      outcome(Verdict::kDegradation, /*degenerate=*/true)};
+  const VoteSummary s = vote(v);
+  EXPECT_EQ(s.verdict, Verdict::kImprovement);
+  EXPECT_EQ(s.degenerates, 2u);
+  EXPECT_EQ(s.degradations, 0u);
+  EXPECT_DOUBLE_EQ(s.confidence, 1.0);
+}
+
+TEST(Voting, AllDegenerate) {
+  const std::vector<AnalysisOutcome> v(
+      4, outcome(Verdict::kImprovement, /*degenerate=*/true));
+  const VoteSummary s = vote(v);
+  EXPECT_EQ(s.verdict, Verdict::kNoImpact);
+  EXPECT_EQ(s.degenerates, 4u);
+  EXPECT_DOUBLE_EQ(s.confidence, 0.0);
+}
+
+TEST(Voting, NoImpactMajorityHolds) {
+  const std::vector<AnalysisOutcome> v{
+      outcome(Verdict::kNoImpact), outcome(Verdict::kNoImpact),
+      outcome(Verdict::kNoImpact), outcome(Verdict::kImprovement)};
+  const VoteSummary s = vote(v);
+  EXPECT_EQ(s.verdict, Verdict::kNoImpact);
+  EXPECT_NEAR(s.confidence, 0.75, 1e-12);
+}
+
+TEST(Voting, DegradationBeatsImprovementWhenLarger) {
+  const std::vector<AnalysisOutcome> v{
+      outcome(Verdict::kImprovement), outcome(Verdict::kDegradation),
+      outcome(Verdict::kDegradation)};
+  EXPECT_EQ(vote(v).verdict, Verdict::kDegradation);
+}
+
+TEST(Voting, CountsAreExact) {
+  const std::vector<AnalysisOutcome> v{
+      outcome(Verdict::kImprovement), outcome(Verdict::kDegradation),
+      outcome(Verdict::kNoImpact),
+      outcome(Verdict::kNoImpact, /*degenerate=*/true)};
+  const VoteSummary s = vote(v);
+  EXPECT_EQ(s.improvements, 1u);
+  EXPECT_EQ(s.degradations, 1u);
+  EXPECT_EQ(s.no_impacts, 1u);
+  EXPECT_EQ(s.degenerates, 1u);
+}
+
+}  // namespace
+}  // namespace litmus::core

@@ -1,0 +1,67 @@
+#include "simkit/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::sim {
+namespace {
+
+TEST(Clock, DayOfBin) {
+  EXPECT_EQ(day_of(0), 0);
+  EXPECT_EQ(day_of(23), 0);
+  EXPECT_EQ(day_of(24), 1);
+  EXPECT_EQ(day_of(-1), -1);
+  EXPECT_EQ(day_of(-24), -1);
+  EXPECT_EQ(day_of(-25), -2);
+}
+
+TEST(Clock, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(23), 23);
+  EXPECT_EQ(hour_of_day(24), 0);
+  EXPECT_EQ(hour_of_day(-1), 23);  // floor semantics for negative bins
+}
+
+TEST(Clock, DayOfWeekEpochIsMonday) {
+  EXPECT_EQ(day_of_week(0), 0);
+  EXPECT_EQ(day_of_week(5 * 24), 5);      // Saturday
+  EXPECT_EQ(day_of_week(7 * 24), 0);      // Monday again
+  EXPECT_EQ(day_of_week(-24), 6);         // Sunday before the epoch
+}
+
+TEST(Clock, Weekend) {
+  EXPECT_FALSE(is_weekend(0));
+  EXPECT_TRUE(is_weekend(5 * 24));
+  EXPECT_TRUE(is_weekend(6 * 24 + 12));
+  EXPECT_FALSE(is_weekend(7 * 24));
+}
+
+TEST(Clock, DayOfYearWraps) {
+  EXPECT_EQ(day_of_year(0), 0);
+  EXPECT_EQ(day_of_year(364 * 24), 364);
+  EXPECT_EQ(day_of_year(365 * 24), 0);
+  EXPECT_EQ(day_of_year(-24), 364);  // last day of the previous year
+}
+
+TEST(Clock, BinAt) {
+  EXPECT_EQ(bin_at(0, 0, 0), 0);
+  EXPECT_EQ(bin_at(0, 1, 0), 24);
+  EXPECT_EQ(bin_at(1, 0, 0), 365 * 24);
+  EXPECT_EQ(bin_at(1, 10, 5), 365 * 24 + 10 * 24 + 5);
+  EXPECT_EQ(bin_at(-1, 364, 23), -1);
+}
+
+TEST(Clock, RoundTripBinAtDayOfYear) {
+  for (const int doy : {0, 90, 184, 364})
+    EXPECT_EQ(day_of_year(bin_at(2, doy, 13)), doy);
+}
+
+TEST(Clock, HolidayConstantsInRange) {
+  for (const int doy : {kNewYearDoy, kIndependenceDoy, kThanksgivingDoy,
+                        kChristmasDoy}) {
+    EXPECT_GE(doy, 0);
+    EXPECT_LT(doy, kDaysPerYear);
+  }
+}
+
+}  // namespace
+}  // namespace litmus::sim

@@ -1,0 +1,121 @@
+#include "simkit/counter_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "kpi/aggregate.h"
+#include "simkit/network_events.h"
+#include "tsmath/stats.h"
+
+namespace litmus::sim {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  std::unique_ptr<KpiGenerator> gen;
+  net::ElementId tower;
+
+  explicit Fixture(std::uint64_t seed = 313) {
+    topo = net::build_small_region(net::Region::kWest, seed, 2, 4);
+    gen = std::make_unique<KpiGenerator>(topo, GeneratorConfig{.seed = seed});
+    tower = topo.of_kind(net::ElementKind::kNodeB).front();
+  }
+};
+
+TEST(CounterGenerator, RatesRespondToQualityAndLoad) {
+  Fixture f;
+  const CounterGenerator cg(*f.gen);
+  const kpi::SessionRates neutral = cg.rates_for(0.0, 1.0);
+  const kpi::SessionRates good = cg.rates_for(2.0, 1.0);
+  const kpi::SessionRates bad = cg.rates_for(-2.0, 1.0);
+  const kpi::SessionRates busy = cg.rates_for(0.0, 2.0);
+
+  EXPECT_LT(good.voice_drop_prob, neutral.voice_drop_prob);
+  EXPECT_GT(bad.voice_drop_prob, neutral.voice_drop_prob);
+  EXPECT_LT(good.data_block_prob, neutral.data_block_prob);
+  EXPECT_NEAR(busy.voice_attempts_per_bin,
+              2.0 * neutral.voice_attempts_per_bin, 1e-9);
+}
+
+TEST(CounterGenerator, FailureProbabilityClamped) {
+  Fixture f;
+  CounterModel model;
+  model.max_failure_probability = 0.5;
+  const CounterGenerator cg(*f.gen, model);
+  const kpi::SessionRates awful = cg.rates_for(-50.0, 1.0);
+  EXPECT_LE(awful.voice_drop_prob, 0.5);
+  EXPECT_LE(awful.voice_block_prob, 0.5);
+}
+
+TEST(CounterGenerator, Deterministic) {
+  Fixture f;
+  const CounterGenerator a(*f.gen), b(*f.gen);
+  const auto ca = a.counters(f.tower, 0, 48);
+  const auto cb = b.counters(f.tower, 0, 48);
+  for (std::int64_t bin = 0; bin < 48; ++bin) {
+    EXPECT_EQ(ca.at_bin(bin).voice_attempts, cb.at_bin(bin).voice_attempts);
+    EXPECT_EQ(ca.at_bin(bin).voice_dropped, cb.at_bin(bin).voice_dropped);
+  }
+}
+
+TEST(CounterGenerator, KpiSeriesNearLatentOperatingPoint) {
+  Fixture f;
+  const CounterGenerator cg(*f.gen);
+  const ts::TimeSeries retain =
+      cg.kpi_series(f.tower, kpi::KpiId::kVoiceRetainability, 0, 14 * 24);
+  // Baseline drop prob 2% -> retainability ~0.98 give or take quality swing.
+  const double m = ts::mean(retain);
+  EXPECT_GT(m, 0.93);
+  EXPECT_LT(m, 0.999);
+}
+
+TEST(CounterGenerator, QualityShiftMovesCounterKpis) {
+  Fixture f;
+  UpstreamEvent degrade;
+  degrade.source = f.tower;
+  degrade.start_bin = 0;
+  degrade.sigma_shift = -2.5;
+  f.gen->add_factor(std::make_shared<NetworkEventFactor>(
+      f.topo, std::vector<UpstreamEvent>{degrade}));
+  const CounterGenerator cg(*f.gen);
+  const ts::TimeSeries retain =
+      cg.kpi_series(f.tower, kpi::KpiId::kVoiceRetainability, -7 * 24,
+                    14 * 24);
+  const double before = ts::mean(retain.slice_bins(-7 * 24, 0));
+  const double after = ts::mean(retain.slice_bins(0, 7 * 24));
+  EXPECT_LT(after, before - 0.005);
+}
+
+TEST(CounterGenerator, OutageProducesZeroAttemptsAndMissingKpi) {
+  Fixture f;
+  OutageEvent outage;
+  outage.elements = {f.tower};
+  outage.start_bin = 5;
+  outage.end_bin = 10;
+  f.gen->add_factor(std::make_shared<NetworkEventFactor>(
+      f.topo, std::vector<UpstreamEvent>{}, std::vector<OutageEvent>{outage}));
+  const CounterGenerator cg(*f.gen);
+  const auto counters = cg.counters(f.tower, 0, 20);
+  EXPECT_EQ(counters.at_bin(7).voice_attempts, 0u);
+  EXPECT_GT(counters.at_bin(2).voice_attempts, 0u);
+  const auto kpis = counters.kpi_series(kpi::KpiId::kVoiceAccessibility);
+  EXPECT_TRUE(ts::is_missing(kpis.at_bin(7)));
+  EXPECT_FALSE(ts::is_missing(kpis.at_bin(2)));
+}
+
+TEST(CounterGenerator, AggregatesAcrossElements) {
+  Fixture f;
+  const CounterGenerator cg(*f.gen);
+  const auto towers = f.topo.of_kind(net::ElementKind::kNodeB);
+  std::vector<kpi::CounterSeries> per_element;
+  for (const auto t : towers) per_element.push_back(cg.counters(t, 0, 24));
+  const ts::TimeSeries agg =
+      kpi::aggregate_kpi(per_element, kpi::KpiId::kVoiceRetainability);
+  EXPECT_EQ(agg.size(), 24u);
+  EXPECT_GT(ts::mean(agg), 0.9);
+}
+
+}  // namespace
+}  // namespace litmus::sim

@@ -1,0 +1,216 @@
+#include "simkit/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cellnet/builder.h"
+#include "simkit/network_events.h"
+#include "simkit/seasonality.h"
+#include "tsmath/stats.h"
+
+namespace litmus::sim {
+namespace {
+
+net::Topology small() {
+  return net::build_small_region(net::Region::kNortheast, 7, 2, 6);
+}
+
+TEST(Generator, DeterministicForSameConfig) {
+  const net::Topology t = small();
+  const KpiGenerator a(t, {.seed = 5});
+  const KpiGenerator b(t, {.seed = 5});
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  const auto sa = a.kpi_series(id, kpi::KpiId::kVoiceRetainability, 0, 100);
+  const auto sb = b.kpi_series(id, kpi::KpiId::kVoiceRetainability, 0, 100);
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const net::Topology t = small();
+  const KpiGenerator a(t, {.seed = 5});
+  const KpiGenerator b(t, {.seed = 6});
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  const auto sa = a.latent_series(id, 0, 50);
+  const auto sb = b.latent_series(id, 0, 50);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    if (sa[i] != sb[i]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, SameMarketMoreCorrelatedThanCrossRegion) {
+  net::BuildSpec spec;
+  spec.seed = 9;
+  spec.regions = {net::Region::kNortheast, net::Region::kWest};
+  spec.markets_per_region = 1;
+  const net::Topology t = net::NetworkBuilder(spec).build();
+  const KpiGenerator gen(t, {.seed = 12});
+
+  const auto ne = t.in_region(net::Region::kNortheast);
+  const auto west = t.in_region(net::Region::kWest);
+  std::vector<net::ElementId> ne_towers, west_towers;
+  for (const auto id : ne)
+    if (t.get(id).kind == net::ElementKind::kNodeB) ne_towers.push_back(id);
+  for (const auto id : west)
+    if (t.get(id).kind == net::ElementKind::kNodeB) west_towers.push_back(id);
+  ASSERT_GE(ne_towers.size(), 2u);
+  ASSERT_GE(west_towers.size(), 1u);
+
+  const auto a = gen.latent_series(ne_towers[0], 0, 500);
+  const auto b = gen.latent_series(ne_towers[1], 0, 500);
+  const auto c = gen.latent_series(west_towers[0], 0, 500);
+  const double same_market = ts::pearson(a.values(), b.values());
+  const double cross_region = ts::pearson(a.values(), c.values());
+  EXPECT_GT(same_market, 0.4);  // paper Section 3.1, observation (i)
+  EXPECT_GT(same_market, cross_region + 0.2);
+}
+
+TEST(Generator, KpiMappingHonoursPolarity) {
+  const net::Topology t = small();
+  KpiGenerator gen(t, {.seed = 20});
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+
+  ts::TimeSeries latent(0, {2.0, -2.0});
+  const auto retain =
+      gen.latent_to_kpi(latent, kpi::KpiId::kVoiceRetainability);
+  const auto dropped =
+      gen.latent_to_kpi(latent, kpi::KpiId::kDroppedVoiceCallRatio);
+  // Good latent -> higher retainability, lower dropped-call ratio.
+  EXPECT_GT(retain[0], retain[1]);
+  EXPECT_LT(dropped[0], dropped[1]);
+  (void)id;
+}
+
+TEST(Generator, RatioKpiStaysInUnitInterval) {
+  const net::Topology t = small();
+  KpiGenerator gen(t, {.seed = 21});
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  const auto s = gen.kpi_series(id, kpi::KpiId::kVoiceAccessibility, 0, 2000);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (ts::is_missing(s[i])) continue;
+    EXPECT_GE(s[i], 0.0);
+    EXPECT_LE(s[i], 1.0);
+  }
+}
+
+TEST(Generator, ThroughputNonNegativeAndNotRatio) {
+  const net::Topology t = small();
+  KpiGenerator gen(t, {.seed = 22});
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  const auto s = gen.kpi_series(id, kpi::KpiId::kDataThroughput, 0, 1000);
+  double max_v = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s[i], 0.0);
+    max_v = std::max(max_v, s[i]);
+  }
+  EXPECT_GT(max_v, 1.0);  // clearly not a [0,1] ratio
+}
+
+TEST(Generator, BlackoutProducesMissing) {
+  const net::Topology t = small();
+  KpiGenerator gen(t, {.seed = 23});
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  OutageEvent outage;
+  outage.elements = {id};
+  outage.start_bin = 10;
+  outage.end_bin = 20;
+  gen.add_factor(std::make_shared<NetworkEventFactor>(
+      t, std::vector<UpstreamEvent>{}, std::vector<OutageEvent>{outage}));
+  const auto s = gen.kpi_series(id, kpi::KpiId::kVoiceRetainability, 0, 30);
+  for (std::int64_t b = 10; b < 20; ++b)
+    EXPECT_TRUE(ts::is_missing(s.at_bin(b))) << b;
+  EXPECT_FALSE(ts::is_missing(s.at_bin(5)));
+  EXPECT_FALSE(ts::is_missing(s.at_bin(25)));
+}
+
+TEST(Generator, FactorQualityShiftsSeries) {
+  const net::Topology t = small();
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  KpiGenerator plain(t, {.seed = 24});
+  KpiGenerator shifted(t, {.seed = 24});
+  UpstreamEvent ev;
+  ev.source = id;
+  ev.start_bin = 0;
+  ev.sigma_shift = 3.0;
+  shifted.add_factor(std::make_shared<NetworkEventFactor>(
+      t, std::vector<UpstreamEvent>{ev}));
+  const auto a = plain.latent_series(id, 0, 200);
+  const auto b = shifted.latent_series(id, 0, 200);
+  EXPECT_NEAR(ts::mean(b) - ts::mean(a), 3.0, 0.2);
+}
+
+TEST(Generator, LoadSeriesFollowsDiurnalFactor) {
+  const net::Topology t = small();
+  KpiGenerator gen(t, {.seed = 25});
+  gen.add_factor(std::make_shared<DiurnalLoadFactor>(0.5));
+  const auto towers = t.of_kind(net::ElementKind::kNodeB);
+  // Average across towers to dampen the 5% noise.
+  double peak = 0, night = 0;
+  for (const auto id : towers) {
+    const auto load = gen.load_series(id, 0, 24);
+    peak += load.at_bin(19);   // evening (residential default mix)
+    night += load.at_bin(3);
+  }
+  EXPECT_GT(peak, night);
+}
+
+TEST(Generator, VolumeScalesLoad) {
+  const net::Topology t = small();
+  GeneratorConfig cfg;
+  cfg.seed = 26;
+  cfg.base_voice_attempts = 100.0;
+  KpiGenerator gen(t, cfg);
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  const auto load = gen.load_series(id, 0, 50);
+  const auto vol = gen.volume_series(id, 0, 50);
+  for (std::size_t i = 0; i < load.size(); ++i)
+    EXPECT_NEAR(vol[i], 100.0 * load[i], 1e-9);
+}
+
+TEST(Generator, CongestionPenalizesQuality) {
+  const net::Topology t = small();
+  GeneratorConfig cfg;
+  cfg.seed = 27;
+  cfg.congestion_threshold = 0.5;  // everything is congested
+  cfg.congestion_coeff = 2.0;
+  KpiGenerator congested(t, cfg);
+  GeneratorConfig relaxed = cfg;
+  relaxed.congestion_threshold = 100.0;  // nothing is congested
+  KpiGenerator free(t, relaxed);
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  EXPECT_LT(ts::mean(congested.latent_series(id, 0, 300)),
+            ts::mean(free.latent_series(id, 0, 300)));
+}
+
+TEST(Generator, LoadingsWithinConfiguredSpread) {
+  const net::Topology t = small();
+  GeneratorConfig cfg;
+  cfg.seed = 28;
+  cfg.loading_spread = 0.2;
+  const KpiGenerator gen(t, cfg);
+  for (const auto id : t.all()) {
+    const double l = gen.region_loading(id);
+    EXPECT_GE(l, 0.8);
+    EXPECT_LE(l, 1.2);
+    const double c = gen.combined_loading(id);
+    EXPECT_GE(c, 0.8);
+    EXPECT_LE(c, 1.2);
+  }
+}
+
+TEST(Generator, LatentIsRoughlyStandardized) {
+  const net::Topology t = small();
+  const KpiGenerator gen(t, {.seed = 29});
+  const auto id = t.of_kind(net::ElementKind::kNodeB).front();
+  const auto s = gen.latent_series(id, 0, 5000);
+  // Mean near zero (no factors), total sigma of order 1-2.
+  EXPECT_NEAR(ts::mean(s), 0.0, 0.8);
+  const double sd = ts::stddev(s.values());
+  EXPECT_GT(sd, 0.6);
+  EXPECT_LT(sd, 2.5);
+}
+
+}  // namespace
+}  // namespace litmus::sim

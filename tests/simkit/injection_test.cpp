@@ -1,0 +1,94 @@
+#include "simkit/injection.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::sim {
+namespace {
+
+TEST(Injection, SigmaToKpiDeltaHonoursPolarity) {
+  // +2 sigma improves service: retainability rises...
+  EXPECT_GT(sigma_to_kpi_delta(kpi::KpiId::kVoiceRetainability, 2.0), 0.0);
+  // ...while the dropped-call ratio falls.
+  EXPECT_LT(sigma_to_kpi_delta(kpi::KpiId::kDroppedVoiceCallRatio, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(sigma_to_kpi_delta(kpi::KpiId::kVoiceRetainability, 0.0),
+                   0.0);
+}
+
+TEST(Injection, DeltaScalesWithKpiNoise) {
+  const double d1 = sigma_to_kpi_delta(kpi::KpiId::kVoiceRetainability, 1.0);
+  const double d2 = sigma_to_kpi_delta(kpi::KpiId::kVoiceRetainability, 2.0);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-12);
+  EXPECT_NEAR(d1, kpi::info(kpi::KpiId::kVoiceRetainability).typical_noise,
+              1e-12);
+}
+
+TEST(Injection, LevelShiftFromBinOnward) {
+  ts::TimeSeries s(0, std::vector<double>(10, 0.5));
+  Injection inj;
+  inj.at_bin = 4;
+  inj.magnitude_sigma = 2.0;
+  apply_injection(s, kpi::KpiId::kVoiceRetainability, inj);
+  const double delta =
+      sigma_to_kpi_delta(kpi::KpiId::kVoiceRetainability, 2.0);
+  for (std::int64_t b = 0; b < 4; ++b) EXPECT_DOUBLE_EQ(s.at_bin(b), 0.5);
+  for (std::int64_t b = 4; b < 10; ++b)
+    EXPECT_DOUBLE_EQ(s.at_bin(b), 0.5 + delta);
+}
+
+TEST(Injection, RampReachesFullMagnitudeAndPersists) {
+  ts::TimeSeries s(0, std::vector<double>(20, 0.5));
+  Injection inj;
+  inj.at_bin = 2;
+  inj.magnitude_sigma = 2.0;
+  inj.shape = InjectionShape::kRamp;
+  inj.ramp_bins = 6;
+  apply_injection(s, kpi::KpiId::kVoiceRetainability, inj);
+  const double delta =
+      sigma_to_kpi_delta(kpi::KpiId::kVoiceRetainability, 2.0);
+  EXPECT_DOUBLE_EQ(s.at_bin(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.at_bin(2), 0.5);  // ramp starts at zero
+  EXPECT_LT(s.at_bin(4), 0.5 + delta);
+  EXPECT_GT(s.at_bin(4), 0.5);
+  for (std::int64_t b = 8; b < 20; ++b)
+    EXPECT_NEAR(s.at_bin(b), 0.5 + delta, 1e-12);
+}
+
+TEST(Injection, RatioClampedAfterInjection) {
+  ts::TimeSeries s(0, std::vector<double>(5, 0.999));
+  Injection inj;
+  inj.at_bin = 0;
+  inj.magnitude_sigma = 10.0;  // would push past 1.0
+  apply_injection(s, kpi::KpiId::kVoiceRetainability, inj);
+  for (std::int64_t b = 0; b < 5; ++b) EXPECT_DOUBLE_EQ(s.at_bin(b), 1.0);
+}
+
+TEST(Injection, ThroughputNotClamped) {
+  ts::TimeSeries s(0, std::vector<double>(5, 12.0));
+  Injection inj;
+  inj.at_bin = 0;
+  inj.magnitude_sigma = 10.0;
+  apply_injection(s, kpi::KpiId::kDataThroughput, inj);
+  EXPECT_GT(s.at_bin(0), 12.0 + 5.0);
+}
+
+TEST(Injection, MissingBinsUntouched) {
+  ts::TimeSeries s(0, {0.5, ts::kMissing, 0.5});
+  Injection inj;
+  inj.at_bin = 0;
+  inj.magnitude_sigma = 1.0;
+  apply_injection(s, kpi::KpiId::kVoiceRetainability, inj);
+  EXPECT_TRUE(ts::is_missing(s.at_bin(1)));
+  EXPECT_GT(s.at_bin(0), 0.5);
+}
+
+TEST(Injection, NegativeMagnitudeDegrades) {
+  ts::TimeSeries s(0, std::vector<double>(4, 0.5));
+  Injection inj;
+  inj.at_bin = 0;
+  inj.magnitude_sigma = -2.0;
+  apply_injection(s, kpi::KpiId::kVoiceRetainability, inj);
+  EXPECT_LT(s.at_bin(0), 0.5);
+}
+
+}  // namespace
+}  // namespace litmus::sim

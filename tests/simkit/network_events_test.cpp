@@ -1,0 +1,129 @@
+#include "simkit/network_events.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::sim {
+namespace {
+
+net::NetworkElement elem(std::uint32_t id, net::ElementKind kind,
+                         net::ElementId parent = net::kInvalidElement) {
+  net::NetworkElement e;
+  e.id = net::ElementId{id};
+  e.kind = kind;
+  e.name = "e" + std::to_string(id);
+  e.parent = parent;
+  return e;
+}
+
+// RNC(1) -> NodeB(2,3,4); RNC(5) -> NodeB(6).
+net::Topology topo() {
+  net::Topology t;
+  t.add(elem(1, net::ElementKind::kRnc));
+  t.add(elem(2, net::ElementKind::kNodeB, net::ElementId{1}));
+  t.add(elem(3, net::ElementKind::kNodeB, net::ElementId{1}));
+  t.add(elem(4, net::ElementKind::kNodeB, net::ElementId{1}));
+  t.add(elem(5, net::ElementKind::kRnc));
+  t.add(elem(6, net::ElementKind::kNodeB, net::ElementId{5}));
+  return t;
+}
+
+UpstreamEvent upgrade(net::ElementId source, double shift = 1.0) {
+  UpstreamEvent ev;
+  ev.source = source;
+  ev.start_bin = 100;
+  ev.sigma_shift = shift;
+  return ev;
+}
+
+TEST(NetworkEvents, AffectsWholeSubtree) {
+  const net::Topology t = topo();
+  const NetworkEventFactor f(t, {upgrade(net::ElementId{1}, 2.0)});
+  for (const std::uint32_t id : {1u, 2u, 3u, 4u})
+    EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{id}), 150), 2.0);
+  EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{6}), 150), 0.0);
+}
+
+TEST(NetworkEvents, InactiveBeforeStart) {
+  const net::Topology t = topo();
+  const NetworkEventFactor f(t, {upgrade(net::ElementId{1})});
+  EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{2}), 99), 0.0);
+  EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{2}), 100), 1.0);
+}
+
+TEST(NetworkEvents, EndBinExclusive) {
+  const net::Topology t = topo();
+  UpstreamEvent ev = upgrade(net::ElementId{1});
+  ev.end_bin = 200;
+  const NetworkEventFactor f(t, {ev});
+  EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{2}), 199), 1.0);
+  EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{2}), 200), 0.0);
+}
+
+TEST(NetworkEvents, RampInIsGradual) {
+  const net::Topology t = topo();
+  UpstreamEvent ev = upgrade(net::ElementId{1}, 2.0);
+  ev.ramp_bins = 10;
+  const NetworkEventFactor f(t, {ev});
+  const auto& e = t.get(net::ElementId{2});
+  EXPECT_LT(f.quality_effect(e, 100), 2.0);
+  EXPECT_GT(f.quality_effect(e, 100), 0.0);
+  EXPECT_LT(f.quality_effect(e, 104), f.quality_effect(e, 108));
+  EXPECT_DOUBLE_EQ(f.quality_effect(e, 110), 2.0);
+}
+
+TEST(NetworkEvents, HitFractionSelectsSubset) {
+  const net::Topology t = topo();
+  UpstreamEvent ev = upgrade(net::ElementId{1});
+  ev.hit_fraction = 0.5;
+  ev.seed = 3;
+  const NetworkEventFactor f(t, {ev});
+  int hit = 0;
+  for (const std::uint32_t id : {2u, 3u, 4u})
+    if (f.quality_effect(t.get(net::ElementId{id}), 150) != 0.0) ++hit;
+  EXPECT_GE(hit, 0);
+  EXPECT_LE(hit, 3);
+  // The source itself is always affected.
+  EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{1}), 150), 1.0);
+}
+
+TEST(NetworkEvents, HitSelectionDeterministic) {
+  const net::Topology t = topo();
+  UpstreamEvent ev = upgrade(net::ElementId{1});
+  ev.hit_fraction = 0.5;
+  const NetworkEventFactor f1(t, {ev});
+  const NetworkEventFactor f2(t, {ev});
+  for (const std::uint32_t id : {2u, 3u, 4u})
+    EXPECT_DOUBLE_EQ(f1.quality_effect(t.get(net::ElementId{id}), 150),
+                     f2.quality_effect(t.get(net::ElementId{id}), 150));
+}
+
+TEST(NetworkEvents, MultipleEventsAdd) {
+  const net::Topology t = topo();
+  const NetworkEventFactor f(
+      t, {upgrade(net::ElementId{1}, 1.0), upgrade(net::ElementId{1}, -0.4)});
+  EXPECT_NEAR(f.quality_effect(t.get(net::ElementId{2}), 150), 0.6, 1e-12);
+}
+
+TEST(NetworkEvents, OutageBlackout) {
+  const net::Topology t = topo();
+  OutageEvent outage;
+  outage.elements = {net::ElementId{2}, net::ElementId{6}};
+  outage.start_bin = 10;
+  outage.end_bin = 20;
+  const NetworkEventFactor f(t, {}, {outage});
+  EXPECT_TRUE(f.blackout(t.get(net::ElementId{2}), 15));
+  EXPECT_TRUE(f.blackout(t.get(net::ElementId{6}), 10));
+  EXPECT_FALSE(f.blackout(t.get(net::ElementId{2}), 20));
+  EXPECT_FALSE(f.blackout(t.get(net::ElementId{3}), 15));
+}
+
+TEST(NetworkEvents, NoEventsMeansNeutral) {
+  const net::Topology t = topo();
+  const NetworkEventFactor f(t, {});
+  EXPECT_DOUBLE_EQ(f.quality_effect(t.get(net::ElementId{1}), 0), 0.0);
+  EXPECT_FALSE(f.blackout(t.get(net::ElementId{1}), 0));
+  EXPECT_DOUBLE_EQ(f.load_factor(t.get(net::ElementId{1}), 0), 1.0);
+}
+
+}  // namespace
+}  // namespace litmus::sim

@@ -1,0 +1,133 @@
+#include "simkit/seasonality.h"
+
+#include <gtest/gtest.h>
+
+#include "simkit/clock.h"
+
+namespace litmus::sim {
+namespace {
+
+net::NetworkElement make_element(net::Region region,
+                                 net::Terrain terrain = net::Terrain::kRural,
+                                 net::TrafficProfile traffic =
+                                     net::TrafficProfile::kResidential) {
+  net::NetworkElement e;
+  e.id = net::ElementId{7};
+  e.kind = net::ElementKind::kNodeB;
+  e.region = region;
+  e.config.terrain = terrain;
+  e.config.traffic = traffic;
+  return e;
+}
+
+TEST(Foliage, LeafFractionPhases) {
+  EXPECT_DOUBLE_EQ(FoliageFactor::leaf_fraction(0), 0.0);     // winter
+  EXPECT_DOUBLE_EQ(FoliageFactor::leaf_fraction(364), 0.0);   // winter
+  EXPECT_DOUBLE_EQ(FoliageFactor::leaf_fraction(180), 1.0);   // mid-summer
+  const double budding = FoliageFactor::leaf_fraction(105);   // mid-April
+  EXPECT_GT(budding, 0.0);
+  EXPECT_LT(budding, 1.0);
+  const double falling = FoliageFactor::leaf_fraction(274);   // October
+  EXPECT_GT(falling, 0.0);
+  EXPECT_LT(falling, 1.0);
+}
+
+TEST(Foliage, LeafFractionMonotoneOnRamps) {
+  for (int d = 91; d < 120; ++d)
+    EXPECT_GE(FoliageFactor::leaf_fraction(d),
+              FoliageFactor::leaf_fraction(d - 1));
+  for (int d = 245; d < 304; ++d)
+    EXPECT_LE(FoliageFactor::leaf_fraction(d),
+              FoliageFactor::leaf_fraction(d - 1));
+}
+
+TEST(Foliage, OnlyFoliageRegionsAffected) {
+  const FoliageFactor f(2.0);
+  const auto ne = make_element(net::Region::kNortheast);
+  const auto se = make_element(net::Region::kSoutheast);
+  const std::int64_t summer = bin_at(0, 180);
+  EXPECT_LT(f.quality_effect(ne, summer), 0.0);
+  EXPECT_DOUBLE_EQ(f.quality_effect(se, summer), 0.0);
+}
+
+TEST(Foliage, NoEffectInWinter) {
+  const FoliageFactor f(2.0);
+  const auto ne = make_element(net::Region::kNortheast);
+  EXPECT_DOUBLE_EQ(f.quality_effect(ne, bin_at(0, 20)), 0.0);
+}
+
+TEST(Foliage, UrbanLessAffectedThanRural) {
+  const FoliageFactor f(2.0);
+  const auto urban =
+      make_element(net::Region::kNortheast, net::Terrain::kUrban);
+  const auto rural =
+      make_element(net::Region::kNortheast, net::Terrain::kRural);
+  const std::int64_t summer = bin_at(0, 180);
+  // Intensity draws share the element id, so terrain scaling dominates.
+  EXPECT_GT(f.quality_effect(urban, summer), f.quality_effect(rural, summer));
+}
+
+TEST(Foliage, IntensityDeterministicPerElement) {
+  const FoliageFactor f(2.0, 99);
+  const auto e = make_element(net::Region::kNortheast);
+  EXPECT_DOUBLE_EQ(f.intensity(e), f.intensity(e));
+}
+
+TEST(DiurnalLoad, BusinessPeaksOnWeekdayWorkingHours) {
+  const DiurnalLoadFactor f(0.4);
+  const auto biz = make_element(net::Region::kWest, net::Terrain::kUrban,
+                                net::TrafficProfile::kBusiness);
+  const double peak = f.load_factor(biz, 11);          // Monday 11:00
+  const double night = f.load_factor(biz, 3);          // Monday 03:00
+  const double weekend = f.load_factor(biz, 5 * 24 + 11);  // Saturday 11:00
+  EXPECT_GT(peak, 1.1);
+  EXPECT_LT(night, 0.8);
+  EXPECT_LT(weekend, peak - 0.3);
+}
+
+TEST(DiurnalLoad, ResidentialPeaksInEvening) {
+  const DiurnalLoadFactor f(0.4);
+  const auto res = make_element(net::Region::kWest, net::Terrain::kSuburban,
+                                net::TrafficProfile::kResidential);
+  EXPECT_GT(f.load_factor(res, 20), f.load_factor(res, 11));
+  EXPECT_GT(f.load_factor(res, 20), f.load_factor(res, 3));
+}
+
+TEST(DiurnalLoad, RecreationPeaksOnWeekend) {
+  const DiurnalLoadFactor f(0.4);
+  const auto rec = make_element(net::Region::kWest, net::Terrain::kWater,
+                                net::TrafficProfile::kRecreation);
+  EXPECT_GT(f.load_factor(rec, 5 * 24 + 14), f.load_factor(rec, 14));
+}
+
+TEST(DiurnalLoad, HighwayPeaksAtCommute) {
+  const DiurnalLoadFactor f(0.4);
+  const auto hw = make_element(net::Region::kWest, net::Terrain::kFlat,
+                               net::TrafficProfile::kHighway);
+  EXPECT_GT(f.load_factor(hw, 8), f.load_factor(hw, 13));
+  EXPECT_GT(f.load_factor(hw, 17), f.load_factor(hw, 13));
+}
+
+TEST(DiurnalLoad, LoadAlwaysPositive) {
+  const DiurnalLoadFactor f(0.9);
+  const auto e = make_element(net::Region::kWest);
+  for (int h = 0; h < kHoursPerWeek; ++h) EXPECT_GT(f.load_factor(e, h), 0.0);
+}
+
+TEST(DiurnalLoad, NoQualityChannel) {
+  const DiurnalLoadFactor f(0.4);
+  EXPECT_DOUBLE_EQ(f.quality_effect(make_element(net::Region::kWest), 12),
+                   0.0);
+}
+
+TEST(CarrierTrend, LinearInTime) {
+  const CarrierTrendFactor f(0.5);
+  const auto e = make_element(net::Region::kWest);
+  EXPECT_DOUBLE_EQ(f.quality_effect(e, 0), 0.0);
+  EXPECT_NEAR(f.quality_effect(e, kHoursPerYear), 0.5, 1e-12);
+  EXPECT_NEAR(f.quality_effect(e, 2 * kHoursPerYear), 1.0, 1e-12);
+  EXPECT_NEAR(f.quality_effect(e, -kHoursPerYear), -0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace litmus::sim

@@ -1,0 +1,105 @@
+#include "simkit/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::sim {
+namespace {
+
+net::NetworkElement element_at(net::GeoPoint p,
+                               net::Region region = net::Region::kMidwest) {
+  net::NetworkElement e;
+  e.id = net::ElementId{1};
+  e.kind = net::ElementKind::kNodeB;
+  e.location = p;
+  e.region = region;
+  return e;
+}
+
+constexpr net::GeoPoint kVenue{41.9, -87.6};
+
+TEST(TrafficEvents, HolidayAppliesInWindow) {
+  HolidayWindow h;
+  h.start_bin = 100;
+  h.end_bin = 200;
+  h.load_multiplier = 1.5;
+  const TrafficEventFactor f({h}, {});
+  const auto e = element_at(kVenue);
+  EXPECT_DOUBLE_EQ(f.load_factor(e, 150), 1.5);
+  EXPECT_DOUBLE_EQ(f.load_factor(e, 99), 1.0);
+  EXPECT_DOUBLE_EQ(f.load_factor(e, 200), 1.0);  // end exclusive
+}
+
+TEST(TrafficEvents, HolidayRegionGating) {
+  HolidayWindow h;
+  h.start_bin = 0;
+  h.end_bin = 100;
+  h.load_multiplier = 2.0;
+  h.region = net::Region::kNortheast;
+  const TrafficEventFactor f({h}, {});
+  EXPECT_DOUBLE_EQ(
+      f.load_factor(element_at(kVenue, net::Region::kNortheast), 50), 2.0);
+  EXPECT_DOUBLE_EQ(
+      f.load_factor(element_at(kVenue, net::Region::kMidwest), 50), 1.0);
+}
+
+TEST(TrafficEvents, NationwideHolidayWhenRegionUnset) {
+  HolidayWindow h;
+  h.start_bin = 0;
+  h.end_bin = 10;
+  h.load_multiplier = 1.3;
+  const TrafficEventFactor f({h}, {});
+  for (const auto r : {net::Region::kWest, net::Region::kSoutheast})
+    EXPECT_DOUBLE_EQ(f.load_factor(element_at(kVenue, r), 5), 1.3);
+}
+
+TEST(TrafficEvents, VenueSpatialDecay) {
+  VenueEvent v;
+  v.venue = kVenue;
+  v.radius_km = 8.0;
+  v.start_bin = 0;
+  v.end_bin = 6;
+  v.peak_load_multiplier = 4.0;
+  const TrafficEventFactor f({}, {v});
+  const double at_venue = f.load_factor(element_at(kVenue), 3);
+  const double nearby =
+      f.load_factor(element_at({kVenue.lat_deg + 0.05, kVenue.lon_deg}), 3);
+  const double far =
+      f.load_factor(element_at({kVenue.lat_deg + 3.0, kVenue.lon_deg}), 3);
+  EXPECT_NEAR(at_venue, 4.0, 1e-9);
+  EXPECT_GT(nearby, 1.0);
+  EXPECT_LT(nearby, at_venue);
+  EXPECT_DOUBLE_EQ(far, 1.0);
+}
+
+TEST(TrafficEvents, VenueWindowGating) {
+  VenueEvent v;
+  v.venue = kVenue;
+  v.start_bin = 10;
+  v.end_bin = 16;
+  const TrafficEventFactor f({}, {v});
+  EXPECT_DOUBLE_EQ(f.load_factor(element_at(kVenue), 9), 1.0);
+  EXPECT_GT(f.load_factor(element_at(kVenue), 12), 1.0);
+  EXPECT_DOUBLE_EQ(f.load_factor(element_at(kVenue), 16), 1.0);
+}
+
+TEST(TrafficEvents, HolidayAndVenueCompose) {
+  HolidayWindow h;
+  h.start_bin = 0;
+  h.end_bin = 100;
+  h.load_multiplier = 1.5;
+  VenueEvent v;
+  v.venue = kVenue;
+  v.start_bin = 0;
+  v.end_bin = 100;
+  v.peak_load_multiplier = 2.0;
+  const TrafficEventFactor f({h}, {v});
+  EXPECT_NEAR(f.load_factor(element_at(kVenue), 50), 3.0, 1e-9);
+}
+
+TEST(TrafficEvents, NoQualityChannel) {
+  const TrafficEventFactor f({}, {});
+  EXPECT_DOUBLE_EQ(f.quality_effect(element_at(kVenue), 0), 0.0);
+}
+
+}  // namespace
+}  // namespace litmus::sim

@@ -1,0 +1,112 @@
+#include "simkit/weather.h"
+
+#include <gtest/gtest.h>
+
+namespace litmus::sim {
+namespace {
+
+net::NetworkElement tower_at(net::GeoPoint p, std::uint32_t id = 1) {
+  net::NetworkElement e;
+  e.id = net::ElementId{id};
+  e.kind = net::ElementKind::kNodeB;
+  e.location = p;
+  e.region = net::Region::kNortheast;
+  return e;
+}
+
+constexpr net::GeoPoint kCenter{41.0, -74.0};
+
+TEST(WeatherEvent, PresetsScaleWithSeverity) {
+  const auto rain = make_event(WeatherKind::kRain, kCenter, 0, 24);
+  const auto storm = make_event(WeatherKind::kSevereStorm, kCenter, 0, 24);
+  const auto hurricane = make_event(WeatherKind::kHurricane, kCenter, 0, 24);
+  EXPECT_LT(rain.peak_sigma, storm.peak_sigma);
+  EXPECT_LT(storm.peak_sigma, hurricane.peak_sigma);
+  EXPECT_DOUBLE_EQ(rain.outage_probability, 0.0);
+  EXPECT_GT(hurricane.outage_probability, storm.outage_probability);
+  EXPECT_EQ(rain.end_bin, 24);
+}
+
+TEST(WeatherFactor, QualityEffectNegativeInsideWindow) {
+  const WeatherFactor f({make_event(WeatherKind::kWind, kCenter, 10, 20)});
+  const auto e = tower_at(kCenter);
+  EXPECT_LT(f.quality_effect(e, 20), 0.0);
+  EXPECT_DOUBLE_EQ(f.quality_effect(e, 5), 0.0);    // before
+  EXPECT_DOUBLE_EQ(f.quality_effect(e, 30), 0.0);   // after (end exclusive)
+}
+
+TEST(WeatherFactor, SpatialDecayWithDistance) {
+  const auto ev = make_event(WeatherKind::kSevereStorm, kCenter, 0, 24);
+  const WeatherFactor f({ev});
+  const auto near = tower_at(kCenter);
+  const auto mid = tower_at({kCenter.lat_deg + 1.0, kCenter.lon_deg});
+  const auto far = tower_at({kCenter.lat_deg + 30.0, kCenter.lon_deg});
+  const std::int64_t t = 12;
+  EXPECT_LT(f.quality_effect(near, t), f.quality_effect(mid, t));
+  EXPECT_DOUBLE_EQ(f.quality_effect(far, t), 0.0);
+}
+
+TEST(WeatherFactor, TemporalEnvelopePeaksMidEvent) {
+  const WeatherFactor f({make_event(WeatherKind::kWind, kCenter, 0, 100)});
+  const auto e = tower_at(kCenter);
+  const double early = f.quality_effect(e, 2);
+  const double peak = f.quality_effect(e, 40);
+  const double late = f.quality_effect(e, 97);
+  EXPECT_LT(peak, early);  // more negative at the peak
+  EXPECT_LT(peak, late);
+}
+
+TEST(WeatherFactor, SevereEventsSpikeLoad) {
+  const WeatherFactor storm(
+      {make_event(WeatherKind::kSevereStorm, kCenter, 0, 24)});
+  const WeatherFactor rain({make_event(WeatherKind::kRain, kCenter, 0, 24)});
+  const auto e = tower_at(kCenter);
+  EXPECT_GT(storm.load_factor(e, 12), 1.0);
+  EXPECT_DOUBLE_EQ(rain.load_factor(e, 12), 1.0);
+}
+
+TEST(WeatherFactor, OutageOnlyDuringSevereEvents) {
+  auto ev = make_event(WeatherKind::kHurricane, kCenter, 0, 48);
+  ev.outage_probability = 1.0;  // force outages in the footprint
+  const WeatherFactor f({ev});
+  const auto e = tower_at(kCenter);
+  EXPECT_TRUE(f.blackout(e, 12));
+  EXPECT_FALSE(f.blackout(e, 100));  // outside the window
+}
+
+TEST(WeatherFactor, OutageDeterministicPerElement) {
+  auto ev = make_event(WeatherKind::kHurricane, kCenter, 0, 48);
+  ev.outage_probability = 0.5;
+  const WeatherFactor f({ev}, /*seed=*/5);
+  for (std::uint32_t id = 1; id < 30; ++id) {
+    const auto e = tower_at(kCenter, id);
+    EXPECT_EQ(f.blackout(e, 10), f.blackout(e, 20)) << id;
+  }
+}
+
+TEST(WeatherFactor, OutagesOnlyHitTowers) {
+  auto ev = make_event(WeatherKind::kHurricane, kCenter, 0, 48);
+  ev.outage_probability = 1.0;
+  const WeatherFactor f({ev});
+  auto rnc = tower_at(kCenter);
+  rnc.kind = net::ElementKind::kRnc;
+  EXPECT_FALSE(f.blackout(rnc, 12));
+}
+
+TEST(WeatherFactor, MultipleEventsCompose) {
+  const WeatherFactor f({make_event(WeatherKind::kWind, kCenter, 0, 24),
+                         make_event(WeatherKind::kWind, kCenter, 0, 24)});
+  const WeatherFactor single(
+      {make_event(WeatherKind::kWind, kCenter, 0, 24)});
+  const auto e = tower_at(kCenter);
+  EXPECT_NEAR(f.quality_effect(e, 12), 2.0 * single.quality_effect(e, 12),
+              1e-12);
+}
+
+TEST(WeatherKindNames, Distinct) {
+  EXPECT_STREQ(to_string(WeatherKind::kRain), "rain");
+  EXPECT_STREQ(to_string(WeatherKind::kHurricane), "hurricane");
+}
+
+}  // namespace
+}  // namespace litmus::sim

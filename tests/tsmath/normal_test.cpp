@@ -1,0 +1,53 @@
+#include "tsmath/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace litmus::ts {
+namespace {
+
+TEST(Normal, PdfPeakAtZero) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_GT(normal_pdf(0.0), normal_pdf(0.5));
+  EXPECT_DOUBLE_EQ(normal_pdf(2.0), normal_pdf(-2.0));
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963984540054), 0.025, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(Normal, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-7);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-7);
+}
+
+TEST(Normal, QuantileCdfRoundTrip) {
+  for (double p = 0.001; p < 1.0; p += 0.037)
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8) << "p=" << p;
+}
+
+TEST(Normal, QuantileExtremeTails) {
+  EXPECT_NEAR(normal_cdf(normal_quantile(1e-10)), 1e-10, 1e-12);
+  EXPECT_NEAR(normal_cdf(normal_quantile(1.0 - 1e-10)), 1.0 - 1e-10, 1e-12);
+}
+
+TEST(Normal, QuantileRejectsOutOfDomain) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(-0.5), std::domain_error);
+}
+
+TEST(Normal, TwoSidedP) {
+  EXPECT_NEAR(two_sided_p(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(two_sided_p(1.959963984540054), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(two_sided_p(2.5), two_sided_p(-2.5));
+  EXPECT_TRUE(std::isnan(two_sided_p(std::nan(""))));
+}
+
+}  // namespace
+}  // namespace litmus::ts

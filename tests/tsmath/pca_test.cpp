@@ -1,0 +1,130 @@
+#include "tsmath/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsmath/random.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::ts {
+namespace {
+
+// Data with one dominant direction: x_i = loading_i * f + small noise.
+Matrix one_factor_data(Rng& rng, std::size_t rows, std::size_t cols,
+                       double noise = 0.1) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double f = rng.normal();
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = (1.0 + 0.1 * static_cast<double>(c)) * f +
+                noise * rng.normal();
+  }
+  return m;
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  Rng rng(1);
+  const Matrix m = one_factor_data(rng, 400, 5);
+  const PcaModel model = fit_pca(m, 1);
+  ASSERT_TRUE(model.ok);
+  ASSERT_EQ(model.components.size(), 1u);
+  // Direction proportional to the loadings (1, 1.1, ..., 1.4), normalized.
+  const auto& pc = model.components[0];
+  const double ratio = pc[4] / pc[0];
+  EXPECT_NEAR(std::fabs(ratio), 1.4, 0.05);
+  EXPECT_GT(model.explained_fraction(), 0.95);
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Rng rng(2);
+  Matrix m(300, 4);
+  for (std::size_t r = 0; r < 300; ++r) {
+    const double f1 = rng.normal(), f2 = rng.normal();
+    m(r, 0) = f1;
+    m(r, 1) = f1 + 0.5 * f2;
+    m(r, 2) = f2;
+    m(r, 3) = rng.normal(0.0, 0.2);
+  }
+  const PcaModel model = fit_pca(m, 3);
+  ASSERT_TRUE(model.ok);
+  for (std::size_t i = 0; i < model.components.size(); ++i) {
+    double norm = 0;
+    for (double v : model.components[i]) norm += v * v;
+    EXPECT_NEAR(norm, 1.0, 1e-8);
+    for (std::size_t j = i + 1; j < model.components.size(); ++j) {
+      double dot = 0;
+      for (std::size_t k = 0; k < 4; ++k)
+        dot += model.components[i][k] * model.components[j][k];
+      EXPECT_NEAR(dot, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Pca, EigenvaluesDecreasing) {
+  Rng rng(3);
+  Matrix m(500, 6);
+  for (std::size_t r = 0; r < 500; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      m(r, c) = rng.normal(0.0, 1.0 + static_cast<double>(c));
+  const PcaModel model = fit_pca(m, 4);
+  ASSERT_TRUE(model.ok);
+  for (std::size_t i = 1; i < model.eigenvalues.size(); ++i)
+    EXPECT_GE(model.eigenvalues[i - 1], model.eigenvalues[i] - 1e-9);
+}
+
+TEST(Pca, ResidualSmallInSubspaceLargeOutside) {
+  Rng rng(4);
+  const Matrix m = one_factor_data(rng, 400, 5, 0.05);
+  const PcaModel model = fit_pca(m, 1);
+  ASSERT_TRUE(model.ok);
+  // A row on the factor line has near-zero residual.
+  std::vector<double> on_line(5);
+  for (std::size_t c = 0; c < 5; ++c)
+    on_line[c] = model.mean[c] + 2.0 * (1.0 + 0.1 * static_cast<double>(c));
+  EXPECT_LT(model.residual_energy(on_line), 0.02);
+  // A row orthogonal to it has large residual.
+  std::vector<double> off_line = model.mean;
+  off_line[0] += 3.0;
+  off_line[4] -= 3.0;
+  EXPECT_GT(model.residual_energy(off_line), 1.0);
+}
+
+TEST(Pca, MeanIsRemoved) {
+  Rng rng(5);
+  Matrix m(200, 3);
+  for (std::size_t r = 0; r < 200; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      m(r, c) = 50.0 + rng.normal();
+  const PcaModel model = fit_pca(m, 1);
+  ASSERT_TRUE(model.ok);
+  for (double mu : model.mean) EXPECT_NEAR(mu, 50.0, 0.3);
+  // The mean row itself has ~zero residual.
+  EXPECT_LT(model.residual_energy(model.mean), 0.05);
+}
+
+TEST(Pca, MissingRowsDroppedAndMissingQueriesNan) {
+  Rng rng(6);
+  Matrix m = one_factor_data(rng, 100, 3);
+  m(0, 1) = kMissing;
+  const PcaModel model = fit_pca(m, 1);
+  ASSERT_TRUE(model.ok);
+  const std::vector<double> bad{1.0, kMissing, 1.0};
+  EXPECT_TRUE(is_missing(model.residual_energy(bad)));
+}
+
+TEST(Pca, TooFewRowsNotOk) {
+  Matrix m(3, 5, 1.0);
+  EXPECT_FALSE(fit_pca(m, 2).ok);
+}
+
+TEST(Pca, ClampsComponentCountToDims) {
+  Rng rng(7);
+  const Matrix m = one_factor_data(rng, 100, 3);
+  const PcaModel model = fit_pca(m, 10);
+  ASSERT_TRUE(model.ok);
+  EXPECT_LE(model.components.size(), 3u);
+}
+
+}  // namespace
+}  // namespace litmus::ts

@@ -1,0 +1,146 @@
+#include "tsmath/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace litmus::ts {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCenter) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.05);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0, ss = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    ss += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(ss / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(100.0, 3.0);
+  EXPECT_NEAR(sum / n, 100.0, 0.1);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng a(55);
+  Rng child1 = a.fork(1);
+  a.next_u64();  // advancing the parent must not change future forks? No:
+  // fork() does not advance the parent but depends on its *current* state,
+  // which next_u64() mutates. What must hold: same state + same tag => same
+  // child; different tags => different children.
+  Rng b(55);
+  Rng child2 = b.fork(1);
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  Rng child3 = b.fork(2);
+  Rng child4 = b.fork(1);
+  EXPECT_NE(child3.next_u64(), child4.next_u64());
+}
+
+TEST(SampleWithoutReplacement, BasicValidity) {
+  Rng rng(13);
+  const auto s = sample_without_replacement(rng, 10, 4);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (const auto i : s) EXPECT_LT(i, 10u);
+}
+
+TEST(SampleWithoutReplacement, FullSample) {
+  Rng rng(14);
+  const auto s = sample_without_replacement(rng, 5, 5);
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SampleWithoutReplacement, KGreaterThanNThrows) {
+  Rng rng(15);
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4), std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, ApproximatelyUniform) {
+  Rng rng(16);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t)
+    for (const auto i : sample_without_replacement(rng, 10, 3)) ++counts[i];
+  // Each index should appear in ~30% of samples.
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+}
+
+TEST(SampleWithoutReplacement, ZeroK) {
+  Rng rng(17);
+  EXPECT_TRUE(sample_without_replacement(rng, 5, 0).empty());
+}
+
+}  // namespace
+}  // namespace litmus::ts

@@ -1,0 +1,188 @@
+#include "tsmath/rank_tests.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsmath/random.h"
+
+namespace litmus::ts {
+namespace {
+
+std::vector<double> draw(Rng& rng, std::size_t n, double mu, double sigma) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal(mu, sigma);
+  return v;
+}
+
+TEST(Wilcoxon, DetectsClearShift) {
+  Rng rng(1);
+  const auto x = draw(rng, 100, 1.0, 1.0);
+  const auto y = draw(rng, 100, 0.0, 1.0);
+  const TestResult t = wilcoxon_mann_whitney(x, y);
+  EXPECT_EQ(t.shift, Shift::kIncrease);
+  EXPECT_LT(t.p_value, 0.001);
+  EXPECT_GT(t.statistic, 3.0);
+}
+
+TEST(Wilcoxon, SymmetricInDirection) {
+  Rng rng(2);
+  const auto x = draw(rng, 80, -1.0, 1.0);
+  const auto y = draw(rng, 80, 0.0, 1.0);
+  EXPECT_EQ(wilcoxon_mann_whitney(x, y).shift, Shift::kDecrease);
+}
+
+TEST(Wilcoxon, NullIsMostlyInsignificant) {
+  Rng rng(3);
+  int rejections = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = draw(rng, 50, 0.0, 1.0);
+    const auto y = draw(rng, 50, 0.0, 1.0);
+    if (wilcoxon_mann_whitney(x, y).significant()) ++rejections;
+  }
+  // alpha = 0.05; allow generous slack.
+  EXPECT_LE(rejections, 24);
+}
+
+TEST(Wilcoxon, HandlesHeavyTies) {
+  const std::vector<double> x{1, 1, 1, 2, 2, 2, 2, 2};
+  const std::vector<double> y{1, 1, 1, 1, 1, 2, 2, 2};
+  const TestResult t = wilcoxon_mann_whitney(x, y);
+  EXPECT_FALSE(std::isnan(t.p_value));
+}
+
+TEST(Wilcoxon, AllIdenticalIsNoShift) {
+  const std::vector<double> x{5, 5, 5, 5};
+  const std::vector<double> y{5, 5, 5, 5};
+  const TestResult t = wilcoxon_mann_whitney(x, y);
+  EXPECT_EQ(t.shift, Shift::kNone);
+  EXPECT_DOUBLE_EQ(t.p_value, 1.0);
+}
+
+TEST(Wilcoxon, TooFewSamplesIsDegenerate) {
+  const TestResult t = wilcoxon_mann_whitney(std::vector<double>{1.0},
+                                             std::vector<double>{2.0, 3.0});
+  EXPECT_EQ(t.shift, Shift::kNone);
+  EXPECT_TRUE(std::isnan(t.p_value));
+}
+
+TEST(RobustRankOrder, DetectsClearShift) {
+  Rng rng(4);
+  const auto x = draw(rng, 100, 0.8, 1.0);
+  const auto y = draw(rng, 100, 0.0, 1.0);
+  const TestResult t = robust_rank_order(x, y);
+  EXPECT_EQ(t.shift, Shift::kIncrease);
+  EXPECT_LT(t.p_value, 0.01);
+}
+
+TEST(RobustRankOrder, DirectionSign) {
+  Rng rng(5);
+  const auto lo = draw(rng, 60, -0.8, 1.0);
+  const auto hi = draw(rng, 60, 0.8, 1.0);
+  EXPECT_EQ(robust_rank_order(lo, hi).shift, Shift::kDecrease);
+  EXPECT_EQ(robust_rank_order(hi, lo).shift, Shift::kIncrease);
+}
+
+TEST(RobustRankOrder, NullCalibration) {
+  Rng rng(6);
+  int rejections = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = draw(rng, 60, 0.0, 1.0);
+    const auto y = draw(rng, 60, 0.0, 1.0);
+    if (robust_rank_order(x, y).significant()) ++rejections;
+  }
+  EXPECT_LE(rejections, 26);
+}
+
+TEST(RobustRankOrder, ToleratesUnequalVariances) {
+  // Under H0 with very different dispersions, the FP test stays calibrated
+  // (its selling point vs WMW, Fligner & Policello 1981).
+  Rng rng(7);
+  int rejections = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = draw(rng, 60, 0.0, 0.3);
+    const auto y = draw(rng, 60, 0.0, 3.0);
+    if (robust_rank_order(x, y).significant()) ++rejections;
+  }
+  EXPECT_LE(rejections, 30);
+}
+
+TEST(RobustRankOrder, RobustToOneOffOutliers) {
+  // A single extreme spike does not create a spurious shift.
+  Rng rng(8);
+  auto x = draw(rng, 80, 0.0, 1.0);
+  const auto y = draw(rng, 80, 0.0, 1.0);
+  x[0] = 1e6;
+  const TestResult t = robust_rank_order(x, y);
+  EXPECT_EQ(t.shift, Shift::kNone);
+}
+
+TEST(RobustRankOrder, FullSeparationIsDecisive) {
+  const std::vector<double> x{10, 11, 12, 13};
+  const std::vector<double> y{1, 2, 3, 4};
+  const TestResult t = robust_rank_order(x, y);
+  EXPECT_EQ(t.shift, Shift::kIncrease);
+  EXPECT_DOUBLE_EQ(t.p_value, 0.0);
+}
+
+TEST(RobustRankOrder, SmallSampleRequiresSeparation) {
+  // Overlapping tiny samples: conservative no-shift even if suggestive.
+  const std::vector<double> x{3.0, 4.0, 5.0};
+  const std::vector<double> y{1.0, 2.0, 3.5};
+  EXPECT_EQ(robust_rank_order(x, y).shift, Shift::kNone);
+}
+
+TEST(RobustRankOrder, IdenticalConstantSamples) {
+  const std::vector<double> x{2, 2, 2};
+  const std::vector<double> y{2, 2, 2};
+  const TestResult t = robust_rank_order(x, y);
+  EXPECT_EQ(t.shift, Shift::kNone);
+  EXPECT_DOUBLE_EQ(t.p_value, 1.0);
+}
+
+TEST(RobustRankOrder, SkipsMissingValues) {
+  Rng rng(9);
+  auto x = draw(rng, 50, 1.5, 1.0);
+  auto y = draw(rng, 50, 0.0, 1.0);
+  x.insert(x.begin(), kMissing);
+  y.push_back(kMissing);
+  const TestResult t = robust_rank_order(x, y);
+  EXPECT_EQ(t.n_x, 50u);
+  EXPECT_EQ(t.n_y, 50u);
+  EXPECT_EQ(t.shift, Shift::kIncrease);
+}
+
+TEST(RobustRankOrder, TimeSeriesOverload) {
+  Rng rng(10);
+  TimeSeries a(0, draw(rng, 60, 1.0, 1.0));
+  TimeSeries b(0, draw(rng, 60, 0.0, 1.0));
+  EXPECT_EQ(robust_rank_order(a, b).shift, Shift::kIncrease);
+}
+
+TEST(RankTests, ShiftToString) {
+  EXPECT_STREQ(to_string(Shift::kNone), "none");
+  EXPECT_STREQ(to_string(Shift::kIncrease), "increase");
+  EXPECT_STREQ(to_string(Shift::kDecrease), "decrease");
+}
+
+// Power property: detection probability grows with the shift.
+class PowerProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerProperty, DetectsShiftsAboveHalfSigma) {
+  const double shift = GetParam();
+  Rng rng(static_cast<std::uint64_t>(shift * 1000) + 17);
+  int detected = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = draw(rng, 100, shift, 1.0);
+    const auto y = draw(rng, 100, 0.0, 1.0);
+    const TestResult t = robust_rank_order(x, y);
+    if (t.shift == Shift::kIncrease) ++detected;
+  }
+  EXPECT_GE(detected, 45) << "shift=" << shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, PowerProperty,
+                         ::testing::Values(0.6, 0.8, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace litmus::ts

@@ -1,0 +1,93 @@
+#include "tsmath/ranks.h"
+
+#include <gtest/gtest.h>
+
+#include "tsmath/timeseries.h"
+
+namespace litmus::ts {
+namespace {
+
+TEST(Midranks, SimpleOrdering) {
+  const std::vector<double> r = midranks(std::vector<double>{30, 10, 20});
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Midranks, TiesGetAverageRank) {
+  // {1, 2, 2, 3}: the two 2s span ranks 2 and 3 -> 2.5 each.
+  const std::vector<double> r = midranks(std::vector<double>{1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Midranks, AllEqual) {
+  const std::vector<double> r = midranks(std::vector<double>{7, 7, 7});
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Midranks, MissingGetsNanAndConsumesNoRank) {
+  const std::vector<double> r =
+      midranks(std::vector<double>{5.0, kMissing, 1.0});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_TRUE(is_missing(r[1]));
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+}
+
+TEST(Midranks, RankSumInvariant) {
+  // Sum of ranks of n observed values is always n(n+1)/2.
+  const std::vector<double> v{3, 1, 4, 1, 5, 9, 2, 6, 5, 3};
+  const std::vector<double> r = midranks(v);
+  double sum = 0;
+  for (double x : r) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 10.0 * 11.0 / 2.0);
+}
+
+TEST(Placements, CountsBelow) {
+  // placements(x, y): # of y strictly below each x (ties count 1/2).
+  const std::vector<double> x{5.0, 0.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const std::vector<double> p = placements(x, y);
+  EXPECT_DOUBLE_EQ(p[0], 3.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(Placements, TiesCountHalf) {
+  const std::vector<double> x{2.0};
+  const std::vector<double> y{1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(placements(x, y)[0], 1.0 + 0.5 * 2.0);
+}
+
+TEST(Placements, MissingHandling) {
+  const std::vector<double> x{kMissing, 2.0};
+  const std::vector<double> y{1.0, kMissing};
+  const std::vector<double> p = placements(x, y);
+  EXPECT_TRUE(is_missing(p[0]));
+  EXPECT_DOUBLE_EQ(p[1], 1.0);  // only the observed y counts
+}
+
+TEST(Placements, SymmetryInvariant) {
+  // sum placements(x,y) + sum placements(y,x) == m*n when no value is
+  // missing (each cross pair contributes exactly 1).
+  const std::vector<double> x{1, 4, 4, 7};
+  const std::vector<double> y{2, 4, 6};
+  double total = 0;
+  for (double v : placements(x, y)) total += v;
+  for (double v : placements(y, x)) total += v;
+  EXPECT_DOUBLE_EQ(total, 12.0);
+}
+
+TEST(TieCorrection, NoTiesIsZero) {
+  EXPECT_DOUBLE_EQ(tie_correction_sum(std::vector<double>{1, 2, 3}), 0.0);
+}
+
+TEST(TieCorrection, CountsCubesMinusCounts) {
+  // group of 3 ties: 27-3 = 24; group of 2: 8-2 = 6.
+  EXPECT_DOUBLE_EQ(
+      tie_correction_sum(std::vector<double>{1, 1, 1, 2, 2, 3}), 30.0);
+}
+
+}  // namespace
+}  // namespace litmus::ts
