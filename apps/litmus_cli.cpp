@@ -11,13 +11,17 @@
 //                     [--controls 3,4,...]          explicit control group
 //                     [--select region|msc|zip]     or predicate selection
 //                     [--before-days 14] [--after-days 14]
+//                     [--explain]                   per-verdict audit trail
+//                     [--metrics-json FILE] [--trace-json FILE]
 //       prints the per-element verdicts, the vote, and the baselines'
-//       reads for comparison.
+//       reads for comparison. The observability flags enable the obs layer
+//       for the run and dump the metrics registry / span trace as JSON.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,9 +34,14 @@
 #include "litmus/did.h"
 #include "litmus/report.h"
 #include "litmus/study_only.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
 #include "simkit/generator.h"
 #include "simkit/network_events.h"
 #include "simkit/seasonality.h"
+
+#define LITMUS_CLI_VERSION "0.2.0"
 
 using namespace litmus;
 
@@ -45,11 +54,56 @@ int usage() {
                "  litmus_cli assess --topology FILE --series FILE --study "
                "IDS --kpi NAME --change-bin N\n"
                "              [--controls IDS | --select region|msc|zip]\n"
-               "              [--before-days N] [--after-days N]\n"
+               "              [--before-days N] [--after-days N] "
+               "[--explain]\n"
+               "              [--metrics-json FILE] [--trace-json FILE]\n"
                "  litmus_cli batch --topology FILE --series FILE --changes "
-               "FILE\n");
+               "FILE\n"
+               "              [--metrics-json FILE] [--trace-json FILE]\n"
+               "  litmus_cli --version\n");
   return 2;
 }
+
+// Observability flags shared by assess and batch: turn collection on
+// before the pipeline runs, dump the requested JSON files after.
+class ObsSession {
+ public:
+  explicit ObsSession(const std::map<std::string, std::string>& args) {
+    if (const auto it = args.find("metrics-json"); it != args.end())
+      metrics_path_ = it->second;
+    if (const auto it = args.find("trace-json"); it != args.end())
+      trace_path_ = it->second;
+    if (!metrics_path_.empty()) obs::set_enabled(true);
+    if (!trace_path_.empty()) obs::Tracer::global().start();
+  }
+
+  /// Writes the requested dumps; throws on unwritable paths.
+  void finish() {
+    if (!trace_path_.empty()) {
+      obs::Tracer::global().stop();
+      std::ofstream out(trace_path_);
+      if (!out)
+        throw std::runtime_error("cannot write trace json: " + trace_path_);
+      const auto spans = obs::Tracer::global().spans();
+      obs::write_trace_json(out, spans, obs::Tracer::global().epoch_ns());
+      std::printf("wrote %zu span(s) to %s\n", spans.size(),
+                  trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      obs::set_enabled(false);
+      std::ofstream out(metrics_path_);
+      if (!out)
+        throw std::runtime_error("cannot write metrics json: " +
+                                 metrics_path_);
+      obs::write_metrics_json(out, obs::Registry::global().snapshot());
+      std::printf("wrote metrics to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 std::vector<net::ElementId> parse_ids(const std::string& csv) {
   std::vector<net::ElementId> out;
@@ -151,6 +205,7 @@ int assess(const std::map<std::string, std::string>& args) {
     cfg.after_bins = static_cast<std::size_t>(std::stoi(it->second)) * 24;
   core::Assessor assessor(topo, store.provider(), cfg);
 
+  ObsSession obs_session(args);
   core::ChangeAssessment a;
   if (const auto it = args.find("controls"); it != args.end()) {
     a = assessor.assess(study, parse_ids(it->second), *kpi_id, *change_bin);
@@ -171,7 +226,8 @@ int assess(const std::map<std::string, std::string>& args) {
     a = assessor.assess_with_selection(study, pred, *kpi_id, *change_bin);
   }
 
-  std::printf("%s\n", core::format_assessment(a, topo).c_str());
+  const bool explain = args.contains("explain");
+  std::printf("%s\n", core::format_assessment(a, topo, explain).c_str());
 
   // Baselines, for context.
   const core::StudyOnlyAnalyzer so;
@@ -182,6 +238,7 @@ int assess(const std::map<std::string, std::string>& args) {
   std::printf("  study-only: %s, DiD: %s\n",
               to_string(so.assess(w, *kpi_id).verdict),
               to_string(did.assess(w, *kpi_id).verdict));
+  obs_session.finish();
   return 0;
 }
 
@@ -208,30 +265,82 @@ int batch(const std::map<std::string, std::string>& args) {
   const std::size_t n = io::load_changes_csv(changes_in, log);
   std::printf("loaded %zu change record(s)\n", n);
 
+  ObsSession obs_session(args);
   const core::BatchReport report =
       core::assess_change_log(log, topo, store.provider());
   std::printf("%s", core::format_batch_report(report, topo).c_str());
+  obs_session.finish();
   return 0;
 }
 
 }  // namespace
 
+// Parses "--flag value" pairs (and valueless boolean flags), rejecting
+// anything outside the per-command whitelist so a typo fails loudly
+// instead of being silently ignored.
+int parse_flags(int argc, char** argv, const std::set<std::string>& valued,
+                const std::set<std::string>& boolean,
+                std::map<std::string, std::string>& out) {
+  for (int i = 2; i < argc;) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return usage();
+    }
+    const std::string name = argv[i] + 2;
+    if (boolean.contains(name)) {
+      out[name] = "1";
+      ++i;
+      continue;
+    }
+    if (!valued.contains(name)) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      return usage();
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --%s\n", name.c_str());
+      return usage();
+    }
+    out[name] = argv[i + 1];
+    i += 2;
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     const std::string cmd = argv[1];
+    if (cmd == "--version" || cmd == "version") {
+      std::printf("litmus_cli %s\n", LITMUS_CLI_VERSION);
+      return 0;
+    }
+    if (cmd == "--help" || cmd == "help") {
+      usage();
+      return 0;
+    }
     if (cmd == "export-demo") {
       if (argc != 3) return usage();
       return export_demo(argv[2]);
     }
     if (cmd == "assess" || cmd == "batch") {
-      std::map<std::string, std::string> args;
-      for (int i = 2; i + 1 < argc; i += 2) {
-        if (std::strncmp(argv[i], "--", 2) != 0) return usage();
-        args[argv[i] + 2] = argv[i + 1];
+      static const std::set<std::string> kObsFlags = {"metrics-json",
+                                                      "trace-json"};
+      std::set<std::string> valued = kObsFlags;
+      std::set<std::string> boolean;
+      if (cmd == "assess") {
+        valued.insert({"topology", "series", "study", "kpi", "change-bin",
+                       "controls", "select", "before-days", "after-days"});
+        boolean.insert("explain");
+      } else {
+        valued.insert({"topology", "series", "changes"});
       }
+      std::map<std::string, std::string> args;
+      if (const int rc = parse_flags(argc, argv, valued, boolean, args);
+          rc != 0)
+        return rc;
       return cmd == "assess" ? assess(args) : batch(args);
     }
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

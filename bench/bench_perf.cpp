@@ -4,7 +4,15 @@
 //
 // Sweeps: control-group size, window length, sampling iterations; plus the
 // statistical primitives (OLS fit, robust rank-order test).
+//
+// Unless the caller passes its own --benchmark_out, results are also
+// written to BENCH_perf.json (google-benchmark JSON) so the perf
+// trajectory is trackable across commits (CI uploads it as an artifact).
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "eval/group_sim.h"
 #include "litmus/did.h"
@@ -111,4 +119,21 @@ BENCHMARK(BM_RobustRankOrder)->Arg(168)->Arg(336)->Arg(672);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  std::string out_flag = "--benchmark_out=BENCH_perf.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

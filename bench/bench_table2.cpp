@@ -5,16 +5,63 @@
 // accuracy); DiD gets 100% precision but misses some expected impacts under
 // control-group contamination (84.66% accuracy); study-group-only analysis
 // collapses under external factors (41.53% accuracy, 0.98% TNR).
+//
+// Also writes BENCH_table2.json (accuracy metrics + wall time) so the
+// quality/perf trajectory is machine-trackable across commits.
 #include <cstdio>
+#include <fstream>
 
 #include "eval/known_assessments.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace {
+
+void write_json(const litmus::eval::KnownAssessmentResults& r,
+                double wall_seconds) {
+  std::ofstream out("BENCH_table2.json");
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write BENCH_table2.json\n");
+    return;
+  }
+  litmus::obs::JsonWriter w(out);
+  w.begin_object();
+  w.member("bench", "table2");
+  w.member("cases", static_cast<std::uint64_t>(r.cases));
+  w.member("wall_seconds", wall_seconds);
+  const auto algorithm = [&](const char* name,
+                             const litmus::eval::ConfusionCounts& c) {
+    w.key(name).begin_object();
+    w.member("tp", static_cast<std::uint64_t>(c.tp))
+        .member("tn", static_cast<std::uint64_t>(c.tn))
+        .member("fp", static_cast<std::uint64_t>(c.fp))
+        .member("fn", static_cast<std::uint64_t>(c.fn))
+        .member("precision", c.precision())
+        .member("recall", c.recall())
+        .member("true_negative_rate", c.true_negative_rate())
+        .member("accuracy", c.accuracy());
+    w.end_object();
+  };
+  algorithm("study_only", r.total.study_only);
+  algorithm("did", r.total.did);
+  algorithm("litmus", r.total.litmus);
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace
 
 int main() {
   using namespace litmus;
+  const std::uint64_t t0 = obs::now_ns();
   const eval::KnownAssessmentResults r = eval::run_known_assessments();
+  const double wall_seconds =
+      static_cast<double>(obs::now_ns() - t0) / 1e9;
   std::printf("%s\n", eval::format_table2(r).c_str());
   std::printf("paper reference (Table 2): accuracy 41.53%% / 84.66%% / "
               "100.00%%; recall 61.14%% / 79.49%% / 100.00%%; "
               "TNR 0.98%% / 100.00%% / 100.00%%\n");
+  write_json(r, wall_seconds);
+  std::printf("wrote BENCH_table2.json (%.2f s)\n", wall_seconds);
   return 0;
 }

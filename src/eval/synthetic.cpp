@@ -6,6 +6,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "litmus/did.h"
 #include "litmus/spatial_regression.h"
 #include "litmus/study_only.h"
@@ -150,17 +152,33 @@ SyntheticResults run_synthetic_sweep(const SyntheticConfig& cfg,
 
   std::vector<TrialOutcome> outcomes(specs.size());
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](unsigned worker_idx) {
+    const std::uint64_t started_ns = obs::now_ns();
+    std::size_t done = 0;
     while (true) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
+      if (i >= specs.size()) break;
+      obs::ScopedSpan span("synthetic.trial");
       const TrialSpec& s = specs[i];
       outcomes[i] = run_trial(cfg, s.pattern, s.region, s.kpi, s.seed);
+      ++done;
+    }
+    if (obs::enabled() && done > 0) {
+      auto& reg = obs::Registry::global();
+      reg.counter("synthetic.trials").add(done);
+      const std::string prefix =
+          "synthetic.worker." + std::to_string(worker_idx);
+      reg.counter(prefix + ".trials").add(done);
+      const double elapsed_s =
+          static_cast<double>(obs::now_ns() - started_ns) / 1e9;
+      if (elapsed_s > 0)
+        reg.gauge(prefix + ".trials_per_s")
+            .set(static_cast<double>(done) / elapsed_s);
     }
   };
   std::vector<std::thread> pool;
-  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
   for (auto& t : pool) t.join();
 
   SyntheticResults r;

@@ -26,17 +26,20 @@ std::optional<chg::Expectation> parse_expectation(const std::string& s) {
 
 std::size_t load_changes_csv(std::istream& in, chg::ChangeLog& log) {
   std::size_t count = 0;
-  while (const auto row = read_csv_row(in)) {
-    if (row->size() != 7)
-      throw std::runtime_error("changes csv: expected 7 fields, got " +
-                               std::to_string(row->size()));
+  CsvReader reader(in, "changes csv");
+  while (const auto row = reader.next()) {
+    reader.require_fields(*row, 7);
     const auto element = parse_int((*row)[0]);
+    if (!element || *element <= 0)
+      reader.fail("bad element id '" + (*row)[0] + "'");
     const auto type = parse_change_type((*row)[1]);
+    if (!type) reader.fail("unknown change type '" + (*row)[1] + "'");
     const auto bin = parse_int((*row)[2]);
+    if (!bin) reader.fail("bad bin '" + (*row)[2] + "'");
     const auto expectation = parse_expectation((*row)[3]);
+    if (!expectation) reader.fail("unknown expectation '" + (*row)[3] + "'");
     const auto kpi = kpi::parse_kpi((*row)[4]);
-    if (!element || *element <= 0 || !type || !bin || !expectation || !kpi)
-      throw std::runtime_error("changes csv: malformed row");
+    if (!kpi) reader.fail("unknown KPI '" + (*row)[4] + "'");
 
     chg::ChangeRecord r;
     r.element = net::ElementId{static_cast<std::uint32_t>(*element)};

@@ -18,6 +18,37 @@ std::string trim(const std::string& s) {
 
 }  // namespace
 
+CsvError::CsvError(const std::string& source, std::size_t line,
+                   const std::string& message)
+    : std::runtime_error(source + " line " + std::to_string(line) + ": " +
+                         message),
+      line_(line) {}
+
+CsvReader::CsvReader(std::istream& in, std::string source)
+    : in_(&in), source_(std::move(source)) {}
+
+std::optional<std::vector<std::string>> CsvReader::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    return split_csv_line(t);
+  }
+  return std::nullopt;
+}
+
+void CsvReader::fail(const std::string& message) const {
+  throw CsvError(source_, line_, message);
+}
+
+void CsvReader::require_fields(const std::vector<std::string>& row,
+                               std::size_t expected) const {
+  if (row.size() != expected)
+    fail("expected " + std::to_string(expected) + " fields, got " +
+         std::to_string(row.size()));
+}
+
 std::vector<std::string> split_csv_line(const std::string& line) {
   std::vector<std::string> fields;
   std::string cur;

@@ -4,13 +4,55 @@
 // library consumes and keeps the parser obviously correct.
 #pragma once
 
+#include <cstddef>
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace litmus::io {
+
+/// Parse failure with the 1-based source line attached, so a bad export
+/// can be fixed without bisecting the file ("series csv line 841: ...").
+class CsvError : public std::runtime_error {
+ public:
+  CsvError(const std::string& source, std::size_t line,
+           const std::string& message);
+
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Row reader that tracks physical line numbers across skipped comments
+/// and blanks. `source` names the input in error messages (e.g.
+/// "topology csv").
+class CsvReader {
+ public:
+  CsvReader(std::istream& in, std::string source);
+
+  /// Next data row (skipping comments/blanks); nullopt at EOF.
+  std::optional<std::vector<std::string>> next();
+
+  /// 1-based line number of the most recently returned row (0 before the
+  /// first next()).
+  std::size_t line() const noexcept { return line_; }
+
+  /// Throws CsvError pinned to the current row's line.
+  [[noreturn]] void fail(const std::string& message) const;
+
+  /// fail() unless the current row has exactly `expected` fields.
+  void require_fields(const std::vector<std::string>& row,
+                      std::size_t expected) const;
+
+ private:
+  std::istream* in_;
+  std::string source_;
+  std::size_t line_ = 0;
+};
 
 /// Splits one CSV line into trimmed fields.
 std::vector<std::string> split_csv_line(const std::string& line);

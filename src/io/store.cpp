@@ -10,27 +10,27 @@
 namespace litmus::io {
 namespace {
 
-net::ElementKind parse_kind(const std::string& s) {
+std::optional<net::ElementKind> parse_kind(const std::string& s) {
   for (int k = 0; k <= static_cast<int>(net::ElementKind::kPcrf); ++k) {
     const auto kind = static_cast<net::ElementKind>(k);
     if (s == net::to_string(kind)) return kind;
   }
-  throw std::runtime_error("topology csv: unknown element kind '" + s + "'");
+  return std::nullopt;
 }
 
-net::Technology parse_tech(const std::string& s) {
+std::optional<net::Technology> parse_tech(const std::string& s) {
   for (const auto t : {net::Technology::kGsm, net::Technology::kUmts,
                        net::Technology::kLte})
     if (s == net::to_string(t)) return t;
-  throw std::runtime_error("topology csv: unknown technology '" + s + "'");
+  return std::nullopt;
 }
 
-net::Region parse_region(const std::string& s) {
+std::optional<net::Region> parse_region(const std::string& s) {
   for (int r = 0; r <= static_cast<int>(net::Region::kWest); ++r) {
     const auto region = static_cast<net::Region>(r);
     if (s == net::to_string(region)) return region;
   }
-  throw std::runtime_error("topology csv: unknown region '" + s + "'");
+  return std::nullopt;
 }
 
 std::string format_value(double v) {
@@ -83,15 +83,16 @@ std::size_t load_series_csv(std::istream& in, SeriesStore& store) {
   std::map<std::pair<std::uint32_t, kpi::KpiId>, Points> acc;
 
   std::size_t count = 0;
-  while (const auto row = read_csv_row(in)) {
-    if (row->size() != 4)
-      throw std::runtime_error("series csv: expected 4 fields, got " +
-                               std::to_string(row->size()));
+  CsvReader reader(in, "series csv");
+  while (const auto row = reader.next()) {
+    reader.require_fields(*row, 4);
     const auto element = parse_int((*row)[0]);
+    if (!element || *element <= 0)
+      reader.fail("bad element id '" + (*row)[0] + "'");
     const auto kpi = kpi::parse_kpi((*row)[1]);
+    if (!kpi) reader.fail("unknown KPI '" + (*row)[1] + "'");
     const auto bin = parse_int((*row)[2]);
-    if (!element || *element <= 0 || !kpi || !bin)
-      throw std::runtime_error("series csv: malformed row");
+    if (!bin) reader.fail("bad bin '" + (*row)[2] + "'");
     const double value = parse_double_or_missing((*row)[3]);
 
     auto& p = acc[{static_cast<std::uint32_t>(*element), *kpi}];
@@ -126,29 +127,32 @@ void save_series_csv(std::ostream& out, net::ElementId element,
 
 net::Topology load_topology_csv(std::istream& in) {
   net::Topology topo;
-  while (const auto row = read_csv_row(in)) {
-    if (row->size() != 10)
-      throw std::runtime_error("topology csv: expected 10 fields, got " +
-                               std::to_string(row->size()));
+  CsvReader reader(in, "topology csv");
+  while (const auto row = reader.next()) {
+    reader.require_fields(*row, 10);
     net::NetworkElement e;
     const auto id = parse_int((*row)[0]);
-    if (!id || *id <= 0) throw std::runtime_error("topology csv: bad id");
+    if (!id || *id <= 0) reader.fail("bad id '" + (*row)[0] + "'");
     e.id = net::ElementId{static_cast<std::uint32_t>(*id)};
-    e.kind = parse_kind((*row)[1]);
-    e.technology = parse_tech((*row)[2]);
+    const auto kind = parse_kind((*row)[1]);
+    if (!kind) reader.fail("unknown element kind '" + (*row)[1] + "'");
+    e.kind = *kind;
+    const auto tech = parse_tech((*row)[2]);
+    if (!tech) reader.fail("unknown technology '" + (*row)[2] + "'");
+    e.technology = *tech;
     e.name = (*row)[3];
     const auto lat = parse_double((*row)[4]);
     const auto lon = parse_double((*row)[5]);
     const auto zip = parse_int((*row)[6]);
-    if (!lat || !lon || !zip)
-      throw std::runtime_error("topology csv: bad coordinates/zip");
+    if (!lat || !lon || !zip) reader.fail("bad coordinates/zip");
     e.location = {*lat, *lon};
     e.zip = net::ZipCode{static_cast<std::uint32_t>(*zip)};
-    e.region = parse_region((*row)[7]);
+    const auto region = parse_region((*row)[7]);
+    if (!region) reader.fail("unknown region '" + (*row)[7] + "'");
+    e.region = *region;
     const auto parent = parse_int((*row)[8]);
     const auto market = parse_int((*row)[9]);
-    if (!parent || !market)
-      throw std::runtime_error("topology csv: bad parent/market");
+    if (!parent || !market) reader.fail("bad parent/market");
     e.parent = net::ElementId{static_cast<std::uint32_t>(*parent)};
     e.market = static_cast<std::uint32_t>(*market);
     topo.add(std::move(e));

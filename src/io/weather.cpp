@@ -16,20 +16,24 @@ std::optional<sim::WeatherKind> parse_weather_kind(const std::string& s) {
 
 std::vector<sim::WeatherEvent> load_weather_csv(std::istream& in) {
   std::vector<sim::WeatherEvent> events;
-  while (const auto row = read_csv_row(in)) {
-    if (row->size() != 7)
-      throw std::runtime_error("weather csv: expected 7 fields, got " +
-                               std::to_string(row->size()));
+  CsvReader reader(in, "weather csv");
+  while (const auto row = reader.next()) {
+    reader.require_fields(*row, 7);
     const auto kind = parse_weather_kind((*row)[0]);
+    if (!kind) reader.fail("unknown weather kind '" + (*row)[0] + "'");
     const auto lat = parse_double((*row)[1]);
     const auto lon = parse_double((*row)[2]);
+    if (!lat || !lon) reader.fail("bad coordinates");
     const auto radius = parse_double((*row)[3]);
+    if (!radius || *radius <= 0)
+      reader.fail("bad radius '" + (*row)[3] + "'");
     const auto start = parse_int((*row)[4]);
+    if (!start) reader.fail("bad start bin '" + (*row)[4] + "'");
     const auto duration = parse_int((*row)[5]);
+    if (!duration || *duration <= 0)
+      reader.fail("bad duration '" + (*row)[5] + "'");
     const auto severity = parse_double((*row)[6]);
-    if (!kind || !lat || !lon || !radius || !start || !duration ||
-        !severity || *radius <= 0 || *duration <= 0)
-      throw std::runtime_error("weather csv: malformed row");
+    if (!severity) reader.fail("bad severity '" + (*row)[6] + "'");
 
     sim::WeatherEvent ev =
         sim::make_event(*kind, {*lat, *lon}, *start, *duration);

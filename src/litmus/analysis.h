@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -38,6 +39,33 @@ struct ElementWindows {
   std::vector<ts::TimeSeries> control_after;
 };
 
+/// Why a verdict came out the way it did: the inputs, intermediate
+/// statistics and decision thresholds behind one AnalysisOutcome, so a
+/// go / no-go review can audit a verdict instead of trusting it. Filled by
+/// every analyzer; fields an analyzer has no notion of stay at their
+/// defaults (e.g. sampling fields for the non-sampling baselines).
+struct VerdictExplanation {
+  const char* analyzer = "";     ///< ChangeAnalyzer::name() of the producer
+  const char* test = "";         ///< two-sample test applied, "" if none
+  const char* aggregation = "";  ///< forecast aggregation (Litmus only)
+  std::size_t n_controls = 0;    ///< control series offered to the analyzer
+  /// Sampling diagnostics (Litmus): controls per iteration, iterations
+  /// requested, and iterations whose OLS fit succeeded.
+  std::size_t effective_k = 0;
+  std::size_t iterations_requested = 0;
+  std::size_t successful_iterations = 0;
+  /// Two-sample sizes entering the comparison test (after / before).
+  std::size_t n_after = 0;
+  std::size_t n_before = 0;
+  double alpha = ts::kMissing;   ///< significance level of the test
+  /// Practical-significance floor in KPI units and whether the observed
+  /// effect cleared it (a significant-but-immaterial shift reads NoImpact).
+  double effect_floor_kpi_units = ts::kMissing;
+  bool material = false;
+  /// Human-readable reason when the analyzer abstained (degenerate).
+  std::string note;
+};
+
 /// One analyzer's conclusion for one study element.
 struct AnalysisOutcome {
   RelativeChange relative = RelativeChange::kNoChange;
@@ -51,6 +79,8 @@ struct AnalysisOutcome {
   /// True when the analyzer could not run (insufficient data); verdict is
   /// then kNoImpact by construction but should be treated as "unknown".
   bool degenerate = false;
+  /// Audit trail: how this outcome was produced (see VerdictExplanation).
+  VerdictExplanation explanation;
 };
 
 /// Analyzer interface. Implementations are stateless given their parameters

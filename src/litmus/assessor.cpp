@@ -2,7 +2,23 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace litmus::core {
+namespace {
+
+const char* verdict_metric(const AnalysisOutcome& o) noexcept {
+  if (o.degenerate) return "verdict.degenerate";
+  switch (o.verdict) {
+    case Verdict::kImprovement: return "verdict.improvement";
+    case Verdict::kDegradation: return "verdict.degradation";
+    case Verdict::kNoImpact: return "verdict.no_impact";
+  }
+  return "verdict.no_impact";
+}
+
+}  // namespace
 
 Assessor::Assessor(const net::Topology& topo, SeriesProvider provider,
                    AssessmentConfig config)
@@ -41,6 +57,7 @@ ChangeAssessment Assessor::assess(std::span<const net::ElementId> study,
                                   std::span<const net::ElementId> control,
                                   kpi::KpiId kpi,
                                   std::int64_t change_bin) const {
+  obs::ScopedSpan kpi_span("assess.kpi");
   ChangeAssessment a;
   a.kpi = kpi;
   a.change_bin = change_bin;
@@ -50,12 +67,22 @@ ChangeAssessment Assessor::assess(std::span<const net::ElementId> study,
   std::vector<AnalysisOutcome> outcomes;
   outcomes.reserve(study.size());
   for (const auto s : study) {
+    obs::ScopedSpan element_span("assess.element");
     const ElementWindows w = windows_for(s, control, kpi, change_bin);
     const AnalysisOutcome o = algorithm_.assess(w, kpi);
+    if (obs::enabled()) {
+      auto& reg = obs::Registry::global();
+      reg.counter("assess.elements").add();
+      reg.counter(verdict_metric(o)).add();
+    }
     a.per_element.push_back({s, o});
     outcomes.push_back(o);
   }
-  a.summary = vote(outcomes);
+  {
+    obs::ScopedSpan vote_span("vote");
+    a.summary = vote(outcomes);
+  }
+  if (obs::enabled()) obs::Registry::global().counter("assess.votes").add();
   return a;
 }
 

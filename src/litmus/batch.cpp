@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace litmus::core {
 namespace {
 
@@ -31,6 +34,8 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
 
   BatchReport report;
   for (const auto& record : log.all()) {
+    obs::ScopedSpan record_span("batch.record");
+    if (obs::enabled()) obs::Registry::global().counter("batch.records").add();
     BatchItem item;
     item.record = record;
     item.conflicts = log.conflicting_changes(

@@ -55,18 +55,28 @@ std::vector<double> DiDAnalyzer::pairwise_did(
 AnalysisOutcome DiDAnalyzer::assess(const ElementWindows& w,
                                     kpi::KpiId kpi) const {
   AnalysisOutcome out;
+  out.explanation.analyzer = name().data();
+  out.explanation.test = "z_score";
+  out.explanation.n_controls = w.control_before.size();
+  out.explanation.aggregation =
+      params_.aggregate == CentralMeasure::kMean ? "mean" : "median";
   if (w.study_before.observed_count() < 4 ||
       w.study_after.observed_count() < 4 || w.control_before.empty() ||
       w.control_before.size() != w.control_after.size()) {
     out.degenerate = true;
+    out.explanation.note =
+        "too few observed study bins or empty/mismatched control group";
     return out;
   }
 
   const std::vector<double> d = pairwise_did(w);
   if (d.empty()) {
     out.degenerate = true;
+    out.explanation.note = "no complete study/control difference pair";
     return out;
   }
+  out.explanation.n_after = w.study_after.observed_count();
+  out.explanation.n_before = w.study_before.observed_count();
   const double estimate = central(d, params_.aggregate);
 
   // Noise floor of the estimate: study windows contribute fully (shared by
@@ -85,6 +95,7 @@ AnalysisOutcome DiDAnalyzer::assess(const ElementWindows& w,
   if (ts::is_missing(var_study) || ts::is_missing(var_study_a) ||
       n_ctrl == 0) {
     out.degenerate = true;
+    out.explanation.note = "could not estimate the noise floor";
     return out;
   }
   const double n = static_cast<double>(n_ctrl);
@@ -92,6 +103,7 @@ AnalysisOutcome DiDAnalyzer::assess(const ElementWindows& w,
       var_study + var_study_a + var_ctrl / (n * n);
   if (var_total <= 0.0) {
     out.degenerate = true;
+    out.explanation.note = "zero estimate variance";
     return out;
   }
 
@@ -100,6 +112,8 @@ AnalysisOutcome DiDAnalyzer::assess(const ElementWindows& w,
   out.effect_kpi_units = estimate;
   const double threshold =
       params_.threshold_sigma * kpi::info(kpi).typical_noise;
+  out.explanation.effect_floor_kpi_units = threshold;
+  out.explanation.material = std::fabs(estimate) >= threshold;
   if (std::fabs(estimate) >= threshold)
     out.relative = estimate > 0 ? RelativeChange::kIncrease
                                 : RelativeChange::kDecrease;

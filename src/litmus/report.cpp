@@ -42,8 +42,43 @@ std::string one_line_summary(const ChangeAssessment& a) {
   return os.str();
 }
 
+std::string format_explanation(const AnalysisOutcome& o,
+                               const std::string& indent) {
+  const VerdictExplanation& x = o.explanation;
+  std::ostringstream os;
+  os << indent << "analyzer: " << x.analyzer;
+  if (x.test[0] != '\0') os << "; test: " << x.test;
+  if (x.aggregation[0] != '\0') os << "; aggregation: " << x.aggregation;
+  os << "\n";
+  if (o.degenerate) {
+    os << indent << "abstained: "
+       << (x.note.empty() ? "insufficient data" : x.note) << "\n";
+    return os.str();
+  }
+  if (x.n_controls > 0) {
+    os << indent << "controls: " << x.n_controls;
+    if (x.effective_k > 0)
+      os << "; sampled k=" << x.effective_k << " over "
+         << x.successful_iterations << "/" << x.iterations_requested
+         << " iteration(s)";
+    os << "\n";
+  }
+  os << indent << "samples: " << x.n_after << " after vs " << x.n_before
+     << " before; z=" << fmt_effect(o.statistic)
+     << "; p=" << fmt_p(o.p_value) << " (alpha " << x.alpha << ")\n";
+  os << indent << "effect: " << fmt_effect(o.effect_kpi_units)
+     << " KPI units vs materiality floor "
+     << fmt_effect(x.effect_floor_kpi_units) << " -> "
+     << (x.material ? "material" : "immaterial");
+  if (!std::isnan(o.fit_r_squared))
+    os << "; median fit R^2 " << fmt_p(o.fit_r_squared);
+  os << "\n";
+  if (!x.note.empty()) os << indent << "note: " << x.note << "\n";
+  return os.str();
+}
+
 std::string format_assessment(const ChangeAssessment& a,
-                              const net::Topology& topo) {
+                              const net::Topology& topo, bool explain) {
   std::ostringstream os;
   os << "=== Litmus assessment: " << kpi::to_string(a.kpi) << " ===\n";
   os << "change bin: " << a.change_bin << "; study group: "
@@ -60,9 +95,17 @@ std::string format_assessment(const ChangeAssessment& a,
     verdict.resize(13, ' ');
     os << name << " " << verdict << " " << fmt_p(e.outcome.p_value) << "   "
        << fmt_effect(e.outcome.effect_kpi_units) << "\n";
+    if (explain) os << format_explanation(e.outcome);
   }
   os << "---------------------------------------------------------------\n";
   os << "vote: " << one_line_summary(a) << "\n";
+  if (explain) {
+    const auto& s = a.summary;
+    os << "vote breakdown: " << s.improvements << " improvement, "
+       << s.degradations << " degradation, " << s.no_impacts
+       << " no-impact, " << s.degenerates << " abstained; confidence "
+       << fmt_p(s.confidence) << "\n";
+  }
   return os.str();
 }
 

@@ -9,9 +9,18 @@
 namespace litmus::core {
 
 /// Multi-line report for one KPI assessment: per-element verdicts with
-/// p-values/effects, the vote, and control-group metadata.
+/// p-values/effects, the vote, and control-group metadata. With
+/// `explain` set, each element row is followed by its verdict-explanation
+/// block (see format_explanation) and the vote breakdown is itemized.
 std::string format_assessment(const ChangeAssessment& assessment,
-                              const net::Topology& topo);
+                              const net::Topology& topo,
+                              bool explain = false);
+
+/// The audit trail behind one outcome: analyzer, test, sampling
+/// diagnostics, sample counts, thresholds, and the abstention reason when
+/// degenerate. One "key: value" pair per line, indented by `indent`.
+std::string format_explanation(const AnalysisOutcome& outcome,
+                               const std::string& indent = "    ");
 
 /// Multi-line report for an FFA decision across KPIs.
 std::string format_ffa_decision(const FfaDecision& decision,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tsmath/linreg.h"
 #include "tsmath/matrix.h"
 #include "tsmath/random.h"
@@ -62,15 +64,35 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
   ts::Rng rng(params_.seed);
   std::size_t successes = 0;
   for (std::size_t it = 0; it < params_.n_iterations; ++it) {
-    const std::vector<std::size_t> cols =
-        ts::sample_without_replacement(rng, n_controls, k);
-    const ts::Matrix xb = x_before.select_columns(cols);
-    const ts::LinearModel model =
-        ts::fit_ols(xb, w.study_before.values(), params_.with_intercept);
+    std::vector<std::size_t> cols;
+    {
+      obs::ScopedSpan span("sampling");
+      cols = ts::sample_without_replacement(rng, n_controls, k);
+    }
+    ts::Matrix xb;
+    ts::LinearModel model;
+    {
+      obs::ScopedSpan span("fit");
+      xb = x_before.select_columns(cols);
+      model = ts::fit_ols(xb, w.study_before.values(), params_.with_intercept);
+    }
+    if (obs::enabled()) {
+      auto& reg = obs::Registry::global();
+      reg.counter("litmus.iterations").add();
+      if (model.ok) {
+        reg.histogram("litmus.fit.r_squared").record(model.r_squared);
+        reg.histogram("litmus.fit.residual_stddev")
+            .record(model.residual_stddev);
+        reg.gauge("litmus.fit.condition_number").set(model.condition);
+      } else {
+        reg.counter("litmus.fit.failures").add();
+      }
+    }
     if (!model.ok) continue;
     ++successes;
     r2s.push_back(model.r_squared);
 
+    obs::ScopedSpan span("forecast");
     const std::vector<double> pred_b = model.predict(xb);
     const ts::Matrix xa = x_after.select_columns(cols);
     const std::vector<double> pred_a = model.predict(xa);
@@ -114,25 +136,45 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
 AnalysisOutcome RobustSpatialRegression::assess(const ElementWindows& w,
                                                 kpi::KpiId kpi) const {
   AnalysisOutcome out;
+  out.explanation.analyzer = name().data();
+  out.explanation.aggregation =
+      params_.aggregation == ForecastAggregation::kMedian ? "median" : "mean";
+  out.explanation.test = params_.test == ComparisonTest::kRobustRankOrder
+                             ? "robust_rank_order"
+                             : "wilcoxon_mann_whitney";
+  out.explanation.n_controls = w.control_before.size();
+  out.explanation.iterations_requested = params_.n_iterations;
+  out.explanation.alpha = params_.alpha;
+
   Forecast fc;
   if (!forecast(w, fc)) {
     out.degenerate = true;
+    out.explanation.note =
+        "no usable forecast: empty/mismatched control group, too few "
+        "observed study bins, or every sampling iteration failed to fit";
     return out;
   }
+  out.explanation.effective_k = fc.effective_k;
+  out.explanation.successful_iterations = fc.successful_iterations;
   if (fc.forecast_diff_before.observed_count() < 4 ||
       fc.forecast_diff_after.observed_count() < 4) {
     out.degenerate = true;
+    out.explanation.note =
+        "fewer than 4 observed forecast-difference bins on one side";
     return out;
   }
 
-  const ts::TestResult t =
-      params_.test == ComparisonTest::kRobustRankOrder
-          ? ts::robust_rank_order(fc.forecast_diff_after.values(),
-                                  fc.forecast_diff_before.values(),
-                                  params_.alpha)
-          : ts::wilcoxon_mann_whitney(fc.forecast_diff_after.values(),
-                                      fc.forecast_diff_before.values(),
-                                      params_.alpha);
+  ts::TestResult t;
+  {
+    obs::ScopedSpan span("rank-test");
+    t = params_.test == ComparisonTest::kRobustRankOrder
+            ? ts::robust_rank_order(fc.forecast_diff_after.values(),
+                                    fc.forecast_diff_before.values(),
+                                    params_.alpha)
+            : ts::wilcoxon_mann_whitney(fc.forecast_diff_after.values(),
+                                        fc.forecast_diff_before.values(),
+                                        params_.alpha);
+  }
   out.p_value = t.p_value;
   out.statistic = t.statistic;
   out.fit_r_squared = fc.median_r_squared;
@@ -141,6 +183,10 @@ AnalysisOutcome RobustSpatialRegression::assess(const ElementWindows& w,
   const double floor_kpi =
       params_.min_effect_sigma * kpi::info(kpi).typical_noise;
   const bool material = std::fabs(out.effect_kpi_units) >= floor_kpi;
+  out.explanation.n_after = t.n_x;
+  out.explanation.n_before = t.n_y;
+  out.explanation.effect_floor_kpi_units = floor_kpi;
+  out.explanation.material = material;
   switch (t.shift) {
     case ts::Shift::kNone: out.relative = RelativeChange::kNoChange; break;
     case ts::Shift::kIncrease:

@@ -10,10 +10,14 @@ namespace litmus::core {
 AnalysisOutcome StudyOnlyAnalyzer::assess(const ElementWindows& windows,
                                           kpi::KpiId kpi) const {
   AnalysisOutcome out;
+  out.explanation.analyzer = name().data();
+  out.explanation.test = "robust_rank_order";
+  out.explanation.alpha = params_.alpha;
   const auto& before = windows.study_before;
   const auto& after = windows.study_after;
   if (before.observed_count() < 4 || after.observed_count() < 4) {
     out.degenerate = true;
+    out.explanation.note = "fewer than 4 observed study bins on one side";
     return out;
   }
   const ts::TestResult t =
@@ -24,6 +28,10 @@ AnalysisOutcome StudyOnlyAnalyzer::assess(const ElementWindows& windows,
   const double floor_kpi =
       params_.min_effect_sigma * kpi::info(kpi).typical_noise;
   const bool material = std::fabs(out.effect_kpi_units) >= floor_kpi;
+  out.explanation.n_after = t.n_x;
+  out.explanation.n_before = t.n_y;
+  out.explanation.effect_floor_kpi_units = floor_kpi;
+  out.explanation.material = material;
   switch (t.shift) {
     case ts::Shift::kNone: out.relative = RelativeChange::kNoChange; break;
     case ts::Shift::kIncrease:

@@ -1,0 +1,114 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace litmus::obs {
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) *out_ << ',';
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  *out_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out_ << "\\\""; break;
+      case '\\': *out_ << "\\\\"; break;
+      case '\n': *out_ << "\\n"; break;
+      case '\r': *out_ << "\\r"; break;
+      case '\t': *out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out_ << buf;
+        } else {
+          *out_ << c;
+        }
+    }
+  }
+  *out_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  *out_ << '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  first_.pop_back();
+  *out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  *out_ << '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  first_.pop_back();
+  *out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  write_escaped(k);
+  *out_ << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  *out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  *out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  *out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  *out_ << "null";
+  return *this;
+}
+
+}  // namespace litmus::obs

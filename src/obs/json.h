@@ -1,0 +1,49 @@
+// Minimal streaming JSON writer (no external dependency): nested
+// objects/arrays with automatic comma placement, string escaping, and
+// NaN/Inf mapped to null so the output is always valid JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace litmus::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand: key + scalar value.
+  template <typename T>
+  JsonWriter& member(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void separate();
+  void write_escaped(std::string_view s);
+
+  std::ostream* out_;
+  std::vector<bool> first_;  ///< per nesting level: no member emitted yet
+  bool after_key_ = false;
+};
+
+}  // namespace litmus::obs

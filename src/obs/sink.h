@@ -1,0 +1,38 @@
+// Export sinks for the obs metrics registry and trace tree.
+//
+//   * JSON: machine-readable; the shapes litmus_cli's --metrics-json and
+//     --trace-json flags write and the CI perf artifact consumes.
+//   * CSV: flat rows for spreadsheet/pandas ingestion.
+//   * Summary: aligned human-readable text for terminal reports.
+//
+// Histogram quantiles are reported in the units they were recorded in
+// (stage.* histograms from ScopedSpan are microseconds).
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace litmus::obs {
+
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+///  mean,p50,p90,p95,p99}}}
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// One row per metric:
+///   counter,<name>,<value>
+///   gauge,<name>,<value>
+///   histogram,<name>,<count>,<sum>,<min>,<max>,<p50>,<p90>,<p95>,<p99>
+void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// Aligned, name-sorted text block.
+std::string format_metrics_summary(const MetricsSnapshot& snapshot);
+
+/// {"epoch_ns":...,"spans":[{id,parent,name,thread,start_us,duration_us}]}
+void write_trace_json(std::ostream& out, std::span<const SpanRecord> spans,
+                      std::uint64_t epoch_ns = 0);
+
+}  // namespace litmus::obs

@@ -1,0 +1,78 @@
+#include "obs/trace.h"
+
+#include <string>
+
+namespace litmus::obs {
+namespace {
+
+thread_local std::uint64_t tls_current_span = 0;
+
+}  // namespace
+
+void Tracer::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_id_.store(1, std::memory_order_relaxed);
+  epoch_ns_ = now_ns();
+  collecting_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { collecting_.store(false, std::memory_order_relaxed); }
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::add(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(span);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+#if LITMUS_OBS_ENABLED
+
+ScopedSpan::ScopedSpan(const char* name, Tracer& tracer) {
+  metrics_ = enabled();
+  tracing_ = tracer.collecting();
+  if (!metrics_ && !tracing_) return;
+  name_ = name;
+  tracer_ = &tracer;
+  start_ns_ = now_ns();
+  if (tracing_) {
+    id_ = tracer.next_id();
+    parent_ = tls_current_span;
+    tls_current_span = id_;
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!metrics_ && !tracing_) return;
+  const std::uint64_t end = now_ns();
+  const std::uint64_t duration = end > start_ns_ ? end - start_ns_ : 0;
+  if (tracing_) {
+    tls_current_span = parent_;
+    SpanRecord rec;
+    rec.id = id_;
+    rec.parent = parent_;
+    rec.name = name_;
+    const std::uint64_t epoch = tracer_->epoch_ns();
+    rec.start_ns = start_ns_ > epoch ? start_ns_ - epoch : 0;
+    rec.duration_ns = duration;
+    rec.thread = thread_index();
+    tracer_->add(rec);
+  }
+  if (metrics_) {
+    Registry::global()
+        .histogram(std::string("stage.") + name_)
+        .record(static_cast<double>(duration) / 1000.0);  // microseconds
+  }
+}
+
+#endif  // LITMUS_OBS_ENABLED
+
+}  // namespace litmus::obs

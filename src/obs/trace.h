@@ -1,0 +1,94 @@
+// RAII trace spans forming a hierarchical trace tree.
+//
+// A ScopedSpan measures the wall time of a scope. On destruction it
+//   * appends a SpanRecord (id, parent id, name, start, duration, thread)
+//     to the Tracer when the Tracer is collecting, and
+//   * records the duration into the `stage.<name>` histogram of the global
+//     Registry when metrics are enabled (obs::enabled()),
+// so every instrumented stage yields both an event on the trace timeline
+// and a latency distribution. Parentage is tracked per thread: spans nest
+// within the same thread; a span opened on a fresh thread is a root.
+//
+// When neither metrics nor tracing is active the constructor is a couple
+// of relaxed loads and the destructor a branch; with
+// -DLITMUS_OBS_ENABLED=0 the class collapses to an empty no-op.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace litmus::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 for root spans
+  const char* name = "";     ///< static stage name, e.g. "fit"
+  std::uint64_t start_ns = 0;  ///< relative to the Tracer's epoch
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;  ///< obs::thread_index() of the recording thread
+};
+
+/// Collects completed spans. start() clears previous spans and anchors the
+/// epoch; collection is off by default.
+class Tracer {
+ public:
+  void start();
+  void stop();
+  bool collecting() const noexcept {
+    return collecting_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+  std::uint64_t next_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add(const SpanRecord& span);
+
+  static Tracer& global();
+
+ private:
+  std::atomic<bool> collecting_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::uint64_t epoch_ns_ = 0;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+#if LITMUS_OBS_ENABLED
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Tracer& tracer = Tracer::global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = "";
+  Tracer* tracer_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  bool metrics_ = false;
+  bool tracing_ = false;
+};
+
+#else
+
+class ScopedSpan {
+ public:
+  explicit constexpr ScopedSpan(const char*) noexcept {}
+  constexpr ScopedSpan(const char*, Tracer&) noexcept {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // LITMUS_OBS_ENABLED
+
+}  // namespace litmus::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "tsmath/stats.h"
@@ -30,9 +31,11 @@ std::vector<double> LinearModel::predict(const Matrix& design) const {
   return out;
 }
 
-std::vector<double> qr_solve(const Matrix& a, std::span<const double> b) {
+std::vector<double> qr_solve(const Matrix& a, std::span<const double> b,
+                             double* condition) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
+  if (condition) *condition = 0.0;
   if (b.size() != m) throw std::invalid_argument("qr_solve: size mismatch");
   if (m < n) return {};
 
@@ -75,9 +78,14 @@ std::vector<double> qr_solve(const Matrix& a, std::span<const double> b) {
   // Back substitution on the upper-triangular system.
   // Guard against near-singular diagonals relative to the matrix scale.
   double max_diag = 0;
-  for (std::size_t k = 0; k < n; ++k)
-    max_diag = std::max(max_diag, std::fabs(r(k, k)));
+  double min_diag = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double d = std::fabs(r(k, k));
+    max_diag = std::max(max_diag, d);
+    min_diag = std::min(min_diag, d);
+  }
   if (max_diag == 0.0) return {};
+  if (condition && min_diag > 0.0) *condition = max_diag / min_diag;
 
   std::vector<double> x(n, 0.0);
   for (std::size_t kk = n; kk-- > 0;) {
@@ -125,7 +133,7 @@ LinearModel fit_ols(const Matrix& design, std::span<const double> y,
     b[i] = y[r];
   }
 
-  const std::vector<double> sol = qr_solve(a, b);
+  const std::vector<double> sol = qr_solve(a, b, &model.condition);
   if (sol.empty()) return model;
 
   std::size_t c_in = 0;

@@ -23,6 +23,10 @@ struct LinearModel {
   bool with_intercept = true;
   double r_squared = 0.0;            ///< in-sample fit quality
   double residual_stddev = 0.0;
+  /// Conditioning diagnostic: max|R_kk| / min|R_kk| of the QR factor. A
+  /// lower bound on the 2-norm condition number of the (augmented) design;
+  /// large values flag near-collinear control groups.
+  double condition = 0.0;
   bool ok = false;                   ///< false when the fit is degenerate
 
   /// Forecast for one design row.
@@ -39,7 +43,10 @@ LinearModel fit_ols(const Matrix& design, std::span<const double> y,
                     bool with_intercept = true);
 
 /// Householder QR least-squares solve of A x = b (A.rows() >= A.cols()).
-/// Returns empty vector when A is numerically rank-deficient.
-std::vector<double> qr_solve(const Matrix& a, std::span<const double> b);
+/// Returns empty vector when A is numerically rank-deficient. When
+/// `condition` is non-null it receives the R-diagonal ratio described at
+/// LinearModel::condition (even for rank-deficient solves, where it is 0).
+std::vector<double> qr_solve(const Matrix& a, std::span<const double> b,
+                             double* condition = nullptr);
 
 }  // namespace litmus::ts

@@ -3,14 +3,32 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tsmath/normal.h"
 #include "tsmath/ranks.h"
 #include "tsmath/stats.h"
 
 namespace litmus::ts {
 namespace {
+
+// Records one two-sample comparison into the metrics registry (z-score and
+// p-value distributions plus a per-test call counter).
+void observe_test(const char* test, const TestResult& r) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::global();
+  reg.counter(std::string("rank_test.") + test + ".calls").add();
+  if (!is_missing(r.statistic) && std::isfinite(r.statistic))
+    reg.histogram(std::string("rank_test.") + test + ".z")
+        .record(r.statistic);
+  if (!is_missing(r.p_value))
+    reg.histogram(std::string("rank_test.") + test + ".p_value")
+        .record(r.p_value);
+  if (r.shift != Shift::kNone)
+    reg.counter(std::string("rank_test.") + test + ".significant").add();
+}
 
 std::vector<double> observed_of(std::span<const double> xs) {
   std::vector<double> out;
@@ -46,8 +64,11 @@ const char* to_string(Shift s) noexcept {
   return "?";
 }
 
-TestResult wilcoxon_mann_whitney(std::span<const double> xs,
-                                 std::span<const double> ys, double alpha) {
+namespace {
+
+TestResult wilcoxon_mann_whitney_impl(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      double alpha) {
   const std::vector<double> x = observed_of(xs);
   const std::vector<double> y = observed_of(ys);
   TestResult r;
@@ -67,6 +88,8 @@ TestResult wilcoxon_mann_whitney(std::span<const double> xs,
   const double m = static_cast<double>(x.size());
   const double n = static_cast<double>(y.size());
   const double u = rank_sum_x - m * (m + 1.0) / 2.0;  // Mann-Whitney U for x
+  if (obs::enabled())
+    obs::Registry::global().histogram("rank_test.wmw.u_statistic").record(u);
   const double mu = m * n / 2.0;
   const double big_n = m + n;
   const double ties = tie_correction_sum(pooled);
@@ -87,8 +110,8 @@ TestResult wilcoxon_mann_whitney(std::span<const double> xs,
   return r;
 }
 
-TestResult robust_rank_order(std::span<const double> xs,
-                             std::span<const double> ys, double alpha) {
+TestResult robust_rank_order_impl(std::span<const double> xs,
+                                  std::span<const double> ys, double alpha) {
   const std::vector<double> x = observed_of(xs);
   const std::vector<double> y = observed_of(ys);
   TestResult r;
@@ -146,6 +169,22 @@ TestResult robust_rank_order(std::span<const double> xs,
   }
 
   r.shift = classify(r.statistic, r.p_value, alpha);
+  return r;
+}
+
+}  // namespace
+
+TestResult wilcoxon_mann_whitney(std::span<const double> xs,
+                                 std::span<const double> ys, double alpha) {
+  const TestResult r = wilcoxon_mann_whitney_impl(xs, ys, alpha);
+  observe_test("wmw", r);
+  return r;
+}
+
+TestResult robust_rank_order(std::span<const double> xs,
+                             std::span<const double> ys, double alpha) {
+  const TestResult r = robust_rank_order_impl(xs, ys, alpha);
+  observe_test("fp", r);
   return r;
 }
 

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "io/csv.h"
+
 namespace litmus::io {
 namespace {
 
@@ -45,6 +47,22 @@ TEST(ChangesCsv, MalformedRowsThrow) {
   std::istringstream bad_kpi("1, config_change, 0, no_impact, happiness, "
                              "x, y\n");
   EXPECT_THROW(load_changes_csv(bad_kpi, log), std::runtime_error);
+}
+
+TEST(ChangesCsv, ErrorsNameTheOffendingLine) {
+  std::istringstream in(
+      "# header\n"
+      "1, config_change, 0, no_impact, voice_retainability, x, y\n"
+      "2, wizardry, 0, no_impact, voice_retainability, x, y\n");
+  chg::ChangeLog log;
+  try {
+    load_changes_csv(in, log);
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_STREQ(e.what(), "changes csv line 3: unknown change type "
+                           "'wizardry'");
+  }
 }
 
 TEST(ChangesCsv, RoundTrip) {

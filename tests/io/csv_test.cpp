@@ -56,6 +56,47 @@ TEST(Csv, ParseDoubleOrMissing) {
   EXPECT_TRUE(std::isnan(parse_double_or_missing("junk")));
 }
 
+TEST(CsvReader, TracksPhysicalLineNumbers) {
+  std::istringstream in("# header\n\n1,2\n  \n# more\n3,4\n");
+  CsvReader reader(in, "test csv");
+  EXPECT_EQ(reader.line(), 0u);
+  auto r1 = reader.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(reader.line(), 3u);  // two skipped lines before the first row
+  auto r2 = reader.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(reader.line(), 6u);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(CsvReader, FailReportsSourceAndLine) {
+  std::istringstream in("# header\nok,row\nbad\n");
+  CsvReader reader(in, "test csv");
+  (void)reader.next();
+  (void)reader.next();
+  try {
+    reader.fail("bad field 'x'");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_STREQ(e.what(), "test csv line 3: bad field 'x'");
+  }
+}
+
+TEST(CsvReader, RequireFieldsThrowsOnColumnMismatch) {
+  std::istringstream in("a,b,c\n");
+  CsvReader reader(in, "test csv");
+  const auto row = reader.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_NO_THROW(reader.require_fields(*row, 3));
+  try {
+    reader.require_fields(*row, 4);
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_STREQ(e.what(), "test csv line 1: expected 4 fields, got 3");
+  }
+}
+
 TEST(Csv, ParseIntStrict) {
   EXPECT_EQ(*parse_int("-42"), -42);
   EXPECT_EQ(*parse_int("7"), 7);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "cellnet/builder.h"
+#include "io/csv.h"
 
 namespace litmus::io {
 namespace {
@@ -136,6 +137,38 @@ TEST(TopologyCsv, MalformedRowsThrow) {
   std::stringstream bad_region(
       "1, RNC, UMTS, x, 1, 1, 1, Atlantis, 0, 0\n");
   EXPECT_THROW(load_topology_csv(bad_region), std::runtime_error);
+}
+
+TEST(SeriesCsv, ErrorsNameTheOffendingLine) {
+  // The bad row sits on physical line 4 (header comment + two good rows).
+  std::stringstream buf;
+  buf << "# element_id, kpi_name, bin, value\n"
+      << "1, voice_retainability, 0, 0.9\n"
+      << "1, voice_retainability, 1, 0.8\n"
+      << "1, voice_retainability, 2\n";
+  SeriesStore store;
+  try {
+    load_series_csv(buf, store);
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_STREQ(e.what(), "series csv line 4: expected 4 fields, got 3");
+  }
+}
+
+TEST(TopologyCsv, ErrorsNameTheOffendingLine) {
+  std::stringstream buf;
+  buf << "# header\n"
+      << "1, RNC, UMTS, good, 1, 1, 1, Northeast, 0, 0\n"
+      << "2, WOMBAT, UMTS, bad, 1, 1, 1, Northeast, 0, 0\n";
+  try {
+    load_topology_csv(buf);
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_STREQ(e.what(), "topology csv line 3: unknown element kind "
+                           "'WOMBAT'");
+  }
 }
 
 }  // namespace
