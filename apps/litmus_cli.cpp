@@ -37,11 +37,12 @@
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
+#include "parallel/pool.h"
 #include "simkit/generator.h"
 #include "simkit/network_events.h"
 #include "simkit/seasonality.h"
 
-#define LITMUS_CLI_VERSION "0.2.0"
+#define LITMUS_CLI_VERSION "0.3.0"
 
 using namespace litmus;
 
@@ -56,11 +57,16 @@ int usage() {
                "              [--controls IDS | --select region|msc|zip]\n"
                "              [--before-days N] [--after-days N] "
                "[--explain]\n"
-               "              [--metrics-json FILE] [--trace-json FILE]\n"
+               "              [--threads N] [--metrics-json FILE] "
+               "[--trace-json FILE]\n"
                "  litmus_cli batch --topology FILE --series FILE --changes "
                "FILE\n"
-               "              [--metrics-json FILE] [--trace-json FILE]\n"
-               "  litmus_cli --version\n");
+               "              [--threads N] [--metrics-json FILE] "
+               "[--trace-json FILE]\n"
+               "  litmus_cli --version\n"
+               "\n"
+               "--threads N (or LITMUS_THREADS): worker threads for the\n"
+               "sampling/batch fan-out; results are identical at any count.\n");
   return 2;
 }
 
@@ -104,6 +110,16 @@ class ObsSession {
   std::string metrics_path_;
   std::string trace_path_;
 };
+
+// --threads N overrides the worker count (else LITMUS_THREADS, else
+// hardware concurrency); verdicts are bit-identical at any setting.
+void apply_threads_flag(const std::map<std::string, std::string>& args) {
+  const auto it = args.find("threads");
+  if (it == args.end()) return;
+  const auto v = io::parse_int(it->second);
+  if (!v || *v <= 0) throw std::runtime_error("bad --threads: " + it->second);
+  par::set_threads(static_cast<std::size_t>(*v));
+}
 
 std::vector<net::ElementId> parse_ids(const std::string& csv) {
   std::vector<net::ElementId> out;
@@ -181,6 +197,7 @@ int assess(const std::map<std::string, std::string>& args) {
     return it->second;
   };
 
+  apply_threads_flag(args);  // validate before the expensive loads
   std::ifstream topo_in(need("topology"));
   if (!topo_in) throw std::runtime_error("cannot open topology file");
   const net::Topology topo = io::load_topology_csv(topo_in);
@@ -249,6 +266,8 @@ int batch(const std::map<std::string, std::string>& args) {
       throw std::runtime_error(std::string("missing --") + key);
     return it->second;
   };
+
+  apply_threads_flag(args);  // validate before the expensive loads
 
   std::ifstream topo_in(need("topology"));
   if (!topo_in) throw std::runtime_error("cannot open topology file");
@@ -323,9 +342,9 @@ int main(int argc, char** argv) {
       return export_demo(argv[2]);
     }
     if (cmd == "assess" || cmd == "batch") {
-      static const std::set<std::string> kObsFlags = {"metrics-json",
-                                                      "trace-json"};
-      std::set<std::string> valued = kObsFlags;
+      static const std::set<std::string> kSharedFlags = {
+          "metrics-json", "trace-json", "threads"};
+      std::set<std::string> valued = kSharedFlags;
       std::set<std::string> boolean;
       if (cmd == "assess") {
         valued.insert({"topology", "series", "study", "kpi", "change-bin",

@@ -1,9 +1,11 @@
 #include "litmus/assessor.h"
 
 #include <stdexcept>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/pool.h"
 
 namespace litmus::core {
 namespace {
@@ -57,6 +59,22 @@ ChangeAssessment Assessor::assess(std::span<const net::ElementId> study,
                                   std::span<const net::ElementId> control,
                                   kpi::KpiId kpi,
                                   std::int64_t change_bin) const {
+  // Window fetch stays on the calling thread: a SeriesProvider is a
+  // user-supplied closure with no thread-safety contract.
+  std::vector<ElementWindows> windows;
+  windows.reserve(study.size());
+  for (const auto s : study)
+    windows.push_back(windows_for(s, control, kpi, change_bin));
+  return assess_windows(study, control, windows, kpi, change_bin);
+}
+
+ChangeAssessment Assessor::assess_windows(
+    std::span<const net::ElementId> study,
+    std::span<const net::ElementId> control,
+    std::span<const ElementWindows> windows, kpi::KpiId kpi,
+    std::int64_t change_bin) const {
+  if (windows.size() != study.size())
+    throw std::invalid_argument("assess_windows: one window set per element");
   obs::ScopedSpan kpi_span("assess.kpi");
   ChangeAssessment a;
   a.kpi = kpi;
@@ -64,19 +82,19 @@ ChangeAssessment Assessor::assess(std::span<const net::ElementId> study,
   a.study_group.assign(study.begin(), study.end());
   a.control_group.assign(control.begin(), control.end());
 
-  std::vector<AnalysisOutcome> outcomes;
-  outcomes.reserve(study.size());
-  for (const auto s : study) {
+  std::vector<AnalysisOutcome> outcomes(windows.size());
+  par::parallel_for(windows.size(), [&](std::size_t i) {
     obs::ScopedSpan element_span("assess.element");
-    const ElementWindows w = windows_for(s, control, kpi, change_bin);
-    const AnalysisOutcome o = algorithm_.assess(w, kpi);
+    outcomes[i] = algorithm_.assess(windows[i], kpi);
+  });
+  a.per_element.reserve(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (obs::enabled()) {
       auto& reg = obs::Registry::global();
       reg.counter("assess.elements").add();
-      reg.counter(verdict_metric(o)).add();
+      reg.counter(verdict_metric(outcomes[i])).add();
     }
-    a.per_element.push_back({s, o});
-    outcomes.push_back(o);
+    a.per_element.push_back({study[i], outcomes[i]});
   }
   {
     obs::ScopedSpan vote_span("vote");

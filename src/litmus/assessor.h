@@ -61,10 +61,22 @@ class Assessor {
   Assessor(const net::Topology& topo, SeriesProvider provider,
            AssessmentConfig config = {});
 
-  /// Assesses one KPI with an explicit control group.
+  /// Assesses one KPI with an explicit control group. Windows are fetched
+  /// from the provider on the calling thread; the per-element regressions
+  /// then fan out across the parallel pool (results are deterministic at
+  /// any thread count).
   ChangeAssessment assess(std::span<const net::ElementId> study,
                           std::span<const net::ElementId> control,
                           kpi::KpiId kpi, std::int64_t change_bin) const;
+
+  /// As assess(), over pre-fetched windows (windows[i] belongs to
+  /// study[i]). Never touches the SeriesProvider, so callers that batch
+  /// window fetching may invoke this concurrently from worker threads.
+  ChangeAssessment assess_windows(std::span<const net::ElementId> study,
+                                  std::span<const net::ElementId> control,
+                                  std::span<const ElementWindows> windows,
+                                  kpi::KpiId kpi,
+                                  std::int64_t change_bin) const;
 
   /// Assesses one KPI, selecting the control group with `predicate`.
   ChangeAssessment assess_with_selection(

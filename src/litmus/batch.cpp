@@ -1,9 +1,11 @@
 #include "litmus/batch.h"
 
 #include <sstream>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/pool.h"
 
 namespace litmus::core {
 namespace {
@@ -32,25 +34,56 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
   const auto lookahead =
       static_cast<std::int64_t>(config.assessment.after_bins);
 
+  // Phase 1 (sequential): conflict scan, control selection, and window
+  // fetch per record — the SeriesProvider is only ever invoked from this
+  // thread.
+  const auto& records = log.all();
   BatchReport report;
-  for (const auto& record : log.all()) {
-    obs::ScopedSpan record_span("batch.record");
-    if (obs::enabled()) obs::Registry::global().counter("batch.records").add();
-    BatchItem item;
+  report.items.resize(records.size());
+  struct PreparedRecord {
+    std::vector<net::ElementId> study;
+    std::vector<net::ElementId> controls;
+    std::vector<ElementWindows> windows;
+  };
+  std::vector<PreparedRecord> prepared(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    BatchItem& item = report.items[i];
     item.record = record;
     item.conflicts = log.conflicting_changes(
         topo, record.element, record.bin - lookback, record.bin + lookahead,
         record.id);
     item.window_clean = item.conflicts.empty();
 
-    const std::vector<net::ElementId> study{record.element};
-    item.assessment = assessor.assess_with_selection(
-        study, config.predicate, record.target_kpi, record.bin,
-        config.selection);
+    PreparedRecord& prep = prepared[i];
+    prep.study = {record.element};
+    prep.controls = select_control_group(topo, prep.study, config.predicate,
+                                         config.selection)
+                        .controls;
+    prep.windows.reserve(prep.study.size());
+    for (const auto s : prep.study)
+      prep.windows.push_back(
+          assessor.windows_for(s, prep.controls, record.target_kpi,
+                               record.bin));
+  }
 
+  // Phase 2 (parallel): the regressions, one change record per task;
+  // records are independent and results land in their record's slot.
+  par::parallel_for(records.size(), [&](std::size_t i) {
+    obs::ScopedSpan record_span("batch.record");
+    if (obs::enabled()) obs::Registry::global().counter("batch.records").add();
+    const auto& record = records[i];
+    const PreparedRecord& prep = prepared[i];
+    BatchItem& item = report.items[i];
+    item.assessment =
+        assessor.assess_windows(prep.study, prep.controls, prep.windows,
+                                record.target_kpi, record.bin);
     item.met_expectation =
         item.assessment.summary.verdict == expected_verdict(record.expectation);
+  });
 
+  // Phase 3: tallies, in record order.
+  for (const BatchItem& item : report.items) {
     switch (item.assessment.summary.verdict) {
       case Verdict::kImprovement: ++report.improvements; break;
       case Verdict::kDegradation: ++report.degradations; break;
@@ -58,7 +91,6 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
     }
     if (!item.window_clean) ++report.dirty_windows;
     if (!item.met_expectation) ++report.expectation_misses;
-    report.items.push_back(std::move(item));
   }
   return report;
 }

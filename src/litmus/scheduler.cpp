@@ -20,8 +20,8 @@ ChangeScheduler::ChangeScheduler(net::Region region,
       planned_(planned),
       config_(config) {}
 
-WindowScore ChangeScheduler::score(net::ElementId study,
-                                   std::int64_t change_bin) const {
+WindowScore ChangeScheduler::score_candidate(net::ElementId study,
+                                             std::int64_t change_bin) const {
   WindowScore s;
   s.change_bin = change_bin;
   const std::int64_t from =
@@ -63,18 +63,27 @@ WindowScore ChangeScheduler::score(net::ElementId study,
               config_.holiday_weight * s.holiday_overlap +
               config_.conflict_weight *
                   static_cast<double>(s.conflicting_changes);
+  return s;
+}
 
+std::string ChangeScheduler::render_rationale(const WindowScore& s) const {
   std::ostringstream why;
   why.precision(2);
-  why << std::fixed << "day " << sim::day_of(change_bin) << " (doy "
-      << sim::day_of_year(change_bin) << "): foliage drift "
+  why << std::fixed << "day " << sim::day_of(s.change_bin) << " (doy "
+      << sim::day_of_year(s.change_bin) << "): foliage drift "
       << s.foliage_drift_sigma << " sigma";
   if (s.holiday_overlap > 0)
     why << ", " << 100.0 * s.holiday_overlap << "% holiday overlap";
   if (s.conflicting_changes > 0)
     why << ", " << s.conflicting_changes << " conflicting change(s)";
   if (s.penalty < 0.15) why << " — clean window";
-  s.rationale = why.str();
+  return why.str();
+}
+
+WindowScore ChangeScheduler::score(net::ElementId study,
+                                   std::int64_t change_bin) const {
+  WindowScore s = score_candidate(study, change_bin);
+  s.rationale = render_rationale(s);
   return s;
 }
 
@@ -83,14 +92,17 @@ std::vector<WindowScore> ChangeScheduler::recommend(net::ElementId study,
                                                     std::int64_t to,
                                                     std::size_t top_n,
                                                     std::int64_t step) const {
+  // Score every candidate numerically; rationale strings are rendered only
+  // for the survivors after the cut.
   std::vector<WindowScore> scores;
   for (std::int64_t bin = from; bin < to; bin += step)
-    scores.push_back(score(study, bin));
+    scores.push_back(score_candidate(study, bin));
   std::stable_sort(scores.begin(), scores.end(),
                    [](const WindowScore& a, const WindowScore& b) {
                      return a.penalty < b.penalty;
                    });
   if (scores.size() > top_n) scores.resize(top_n);
+  for (WindowScore& s : scores) s.rationale = render_rationale(s);
   return scores;
 }
 

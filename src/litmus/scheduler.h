@@ -65,6 +65,12 @@ class ChangeScheduler {
                                      std::int64_t step_bins = 24) const;
 
  private:
+  /// Numeric scoring without the rationale string; recommend() scores every
+  /// candidate this way and renders rationales only for the top_n survivors.
+  WindowScore score_candidate(net::ElementId study,
+                              std::int64_t change_bin) const;
+  std::string render_rationale(const WindowScore& s) const;
+
   net::Region region_;
   std::vector<sim::HolidayWindow> holidays_;
   const net::Topology* topo_;

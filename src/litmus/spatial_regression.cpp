@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/pool.h"
+#include "parallel/workspace.h"
+#include "tsmath/gram.h"
 #include "tsmath/linreg.h"
 #include "tsmath/matrix.h"
 #include "tsmath/random.h"
@@ -56,50 +61,113 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
   k = std::min(k, max_regressors);
   if (k == 0) return false;
 
-  // Per-bin forecast collections across iterations.
+  const std::span<const double> y = w.study_before.values();
+  ts::GramPanel gram;
+  if (params_.use_gram_fast_path)
+    gram = ts::GramPanel::build(x_before, y, params_.with_intercept);
+
+  // Iterations are independent: each draws from its own counter-based
+  // substream (base.fork(it) is a pure function of seed and iteration
+  // index), so chunks can run on any thread and still produce exactly the
+  // sequential per-iteration results. Accumulation is per chunk; chunks
+  // are contiguous and ascending, so merging them in chunk order below
+  // reconstructs the sequential iteration order bit-for-bit.
+  const ts::Rng base(params_.seed);
+  struct ChunkAcc {
+    std::vector<std::vector<double>> fc_before, fc_after;
+    std::vector<double> r2s;
+    std::size_t successes = 0;
+    std::uint64_t iterations = 0, failures = 0, gram_fast = 0, qr_fallback = 0;
+  };
+  const std::size_t n_chunks = par::plan_chunks(params_.n_iterations);
+  std::vector<ChunkAcc> acc(n_chunks);
+
+  par::parallel_chunks(
+      params_.n_iterations, n_chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ChunkAcc& a = acc[chunk];
+        a.fc_before.resize(w.study_before.size());
+        a.fc_after.resize(w.study_after.size());
+        // Per-thread reusable scratch: the steady-state iteration performs
+        // no heap allocation on the Gram path.
+        par::Workspace& ws = par::this_thread_workspace();
+        std::vector<std::size_t>& pool = ws.indices(0);
+        std::vector<std::size_t>& cols = ws.indices(1);
+        std::vector<double>& pred = ws.doubles(0);
+        static thread_local ts::GramScratch scratch;
+
+        for (std::size_t it = begin; it < end; ++it) {
+          ts::Rng rng = base.fork(it);
+          {
+            obs::ScopedSpan span("sampling");
+            ts::sample_without_replacement(rng, n_controls, k, pool, cols);
+          }
+          ts::LinearModel model;
+          bool fast = false;
+          {
+            obs::ScopedSpan span("fit");
+            if (gram.ok() && gram.subset_matches_panel(cols))
+              fast = gram.solve_subset(cols, scratch, model);
+            if (!fast)
+              model = ts::fit_ols(x_before.select_columns(cols), y,
+                                  params_.with_intercept);
+          }
+          ++a.iterations;
+          if (params_.use_gram_fast_path) {
+            if (fast)
+              ++a.gram_fast;
+            else
+              ++a.qr_fallback;
+          }
+          if (obs::enabled() && model.ok) {
+            auto& reg = obs::Registry::global();
+            reg.histogram("litmus.fit.r_squared").record(model.r_squared);
+            reg.histogram("litmus.fit.residual_stddev")
+                .record(model.residual_stddev);
+            reg.gauge("litmus.fit.condition_number").set(model.condition);
+          }
+          if (!model.ok) {
+            ++a.failures;
+            continue;
+          }
+          ++a.successes;
+          a.r2s.push_back(model.r_squared);
+
+          obs::ScopedSpan span("forecast");
+          model.predict_columns_into(x_before, cols, pred);
+          for (std::size_t r = 0; r < pred.size(); ++r)
+            if (!ts::is_missing(pred[r])) a.fc_before[r].push_back(pred[r]);
+          model.predict_columns_into(x_after, cols, pred);
+          for (std::size_t r = 0; r < pred.size(); ++r)
+            if (!ts::is_missing(pred[r])) a.fc_after[r].push_back(pred[r]);
+        }
+        if (obs::enabled()) {
+          auto& reg = obs::Registry::global();
+          reg.counter("litmus.iterations").add(a.iterations);
+          if (a.failures > 0) reg.counter("litmus.fit.failures").add(a.failures);
+          if (a.gram_fast > 0) reg.counter("litmus.fit.gram").add(a.gram_fast);
+          if (a.qr_fallback > 0)
+            reg.counter("litmus.fit.qr_fallback").add(a.qr_fallback);
+          reg.counter("litmus.worker." +
+                      std::to_string(obs::thread_index()) + ".iterations")
+              .add(a.iterations);
+        }
+      });
+
+  // Merge per-chunk accumulators in chunk (== iteration) order.
   std::vector<std::vector<double>> fc_before(w.study_before.size());
   std::vector<std::vector<double>> fc_after(w.study_after.size());
   std::vector<double> r2s;
-
-  ts::Rng rng(params_.seed);
   std::size_t successes = 0;
-  for (std::size_t it = 0; it < params_.n_iterations; ++it) {
-    std::vector<std::size_t> cols;
-    {
-      obs::ScopedSpan span("sampling");
-      cols = ts::sample_without_replacement(rng, n_controls, k);
-    }
-    ts::Matrix xb;
-    ts::LinearModel model;
-    {
-      obs::ScopedSpan span("fit");
-      xb = x_before.select_columns(cols);
-      model = ts::fit_ols(xb, w.study_before.values(), params_.with_intercept);
-    }
-    if (obs::enabled()) {
-      auto& reg = obs::Registry::global();
-      reg.counter("litmus.iterations").add();
-      if (model.ok) {
-        reg.histogram("litmus.fit.r_squared").record(model.r_squared);
-        reg.histogram("litmus.fit.residual_stddev")
-            .record(model.residual_stddev);
-        reg.gauge("litmus.fit.condition_number").set(model.condition);
-      } else {
-        reg.counter("litmus.fit.failures").add();
-      }
-    }
-    if (!model.ok) continue;
-    ++successes;
-    r2s.push_back(model.r_squared);
-
-    obs::ScopedSpan span("forecast");
-    const std::vector<double> pred_b = model.predict(xb);
-    const ts::Matrix xa = x_after.select_columns(cols);
-    const std::vector<double> pred_a = model.predict(xa);
-    for (std::size_t r = 0; r < pred_b.size(); ++r)
-      if (!ts::is_missing(pred_b[r])) fc_before[r].push_back(pred_b[r]);
-    for (std::size_t r = 0; r < pred_a.size(); ++r)
-      if (!ts::is_missing(pred_a[r])) fc_after[r].push_back(pred_a[r]);
+  for (const ChunkAcc& a : acc) {
+    successes += a.successes;
+    r2s.insert(r2s.end(), a.r2s.begin(), a.r2s.end());
+    for (std::size_t r = 0; r < fc_before.size(); ++r)
+      fc_before[r].insert(fc_before[r].end(), a.fc_before[r].begin(),
+                          a.fc_before[r].end());
+    for (std::size_t r = 0; r < fc_after.size(); ++r)
+      fc_after[r].insert(fc_after[r].end(), a.fc_after[r].begin(),
+                         a.fc_after[r].end());
   }
   if (successes == 0) return false;
 

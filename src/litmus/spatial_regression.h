@@ -15,6 +15,13 @@
 //    the control group; its sign plus KPI polarity yields the verdict.
 //
 // Deliberately *unregularized* regression (no ridge/lasso): see linreg.h.
+//
+// Execution: the sampling iterations are independent given the window, so
+// forecast() fans them across the parallel pool (parallel/pool.h) in
+// contiguous chunks. Each iteration draws from its own counter-based RNG
+// substream — Rng(seed).fork(iteration) — and per-chunk accumulators are
+// merged in chunk order, so the result is bit-identical to the sequential
+// run at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +58,11 @@ struct SpatialRegressionParams {
   std::uint64_t seed = 7;          ///< sampling seed (deterministic runs)
   ForecastAggregation aggregation = ForecastAggregation::kMedian;
   ComparisonTest test = ComparisonTest::kRobustRankOrder;
+  /// Solve each iteration's subset on the precomputed Gram matrix
+  /// (tsmath/gram.h) instead of re-running QR; iterations whose subset is
+  /// inexact on the panel, or numerically unsafe, still fall back to QR.
+  /// Off = always QR (ablation / numerical cross-check).
+  bool use_gram_fast_path = true;
 };
 
 class RobustSpatialRegression final : public ChangeAnalyzer {

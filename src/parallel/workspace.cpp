@@ -1,0 +1,27 @@
+#include "parallel/workspace.h"
+
+namespace litmus::par {
+
+std::vector<double>& Workspace::doubles(std::size_t slot) {
+  if (slot >= doubles_.size()) doubles_.resize(slot + 1);
+  return doubles_[slot];
+}
+
+std::vector<std::size_t>& Workspace::indices(std::size_t slot) {
+  if (slot >= indices_.size()) indices_.resize(slot + 1);
+  return indices_[slot];
+}
+
+void Workspace::clear() noexcept {
+  doubles_.clear();
+  doubles_.shrink_to_fit();
+  indices_.clear();
+  indices_.shrink_to_fit();
+}
+
+Workspace& this_thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace litmus::par

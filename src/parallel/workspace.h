@@ -1,0 +1,42 @@
+// Per-thread reusable scratch buffers for parallel hot loops.
+//
+// A Workspace is a small arena of slotted vectors. Hot loops grab the
+// calling thread's workspace once per chunk and reuse the same buffers
+// across iterations, so the steady-state loop performs no heap
+// allocation: buffers grow to the high-water mark on the first few
+// iterations and are reused from then on (capacity is kept; clear()
+// releases it).
+//
+// this_thread_workspace() is lazily initialized per thread and owned by
+// the thread, so no synchronization is needed and two concurrent chunks
+// can never alias each other's scratch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace litmus::par {
+
+class Workspace {
+ public:
+  /// The double buffer for `slot`, creating empty slots on demand.
+  /// Contents are whatever the previous user left; callers must resize or
+  /// clear before use.
+  std::vector<double>& doubles(std::size_t slot);
+
+  /// The index buffer for `slot`, creating empty slots on demand.
+  std::vector<std::size_t>& indices(std::size_t slot);
+
+  /// Releases all buffers and their capacity.
+  void clear() noexcept;
+
+ private:
+  std::vector<std::vector<double>> doubles_;
+  std::vector<std::vector<std::size_t>> indices_;
+};
+
+/// The calling thread's lazily-created workspace. Valid for the thread's
+/// lifetime.
+Workspace& this_thread_workspace();
+
+}  // namespace litmus::par

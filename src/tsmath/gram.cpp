@@ -1,0 +1,202 @@
+#include "tsmath/gram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tsmath/timeseries.h"
+
+namespace litmus::ts {
+namespace {
+
+constexpr std::size_t kWordBits = 64;
+
+/// Normal equations square the condition number, so refuse subsets whose
+/// Cholesky diagonal ratio (≈ cond₂ of the design) exceeds this and let
+/// the QR fallback handle them.
+constexpr double kMaxConditionRatio = 1e7;
+
+inline bool test_bit(const std::vector<std::uint64_t>& bits,
+                     std::size_t i) noexcept {
+  return (bits[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+inline void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+  bits[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+}  // namespace
+
+GramPanel GramPanel::build(const Matrix& design, std::span<const double> y,
+                           bool with_intercept) {
+  GramPanel p;
+  p.n_cols_ = design.cols();
+  p.with_intercept_ = with_intercept;
+  const std::size_t m = design.rows();
+  if (m == 0 || y.size() != m || p.n_cols_ == 0) return p;
+
+  const std::size_t words = (m + kWordBits - 1) / kWordBits;
+  p.y_missing_.assign(words, 0);
+  p.all_missing_.assign(words, 0);
+  p.col_missing_.assign(p.n_cols_, std::vector<std::uint64_t>(words, 0));
+
+  for (std::size_t r = 0; r < m; ++r)
+    if (is_missing(y[r])) set_bit(p.y_missing_, r);
+  for (std::size_t c = 0; c < p.n_cols_; ++c) {
+    const auto col = design.column(c);
+    for (std::size_t r = 0; r < m; ++r)
+      if (is_missing(col[r])) set_bit(p.col_missing_[c], r);
+  }
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t u = p.y_missing_[w];
+    for (std::size_t c = 0; c < p.n_cols_; ++c) u |= p.col_missing_[c][w];
+    p.all_missing_[w] = u;
+  }
+
+  std::vector<std::uint32_t> rows;
+  rows.reserve(m);
+  for (std::size_t r = 0; r < m; ++r)
+    if (!test_bit(p.all_missing_, r))
+      rows.push_back(static_cast<std::uint32_t>(r));
+  p.n_rows_ = rows.size();
+  // The tightest subset fit needs aug+2 rows; require at least the
+  // smallest useful panel so degenerate windows skip straight to QR.
+  if (p.n_rows_ < 4) return p;
+
+  const std::size_t aug = p.n_cols_ + 1;
+  p.g_.assign(aug * aug, 0.0);
+  p.xty_.assign(aug, 0.0);
+
+  // Intercept block and y moments.
+  p.g_[0] = static_cast<double>(p.n_rows_);
+  for (const auto r : rows) {
+    p.sum_y_ += y[r];
+    p.yty_ += y[r] * y[r];
+  }
+  p.xty_[0] = p.sum_y_;
+
+  for (std::size_t c = 0; c < p.n_cols_; ++c) {
+    const auto col = design.column(c);
+    double s = 0.0, sy = 0.0;
+    for (const auto r : rows) {
+      s += col[r];
+      sy += col[r] * y[r];
+    }
+    p.g_[0 * aug + (c + 1)] = s;
+    p.g_[(c + 1) * aug + 0] = s;
+    p.xty_[c + 1] = sy;
+    for (std::size_t d = c; d < p.n_cols_; ++d) {
+      const auto col2 = design.column(d);
+      double dot = 0.0;
+      for (const auto r : rows) dot += col[r] * col2[r];
+      p.g_[(c + 1) * aug + (d + 1)] = dot;
+      p.g_[(d + 1) * aug + (c + 1)] = dot;
+    }
+  }
+  p.ok_ = true;
+  return p;
+}
+
+bool GramPanel::subset_matches_panel(
+    std::span<const std::size_t> cols) const noexcept {
+  if (!ok_) return false;
+  for (std::size_t w = 0; w < all_missing_.size(); ++w) {
+    std::uint64_t u = y_missing_[w];
+    for (const auto c : cols) u |= col_missing_[c][w];
+    if (u != all_missing_[w]) return false;
+  }
+  return true;
+}
+
+bool GramPanel::solve_subset(std::span<const std::size_t> cols,
+                             GramScratch& scratch, LinearModel& out) const {
+  out = LinearModel{};
+  out.with_intercept = with_intercept_;
+  const std::size_t k = cols.size();
+  const std::size_t ka = k + (with_intercept_ ? 1 : 0);
+  if (!ok_ || k == 0 || n_rows_ < ka + 2) return false;
+
+  // Extract the subset's normal system into the scratch arena. Augmented
+  // index i maps to full-Gram index 0 (intercept) or cols[...]+1.
+  const std::size_t aug = n_cols_ + 1;
+  const auto full_index = [&](std::size_t i) -> std::size_t {
+    if (with_intercept_) return i == 0 ? 0 : cols[i - 1] + 1;
+    return cols[i] + 1;
+  };
+  scratch.g.resize(ka * ka);
+  scratch.rhs.resize(ka);
+  scratch.sol.resize(ka);
+  for (std::size_t i = 0; i < ka; ++i) {
+    const std::size_t fi = full_index(i);
+    scratch.rhs[i] = xty_[fi];
+    for (std::size_t j = 0; j <= i; ++j)
+      scratch.g[i * ka + j] = g_[fi * aug + full_index(j)];
+  }
+
+  // In-place lower Cholesky with a relative pivot guard (mirrors the
+  // QR solver's near-singular diagonal check).
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < ka; ++i)
+    max_diag = std::max(max_diag, scratch.g[i * ka + i]);
+  if (!(max_diag > 0.0)) return false;
+  const double pivot_floor = 1e-12 * max_diag;
+
+  double min_l = std::numeric_limits<double>::infinity();
+  double max_l = 0.0;
+  for (std::size_t j = 0; j < ka; ++j) {
+    double d = scratch.g[j * ka + j];
+    for (std::size_t t = 0; t < j; ++t)
+      d -= scratch.g[j * ka + t] * scratch.g[j * ka + t];
+    if (!(d > pivot_floor)) return false;
+    const double l = std::sqrt(d);
+    scratch.g[j * ka + j] = l;
+    min_l = std::min(min_l, l);
+    max_l = std::max(max_l, l);
+    for (std::size_t i = j + 1; i < ka; ++i) {
+      double s = scratch.g[i * ka + j];
+      for (std::size_t t = 0; t < j; ++t)
+        s -= scratch.g[i * ka + t] * scratch.g[j * ka + t];
+      scratch.g[i * ka + j] = s / l;
+    }
+  }
+  const double condition = max_l / min_l;
+  if (condition > kMaxConditionRatio) return false;
+
+  // Forward then back substitution: L z = rhs, Lᵀ β = z.
+  for (std::size_t i = 0; i < ka; ++i) {
+    double s = scratch.rhs[i];
+    for (std::size_t t = 0; t < i; ++t)
+      s -= scratch.g[i * ka + t] * scratch.sol[t];
+    scratch.sol[i] = s / scratch.g[i * ka + i];
+  }
+  for (std::size_t ii = ka; ii-- > 0;) {
+    double s = scratch.sol[ii];
+    for (std::size_t t = ii + 1; t < ka; ++t)
+      s -= scratch.g[t * ka + ii] * scratch.sol[t];
+    scratch.sol[ii] = s / scratch.g[ii * ka + ii];
+  }
+
+  std::size_t c_in = 0;
+  if (with_intercept_) out.intercept = scratch.sol[c_in++];
+  out.coefficients.assign(
+      scratch.sol.begin() + static_cast<std::ptrdiff_t>(c_in),
+      scratch.sol.end());
+
+  // Fit quality from the Gram quantities: for the normal-equation solution
+  // βᵀGβ = βᵀX̃ᵀy, so SS_res = yᵀy − βᵀX̃ᵀy (clamped against round-off).
+  double fitted = 0.0;
+  for (std::size_t i = 0; i < ka; ++i) fitted += scratch.sol[i] * scratch.rhs[i];
+  const double ss_res = std::max(0.0, yty_ - fitted);
+  const double n = static_cast<double>(n_rows_);
+  const double y_bar = sum_y_ / n;
+  const double ss_tot = std::max(0.0, yty_ - n * y_bar * y_bar);
+  out.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 0.0;
+  const std::size_t dof = n_rows_ - ka;
+  out.residual_stddev =
+      dof > 0 ? std::sqrt(ss_res / static_cast<double>(dof)) : 0.0;
+  out.condition = condition;
+  out.ok = true;
+  return true;
+}
+
+}  // namespace litmus::ts

@@ -1,0 +1,89 @@
+// Gram-matrix fast path for the Litmus sampling loop.
+//
+// The robust spatial regression fits the *same* before-window panel
+// hundreds of times, each time on a different k-column subset of the
+// design. Re-running Householder QR per subset costs O(m·k²) per
+// iteration. A GramPanel instead precomputes, once per window,
+//
+//   G = X̃ᵀX̃   and   X̃ᵀy     with X̃ = [1 | X] over the *panel rows*
+//
+// (the rows where y and every control column are observed, tracked with
+// per-column missing bitsets). Each iteration then extracts the k̃×k̃
+// submatrix of G for its column subset and solves the normal equations by
+// Cholesky — O(k³) per iteration, independent of the window length m.
+//
+// Exactness rule: ordinary fit_ols drops only the rows incomplete in the
+// *selected* columns, while G is accumulated over rows complete in *all*
+// columns. The Gram solve therefore reproduces the QR fit (up to
+// round-off) exactly when the subset's complete-case row set equals the
+// panel row set — subset_matches_panel(), a cheap bitset comparison. When
+// it differs, or the Cholesky pivot/condition check fails (the normal
+// equations square the condition number, so near-collinear subsets are
+// left to QR), the caller falls back to fit_ols.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tsmath/linreg.h"
+#include "tsmath/matrix.h"
+
+namespace litmus::ts {
+
+/// Reusable scratch for GramPanel::solve_subset; keep one per thread and
+/// the solve allocates nothing once capacities are warm.
+struct GramScratch {
+  std::vector<double> g;    ///< packed k̃×k̃ sub-Gram / Cholesky factor
+  std::vector<double> rhs;  ///< sub X̃ᵀy
+  std::vector<double> sol;  ///< solution vector
+};
+
+class GramPanel {
+ public:
+  GramPanel() = default;
+
+  /// Accumulates the Gram system over the complete-case rows of `design`
+  /// (and `y`). O(m·N²), once per window.
+  static GramPanel build(const Matrix& design, std::span<const double> y,
+                         bool with_intercept);
+
+  /// False when too few complete rows exist for any subset fit; callers
+  /// should then use fit_ols unconditionally.
+  bool ok() const noexcept { return ok_; }
+
+  /// Rows complete in y and every design column.
+  std::size_t panel_rows() const noexcept { return n_rows_; }
+
+  /// True when restricting the design to `cols` keeps the complete-case
+  /// row set identical to the panel's — the condition under which
+  /// solve_subset is exact. O(k · m/64).
+  bool subset_matches_panel(std::span<const std::size_t> cols) const noexcept;
+
+  /// Cholesky-solves the normal equations for the given column subset and
+  /// fills `out` (coefficients, intercept, R², residual stddev, condition,
+  /// ok). Returns false — leaving `out` untouched except ok == false —
+  /// when the submatrix is numerically non-positive-definite or too
+  /// ill-conditioned for the normal equations; callers fall back to QR.
+  bool solve_subset(std::span<const std::size_t> cols, GramScratch& scratch,
+                    LinearModel& out) const;
+
+ private:
+  std::size_t n_cols_ = 0;   ///< design columns (controls)
+  std::size_t n_rows_ = 0;   ///< panel (complete-case) rows
+  bool with_intercept_ = true;
+  bool ok_ = false;
+  /// Full augmented Gram matrix, (N+1)×(N+1) row-major; index 0 is the
+  /// intercept column, index j+1 is design column j.
+  std::vector<double> g_;
+  std::vector<double> xty_;  ///< augmented X̃ᵀy, size N+1
+  double yty_ = 0.0;         ///< Σ y² over panel rows
+  double sum_y_ = 0.0;       ///< Σ y over panel rows
+  /// Missing-row bitsets: per design column, and the union over y and all
+  /// columns (the complement of the panel row set).
+  std::vector<std::vector<std::uint64_t>> col_missing_;
+  std::vector<std::uint64_t> y_missing_;
+  std::vector<std::uint64_t> all_missing_;
+};
+
+}  // namespace litmus::ts

@@ -22,13 +22,31 @@ double LinearModel::predict_row(std::span<const double> row) const {
 }
 
 std::vector<double> LinearModel::predict(const Matrix& design) const {
-  std::vector<double> out(design.rows(), kMissing);
-  std::vector<double> row(design.cols());
-  for (std::size_t r = 0; r < design.rows(); ++r) {
-    for (std::size_t c = 0; c < design.cols(); ++c) row[c] = design(r, c);
-    out[r] = predict_row(row);
+  if (design.cols() != coefficients.size())
+    throw std::invalid_argument("predict: size mismatch");
+  // Column-major accumulation in column order — the same per-row addition
+  // sequence as predict_row, so results are bit-identical to it. A missing
+  // regressor is NaN and propagates to the row's forecast on its own.
+  std::vector<double> out(design.rows(), intercept);
+  for (std::size_t c = 0; c < design.cols(); ++c) {
+    const double coef = coefficients[c];
+    const auto col = design.column(c);
+    for (std::size_t r = 0; r < out.size(); ++r) out[r] += coef * col[r];
   }
   return out;
+}
+
+void LinearModel::predict_columns_into(const Matrix& design,
+                                       std::span<const std::size_t> cols,
+                                       std::vector<double>& out) const {
+  if (cols.size() != coefficients.size())
+    throw std::invalid_argument("predict_columns_into: size mismatch");
+  out.assign(design.rows(), intercept);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const double coef = coefficients[i];
+    const auto col = design.column(cols[i]);
+    for (std::size_t r = 0; r < out.size(); ++r) out[r] += coef * col[r];
+  }
 }
 
 std::vector<double> qr_solve(const Matrix& a, std::span<const double> b,

@@ -32,8 +32,18 @@ struct LinearModel {
   /// Forecast for one design row.
   double predict_row(std::span<const double> row) const;
 
-  /// Forecast for every row of `design`.
+  /// Forecast for every row of `design`. Iterates the column-major storage
+  /// directly (no per-row copy); rows with a missing regressor forecast
+  /// kMissing.
   std::vector<double> predict(const Matrix& design) const;
+
+  /// Forecast for every row of `design` restricted to columns `cols`
+  /// (cols.size() must equal coefficients.size()), without materializing
+  /// the column subset. `out` is resized to design.rows(); reuse it across
+  /// calls to keep the hot loop allocation-free.
+  void predict_columns_into(const Matrix& design,
+                            std::span<const std::size_t> cols,
+                            std::vector<double>& out) const;
 };
 
 /// Fits y ≈ X beta (+ intercept). Rows of X where y or any regressor is

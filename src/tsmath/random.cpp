@@ -92,19 +92,27 @@ Rng Rng::fork(std::uint64_t tag) const noexcept {
 
 std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
                                                     std::size_t k) {
+  std::vector<std::size_t> pool;
+  std::vector<std::size_t> out;
+  sample_without_replacement(rng, n, k, pool, out);
+  return out;
+}
+
+void sample_without_replacement(Rng& rng, std::size_t n, std::size_t k,
+                                std::vector<std::size_t>& pool,
+                                std::vector<std::size_t>& out) {
   if (k > n)
     throw std::invalid_argument("sample_without_replacement: k > n");
-  // Partial Fisher-Yates over an index vector; O(n) setup, O(k) draws.
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher-Yates over an index pool; O(n) setup, O(k) draws.
+  pool.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j =
         i + static_cast<std::size_t>(rng.next_below(n - i));
-    std::swap(idx[i], idx[j]);
+    std::swap(pool[i], pool[j]);
   }
-  idx.resize(k);
-  std::sort(idx.begin(), idx.end());
-  return idx;
+  out.assign(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace litmus::ts

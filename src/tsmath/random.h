@@ -51,4 +51,11 @@ class Rng {
 std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
                                                     std::size_t k);
 
+/// As above, writing the sample into `out` and using `pool` as the index
+/// pool — no allocation once both vectors' capacities are warm. Draws the
+/// same sample as the allocating overload for the same Rng state.
+void sample_without_replacement(Rng& rng, std::size_t n, std::size_t k,
+                                std::vector<std::size_t>& pool,
+                                std::vector<std::size_t>& out);
+
 }  // namespace litmus::ts

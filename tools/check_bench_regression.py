@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Guard against perf regressions in the single-assessment benchmark.
+
+Compares a fresh google-benchmark JSON export (BENCH_perf.json) against the
+committed baseline. Raw nanoseconds are not comparable across machines, so
+the check is *calibrated*: both runs are normalized by a CPU-bound primitive
+(the OLS fit) measured in the same process, and only the ratio
+
+    assess_time / calibration_time
+
+is compared. The build fails when the current ratio exceeds the baseline
+ratio by more than the tolerance (default 25%).
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Exit status: 0 OK, 1 regression, 2 malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+# The guarded benchmark: one assessment at the default production shape.
+KEY_BENCHMARK = "BM_LitmusAssess_Controls/16"
+# Calibration primitive: scales with raw CPU speed, not with the algorithmic
+# changes this check is meant to catch.
+CALIBRATION_BENCHMARK = "BM_OlsFit/16"
+
+
+def load_times(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b.get("name")
+        t = b.get("real_time")
+        if name is not None and t is not None:
+            times[name] = float(t)
+    return times
+
+
+def pick(times, name, path):
+    if name not in times:
+        print(f"error: {path} has no benchmark named {name}", file=sys.stderr)
+        sys.exit(2)
+    if times[name] <= 0:
+        print(f"error: {path}: {name} reports non-positive time",
+              file=sys.stderr)
+        sys.exit(2)
+    return times[name]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slowdown (default 0.25 = 25%%)")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    base_ratio = (pick(base, KEY_BENCHMARK, args.baseline) /
+                  pick(base, CALIBRATION_BENCHMARK, args.baseline))
+    cur_ratio = (pick(cur, KEY_BENCHMARK, args.current) /
+                 pick(cur, CALIBRATION_BENCHMARK, args.current))
+
+    change = cur_ratio / base_ratio - 1.0
+    print(f"{KEY_BENCHMARK} (normalized by {CALIBRATION_BENCHMARK}):")
+    print(f"  baseline ratio {base_ratio:.3f}  current ratio {cur_ratio:.3f}"
+          f"  change {change:+.1%}  tolerance +{args.tolerance:.0%}")
+
+    if change > args.tolerance:
+        print("FAIL: single-assessment benchmark regressed beyond tolerance",
+              file=sys.stderr)
+        sys.exit(1)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()
