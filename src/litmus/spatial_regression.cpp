@@ -62,8 +62,14 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
   if (k == 0) return false;
 
   const std::span<const double> y = w.study_before.values();
+  // The O(m·N²) panel precompute only pays off when enough iterations
+  // amortize it (GramPanel::worthwhile); below the crossover every
+  // iteration just runs QR, exactly as with the fast path disabled.
+  const bool use_gram =
+      params_.use_gram_fast_path &&
+      ts::GramPanel::worthwhile(params_.n_iterations, k, x_before.cols());
   ts::GramPanel gram;
-  if (params_.use_gram_fast_path)
+  if (use_gram)
     gram = ts::GramPanel::build(x_before, y, params_.with_intercept);
 
   // Iterations are independent: each draws from its own counter-based
@@ -113,7 +119,7 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
                                   params_.with_intercept);
           }
           ++a.iterations;
-          if (params_.use_gram_fast_path) {
+          if (use_gram) {
             if (fast)
               ++a.gram_fast;
             else

@@ -61,7 +61,9 @@ struct SpatialRegressionParams {
   /// Solve each iteration's subset on the precomputed Gram matrix
   /// (tsmath/gram.h) instead of re-running QR; iterations whose subset is
   /// inexact on the panel, or numerically unsafe, still fall back to QR.
-  /// Off = always QR (ablation / numerical cross-check).
+  /// The panel is only precomputed when enough iterations amortize its
+  /// O(m·N²) cost (GramPanel::worthwhile); otherwise the run is pure QR
+  /// even with this on. Off = always QR (ablation / numerical cross-check).
   bool use_gram_fast_path = true;
 };
 

@@ -14,8 +14,8 @@ std::vector<std::size_t>& Workspace::indices(std::size_t slot) {
 
 void Workspace::clear() noexcept {
   doubles_.clear();
-  doubles_.shrink_to_fit();
   indices_.clear();
+  doubles_.shrink_to_fit();
   indices_.shrink_to_fit();
 }
 

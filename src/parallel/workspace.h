@@ -10,9 +10,15 @@
 // this_thread_workspace() is lazily initialized per thread and owned by
 // the thread, so no synchronization is needed and two concurrent chunks
 // can never alias each other's scratch.
+//
+// Returned references are stable: creating a new slot never invalidates a
+// reference to an existing one (slots live in a deque, which does not
+// relocate elements on growth), so callers may hold several slot
+// references at once. Only clear() invalidates them.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <vector>
 
 namespace litmus::par {
@@ -27,12 +33,15 @@ class Workspace {
   /// The index buffer for `slot`, creating empty slots on demand.
   std::vector<std::size_t>& indices(std::size_t slot);
 
-  /// Releases all buffers and their capacity.
+  /// Releases all buffers and their capacity. Invalidates every reference
+  /// previously returned by doubles()/indices().
   void clear() noexcept;
 
  private:
-  std::vector<std::vector<double>> doubles_;
-  std::vector<std::vector<std::size_t>> indices_;
+  // deque, not vector-of-vectors: growing the slot table must not move
+  // existing slots, or references handed out earlier would dangle.
+  std::deque<std::vector<double>> doubles_;
+  std::deque<std::vector<std::size_t>> indices_;
 };
 
 /// The calling thread's lazily-created workspace. Valid for the thread's

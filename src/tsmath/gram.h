@@ -48,6 +48,18 @@ class GramPanel {
   static GramPanel build(const Matrix& design, std::span<const double> y,
                          bool with_intercept);
 
+  /// Whether precomputing the panel pays for itself. The build costs
+  /// ~m·N²/2 multiply-adds over ALL N columns, while each iteration it
+  /// replaces saves ~m·k² (the QR fit over only the k selected columns).
+  /// Dividing out m, the crossover is n_iterations·k² vs N²/2; below it
+  /// (large control group, few iterations, or k clamped far below N by a
+  /// short window) the precompute costs more than the QR loop it removes,
+  /// so callers should skip build() and fit with QR directly.
+  static bool worthwhile(std::size_t n_iterations, std::size_t k,
+                         std::size_t n_cols) noexcept {
+    return n_iterations * k * k >= n_cols * n_cols / 2;
+  }
+
   /// False when too few complete rows exist for any subset fit; callers
   /// should then use fit_ols unconditionally.
   bool ok() const noexcept { return ok_; }

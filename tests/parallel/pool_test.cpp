@@ -99,6 +99,27 @@ TEST(Pool, ZeroItemsIsANoOp) {
   EXPECT_EQ(plan_chunks(0), 0u);
 }
 
+TEST(Workspace, ReferencesSurviveSlotGrowth) {
+  // Hot loops hold several slot references at once (e.g. pool + cols in
+  // the sampling loop), so creating a later slot must not relocate an
+  // earlier one.
+  Workspace ws;
+  std::vector<std::size_t>& first = ws.indices(0);
+  std::vector<double>& d_first = ws.doubles(0);
+  first.assign(3, 42);
+  d_first.assign(2, 0.5);
+  for (std::size_t slot = 1; slot < 64; ++slot) {
+    ws.indices(slot);
+    ws.doubles(slot);
+  }
+  EXPECT_EQ(&first, &ws.indices(0));
+  EXPECT_EQ(&d_first, &ws.doubles(0));
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[2], 42u);
+  first.push_back(7);  // writing through the old reference is still valid
+  EXPECT_EQ(ws.indices(0).back(), 7u);
+}
+
 TEST(Workspace, SlotsPersistAndAreThreadLocal) {
   Workspace& ws = this_thread_workspace();
   ws.doubles(0).assign(4, 1.5);

@@ -33,7 +33,8 @@ def load_times(path):
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
-        raise SystemExit(f"error: cannot read {path}: {e}")
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
     times = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
