@@ -10,14 +10,23 @@
 //                     --change-bin 0
 //                     [--controls 3,4,...]          explicit control group
 //                     [--select region|msc|zip]     or predicate selection
-//                     [--before-days 14] [--after-days 14]
+//                     [--before-days 14] [--after-days 14] [--seed N]
 //                     [--explain]                   per-verdict audit trail
 //                     [--metrics-json FILE] [--trace-json FILE]
+//                     [--events-jsonl FILE]
 //       prints the per-element verdicts, the vote, and the baselines'
 //       reads for comparison. The observability flags enable the obs layer
 //       for the run and dump the metrics registry / span trace as JSON.
+//       --events-jsonl additionally streams structured run events to FILE
+//       and persists the run's provenance (run_manifest.json, metrics.json)
+//       into FILE's directory so the run can be audited and diffed later.
+//
+//   litmus_cli diff-runs A/ B/
+//       compares two persisted runs (manifest, verdict set, metrics) and
+//       exits 0 when equivalent, 3 on drift.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -34,15 +43,16 @@
 #include "litmus/did.h"
 #include "litmus/report.h"
 #include "litmus/study_only.h"
+#include "obs/events.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/rundiff.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
 #include "parallel/pool.h"
 #include "simkit/generator.h"
 #include "simkit/network_events.h"
 #include "simkit/seasonality.h"
-
-#define LITMUS_CLI_VERSION "0.3.0"
 
 using namespace litmus;
 
@@ -55,60 +65,148 @@ int usage() {
                "  litmus_cli assess --topology FILE --series FILE --study "
                "IDS --kpi NAME --change-bin N\n"
                "              [--controls IDS | --select region|msc|zip]\n"
-               "              [--before-days N] [--after-days N] "
+               "              [--before-days N] [--after-days N] [--seed N] "
                "[--explain]\n"
                "              [--threads N] [--metrics-json FILE] "
                "[--trace-json FILE]\n"
+               "              [--events-jsonl FILE]\n"
                "  litmus_cli batch --topology FILE --series FILE --changes "
                "FILE\n"
-               "              [--threads N] [--metrics-json FILE] "
+               "              [--threads N] [--seed N] [--metrics-json FILE] "
                "[--trace-json FILE]\n"
+               "              [--events-jsonl FILE]\n"
+               "  litmus_cli diff-runs A_DIR B_DIR [--max-flips N]\n"
+               "              [--metric-tolerance F] [--wall-tolerance F] "
+               "[--ignore-manifest]\n"
                "  litmus_cli --version\n"
                "\n"
                "--threads N (or LITMUS_THREADS): worker threads for the\n"
-               "sampling/batch fan-out; results are identical at any count.\n");
+               "sampling/batch fan-out; results are identical at any count.\n"
+               "--events-jsonl FILE: structured JSONL event stream; also\n"
+               "writes run_manifest.json + metrics.json into FILE's\n"
+               "directory, the layout diff-runs consumes.\n"
+               "diff-runs exit codes: 0 no drift, 3 drift, 1 error.\n");
   return 2;
 }
 
 // Observability flags shared by assess and batch: turn collection on
 // before the pipeline runs, dump the requested JSON files after.
+//
+// With --events-jsonl the session becomes a *persisted run*: a RunManifest
+// (version, build flags, threads, seed, resolved config, input
+// fingerprints) is written as run_manifest.json into the event file's
+// directory, a structured JSONL event stream brackets the pipeline with
+// run_start..run_end, and metrics.json lands in the same directory — the
+// exact layout `litmus_cli diff-runs` consumes. The manifest is also
+// embedded in every JSON artifact the session writes.
+//
+// Output files are never silently overwritten: an existing file rotates to
+// "<path>.old" with a warning, and missing parent directories are created
+// (obs::open_output_file).
 class ObsSession {
  public:
-  explicit ObsSession(const std::map<std::string, std::string>& args) {
+  ObsSession(const std::string& command,
+             const std::map<std::string, std::string>& args) {
     if (const auto it = args.find("metrics-json"); it != args.end())
       metrics_path_ = it->second;
     if (const auto it = args.find("trace-json"); it != args.end())
       trace_path_ = it->second;
-    if (!metrics_path_.empty()) obs::set_enabled(true);
+    if (const auto it = args.find("events-jsonl"); it != args.end())
+      events_path_ = it->second;
+
+    manifest_.tool = "litmus_cli " + command;
+    manifest_.build_flags = obs::build_flags_string();
+    manifest_.threads = par::threads();
+    manifest_.started_at_utc = obs::utc_timestamp_now();
+    for (const auto& [key, value] : args)
+      manifest_.add_config("--" + key, value);
+
+    if (!metrics_path_.empty() || !events_path_.empty())
+      obs::set_enabled(true);
     if (!trace_path_.empty()) obs::Tracer::global().start();
+  }
+
+  ~ObsSession() { obs::set_events(nullptr); }
+
+  /// Fingerprints an input file into the manifest (call for every CSV the
+  /// command loads, before start()).
+  void add_input(const std::string& path) { manifest_.add_input(path); }
+  void set_seed(std::uint64_t seed) { manifest_.seed = seed; }
+
+  /// Freezes the manifest, persists it, and opens the event stream; call
+  /// after inputs are registered and before the pipeline runs.
+  void start() {
+    if (events_path_.empty()) return;
+    run_dir_ = std::filesystem::path(events_path_).parent_path().string();
+    if (run_dir_.empty()) run_dir_ = ".";
+    manifest_.write_file(run_dir_ + "/run_manifest.json");
+    events_ = obs::EventLog::open(events_path_);
+    obs::set_events(events_.get());
+    events_->emit(obs::EventType::kRunStart, [&](obs::JsonWriter& w) {
+      w.member("tool", manifest_.tool)
+          .member("version", manifest_.version)
+          .member("seed", manifest_.seed)
+          .member("threads",
+                  static_cast<std::uint64_t>(manifest_.threads));
+    });
+    run_t0_ns_ = obs::now_ns();
   }
 
   /// Writes the requested dumps; throws on unwritable paths.
   void finish() {
+    if (events_) {
+      const double wall_s =
+          static_cast<double>(obs::now_ns() - run_t0_ns_) / 1e9;
+      events_->emit(obs::EventType::kRunEnd, [&](obs::JsonWriter& w) {
+        w.member("wall_s", wall_s).member("status", "ok");
+      });
+      obs::set_events(nullptr);
+      const std::uint64_t n = events_->events_written();
+      events_.reset();  // flush + close
+      std::printf("wrote %llu event(s) to %s\n",
+                  static_cast<unsigned long long>(n), events_path_.c_str());
+    }
     if (!trace_path_.empty()) {
       obs::Tracer::global().stop();
-      std::ofstream out(trace_path_);
+      std::ofstream out = obs::open_output_file(trace_path_);
+      const auto spans = obs::Tracer::global().spans();
+      obs::write_trace_json(out, spans, obs::Tracer::global().epoch_ns(),
+                            &manifest_);
       if (!out)
         throw std::runtime_error("cannot write trace json: " + trace_path_);
-      const auto spans = obs::Tracer::global().spans();
-      obs::write_trace_json(out, spans, obs::Tracer::global().epoch_ns());
       std::printf("wrote %zu span(s) to %s\n", spans.size(),
                   trace_path_.c_str());
     }
-    if (!metrics_path_.empty()) {
+    if (!metrics_path_.empty() || !run_dir_.empty()) {
       obs::set_enabled(false);
-      std::ofstream out(metrics_path_);
-      if (!out)
-        throw std::runtime_error("cannot write metrics json: " +
-                                 metrics_path_);
-      obs::write_metrics_json(out, obs::Registry::global().snapshot());
-      std::printf("wrote metrics to %s\n", metrics_path_.c_str());
+      const auto snapshot = obs::Registry::global().snapshot();
+      std::vector<std::string> paths;
+      if (!metrics_path_.empty()) paths.push_back(metrics_path_);
+      if (!run_dir_.empty()) {
+        const std::string run_metrics = run_dir_ + "/metrics.json";
+        if (metrics_path_.empty() ||
+            std::filesystem::path(metrics_path_) !=
+                std::filesystem::path(run_metrics))
+          paths.push_back(run_metrics);
+      }
+      for (const std::string& path : paths) {
+        std::ofstream out = obs::open_output_file(path);
+        obs::write_metrics_json(out, snapshot, &manifest_);
+        if (!out)
+          throw std::runtime_error("cannot write metrics json: " + path);
+        std::printf("wrote metrics to %s\n", path.c_str());
+      }
     }
   }
 
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string events_path_;
+  std::string run_dir_;
+  obs::RunManifest manifest_;
+  std::unique_ptr<obs::EventLog> events_;
+  std::uint64_t run_t0_ns_ = 0;
 };
 
 // --threads N overrides the worker count (else LITMUS_THREADS, else
@@ -220,9 +318,18 @@ int assess(const std::map<std::string, std::string>& args) {
     cfg.before_bins = static_cast<std::size_t>(std::stoi(it->second)) * 24;
   if (const auto it = args.find("after-days"); it != args.end())
     cfg.after_bins = static_cast<std::size_t>(std::stoi(it->second)) * 24;
+  if (const auto it = args.find("seed"); it != args.end()) {
+    const auto v = io::parse_int(it->second);
+    if (!v || *v < 0) throw std::runtime_error("bad --seed: " + it->second);
+    cfg.regression.seed = static_cast<std::uint64_t>(*v);
+  }
   core::Assessor assessor(topo, store.provider(), cfg);
 
-  ObsSession obs_session(args);
+  ObsSession obs_session("assess", args);
+  obs_session.set_seed(cfg.regression.seed);
+  obs_session.add_input(need("topology"));
+  obs_session.add_input(need("series"));
+  obs_session.start();
   core::ChangeAssessment a;
   if (const auto it = args.find("controls"); it != args.end()) {
     a = assessor.assess(study, parse_ids(it->second), *kpi_id, *change_bin);
@@ -284,23 +391,67 @@ int batch(const std::map<std::string, std::string>& args) {
   const std::size_t n = io::load_changes_csv(changes_in, log);
   std::printf("loaded %zu change record(s)\n", n);
 
-  ObsSession obs_session(args);
+  core::BatchConfig config;
+  if (const auto it = args.find("seed"); it != args.end()) {
+    const auto v = io::parse_int(it->second);
+    if (!v || *v < 0) throw std::runtime_error("bad --seed: " + it->second);
+    config.assessment.regression.seed = static_cast<std::uint64_t>(*v);
+  }
+
+  ObsSession obs_session("batch", args);
+  obs_session.set_seed(config.assessment.regression.seed);
+  obs_session.add_input(need("topology"));
+  obs_session.add_input(need("series"));
+  obs_session.add_input(need("changes"));
+  obs_session.start();
   const core::BatchReport report =
-      core::assess_change_log(log, topo, store.provider());
+      core::assess_change_log(log, topo, store.provider(), config);
   std::printf("%s", core::format_batch_report(report, topo).c_str());
   obs_session.finish();
   return 0;
 }
 
+// diff-runs: load two persisted run directories and report drift.
+// Exit codes: 0 equivalent, 3 drift (errors throw -> 1).
+int diff_runs_cmd(const std::string& dir_a, const std::string& dir_b,
+                  const std::map<std::string, std::string>& args) {
+  obs::DiffThresholds thresholds;
+  if (const auto it = args.find("max-flips"); it != args.end()) {
+    const auto v = io::parse_int(it->second);
+    if (!v || *v < 0)
+      throw std::runtime_error("bad --max-flips: " + it->second);
+    thresholds.max_verdict_flips = static_cast<std::size_t>(*v);
+  }
+  if (const auto it = args.find("metric-tolerance"); it != args.end()) {
+    const auto v = io::parse_double(it->second);
+    if (!v || *v < 0)
+      throw std::runtime_error("bad --metric-tolerance: " + it->second);
+    thresholds.metric_rel_tolerance = *v;
+  }
+  if (const auto it = args.find("wall-tolerance"); it != args.end()) {
+    const auto v = io::parse_double(it->second);
+    if (!v || *v < 0)
+      throw std::runtime_error("bad --wall-tolerance: " + it->second);
+    thresholds.wall_rel_tolerance = *v;
+  }
+  thresholds.ignore_manifest = args.contains("ignore-manifest");
+
+  const obs::RunData a = obs::load_run_dir(dir_a);
+  const obs::RunData b = obs::load_run_dir(dir_b);
+  const obs::RunDiffReport report = obs::diff_runs(a, b, thresholds);
+  std::printf("%s", obs::format_run_diff(report, a, b).c_str());
+  return report.drift ? 3 : 0;
+}
+
 }  // namespace
 
-// Parses "--flag value" pairs (and valueless boolean flags), rejecting
-// anything outside the per-command whitelist so a typo fails loudly
-// instead of being silently ignored.
+// Parses "--flag value" pairs (and valueless boolean flags) starting at
+// argv[first], rejecting anything outside the per-command whitelist so a
+// typo fails loudly instead of being silently ignored.
 int parse_flags(int argc, char** argv, const std::set<std::string>& valued,
                 const std::set<std::string>& boolean,
-                std::map<std::string, std::string>& out) {
-  for (int i = 2; i < argc;) {
+                std::map<std::string, std::string>& out, int first = 2) {
+  for (int i = first; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
       return usage();
@@ -330,7 +481,7 @@ int main(int argc, char** argv) {
   try {
     const std::string cmd = argv[1];
     if (cmd == "--version" || cmd == "version") {
-      std::printf("litmus_cli %s\n", LITMUS_CLI_VERSION);
+      std::printf("litmus_cli %s\n", obs::kLitmusVersion);
       return 0;
     }
     if (cmd == "--help" || cmd == "help") {
@@ -343,7 +494,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "assess" || cmd == "batch") {
       static const std::set<std::string> kSharedFlags = {
-          "metrics-json", "trace-json", "threads"};
+          "metrics-json", "trace-json", "threads", "seed", "events-jsonl"};
       std::set<std::string> valued = kSharedFlags;
       std::set<std::string> boolean;
       if (cmd == "assess") {
@@ -358,6 +509,22 @@ int main(int argc, char** argv) {
           rc != 0)
         return rc;
       return cmd == "assess" ? assess(args) : batch(args);
+    }
+    if (cmd == "diff-runs") {
+      if (argc < 4 || std::strncmp(argv[2], "--", 2) == 0 ||
+          std::strncmp(argv[3], "--", 2) == 0) {
+        std::fprintf(stderr, "diff-runs needs two run directories\n");
+        return usage();
+      }
+      static const std::set<std::string> kValued = {
+          "max-flips", "metric-tolerance", "wall-tolerance"};
+      static const std::set<std::string> kBoolean = {"ignore-manifest"};
+      std::map<std::string, std::string> args;
+      if (const int rc = parse_flags(argc, argv, kValued, kBoolean, args,
+                                     /*first=*/4);
+          rc != 0)
+        return rc;
+      return diff_runs_cmd(argv[2], argv[3], args);
     }
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return usage();

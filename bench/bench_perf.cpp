@@ -10,7 +10,10 @@
 // trajectory is trackable across commits (CI uploads it as an artifact).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "litmus/did.h"
 #include "litmus/spatial_regression.h"
 #include "litmus/study_only.h"
+#include "obs/manifest.h"
 #include "parallel/pool.h"
 #include "tsmath/linreg.h"
 #include "tsmath/random.h"
@@ -150,6 +154,35 @@ void BM_RobustRankOrder(benchmark::State& state) {
 }
 BENCHMARK(BM_RobustRankOrder)->Arg(168)->Arg(336)->Arg(672);
 
+// google-benchmark owns the JSON writer, so provenance is added after the
+// fact: a "manifest" block (threads, seed, build flags, version) becomes
+// the first key of the report. tools/check_bench_regression.py reads it to
+// warn when a baseline and a candidate were produced under different
+// conditions.
+void embed_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // bench ran with a different reporter; nothing to do
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::size_t brace = text.find('{');
+  if (brace == std::string::npos) return;
+
+  obs::RunManifest manifest;
+  manifest.tool = "bench_perf";
+  manifest.threads = par::threads();
+  manifest.seed = 97;  // EpisodeSpec seed all sweeps share
+  manifest.started_at_utc = obs::utc_timestamp_now();
+  text.insert(brace + 1, "\n\"manifest\": " + manifest.to_json() + ",");
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot rewrite %s\n", path.c_str());
+    return;
+  }
+  out << text;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,12 +190,14 @@ int main(int argc, char** argv) {
   // sweep overrides this per run.
   litmus::par::set_threads(1);
   std::vector<char*> args(argv, argv + argc);
-  bool has_out = false;
+  std::string out_path;
   for (int i = 1; i < argc; ++i)
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+      out_path = argv[i] + 16;
   std::string out_flag = "--benchmark_out=BENCH_perf.json";
   std::string fmt_flag = "--benchmark_out_format=json";
-  if (!has_out) {
+  if (out_path.empty()) {
+    out_path = "BENCH_perf.json";
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
@@ -171,5 +206,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  embed_manifest(out_path);
   return 0;
 }

@@ -13,9 +13,13 @@
 
 #include "eval/known_assessments.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "parallel/pool.h"
 
 namespace {
+
+constexpr std::uint64_t kSeed = 2011;  // run_known_assessments default
 
 void write_json(const litmus::eval::KnownAssessmentResults& r,
                 double wall_seconds) {
@@ -24,9 +28,16 @@ void write_json(const litmus::eval::KnownAssessmentResults& r,
     std::fprintf(stderr, "warning: cannot write BENCH_table2.json\n");
     return;
   }
+  litmus::obs::RunManifest manifest;
+  manifest.tool = "bench_table2";
+  manifest.threads = litmus::par::threads();
+  manifest.seed = kSeed;
+  manifest.started_at_utc = litmus::obs::utc_timestamp_now();
   litmus::obs::JsonWriter w(out);
   w.begin_object();
   w.member("bench", "table2");
+  w.key("manifest");
+  manifest.write(w);
   w.member("cases", static_cast<std::uint64_t>(r.cases));
   w.member("wall_seconds", wall_seconds);
   const auto algorithm = [&](const char* name,
@@ -54,7 +65,7 @@ void write_json(const litmus::eval::KnownAssessmentResults& r,
 int main() {
   using namespace litmus;
   const std::uint64_t t0 = obs::now_ns();
-  const eval::KnownAssessmentResults r = eval::run_known_assessments();
+  const eval::KnownAssessmentResults r = eval::run_known_assessments(kSeed);
   const double wall_seconds =
       static_cast<double>(obs::now_ns() - t0) / 1e9;
   std::printf("%s\n", eval::format_table2(r).c_str());

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/events.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/pool.h"
@@ -94,6 +96,18 @@ ChangeAssessment Assessor::assess_windows(
       reg.counter("assess.elements").add();
       reg.counter(verdict_metric(outcomes[i])).add();
     }
+    if (auto* ev = obs::events()) {
+      const AnalysisOutcome& o = outcomes[i];
+      ev->emit(obs::EventType::kElementAssessed, [&](obs::JsonWriter& w) {
+        w.member("kpi", kpi::to_string(kpi))
+            .member("element", static_cast<std::uint64_t>(study[i].value))
+            .member("bin", static_cast<std::int64_t>(change_bin))
+            .member("verdict", to_string(o.verdict))
+            .member("degenerate", o.degenerate)
+            .member("p", o.p_value)
+            .member("effect", o.effect_kpi_units);
+      });
+    }
     a.per_element.push_back({study[i], outcomes[i]});
   }
   {
@@ -101,6 +115,16 @@ ChangeAssessment Assessor::assess_windows(
     a.summary = vote(outcomes);
   }
   if (obs::enabled()) obs::Registry::global().counter("assess.votes").add();
+  if (auto* ev = obs::events()) {
+    ev->emit(obs::EventType::kKpiVerdict, [&](obs::JsonWriter& w) {
+      w.member("kpi", kpi::to_string(kpi))
+          .member("bin", static_cast<std::int64_t>(change_bin))
+          .member("verdict", to_string(a.summary.verdict))
+          .member("elements",
+                  static_cast<std::uint64_t>(a.per_element.size()))
+          .member("confidence", a.summary.confidence);
+    });
+  }
   return a;
 }
 

@@ -1,8 +1,10 @@
 #include "litmus/batch.h"
 
+#include <atomic>
 #include <sstream>
 #include <vector>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/pool.h"
@@ -69,6 +71,9 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
 
   // Phase 2 (parallel): the regressions, one change record per task;
   // records are independent and results land in their record's slot.
+  // Long batches stay watchable: a heartbeat event every few completed
+  // records, plus one at the end.
+  std::atomic<std::uint64_t> done{0};
   par::parallel_for(records.size(), [&](std::size_t i) {
     obs::ScopedSpan record_span("batch.record");
     if (obs::enabled()) obs::Registry::global().counter("batch.records").add();
@@ -80,6 +85,9 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
                                 record.target_kpi, record.bin);
     item.met_expectation =
         item.assessment.summary.verdict == expected_verdict(record.expectation);
+    if (auto* ev = obs::events())
+      ev->progress("batch", done.fetch_add(1, std::memory_order_relaxed) + 1,
+                   records.size());
   });
 
   // Phase 3: tallies, in record order.

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/events.h"
+#include "obs/json.h"
+
 namespace litmus::core {
 
 const char* to_string(MonitorState s) noexcept {
@@ -55,6 +58,17 @@ MonitorReading ChangeMonitor::evaluate_window(std::int64_t window_end) {
   reading.outcome = algorithm_.assess(w, kpi_);
   update_state(reading.outcome);
   reading.state = state_;
+  if (auto* ev = obs::events()) {
+    ev->emit(obs::EventType::kKpiVerdict, [&](obs::JsonWriter& w2) {
+      w2.member("source", "monitor")
+          .member("kpi", kpi::to_string(kpi_))
+          .member("element", static_cast<std::uint64_t>(study_.value))
+          .member("bin", static_cast<std::int64_t>(change_bin_))
+          .member("up_to", static_cast<std::int64_t>(window_end))
+          .member("verdict", to_string(reading.outcome.verdict))
+          .member("state", to_string(reading.state));
+    });
+  }
   return reading;
 }
 

@@ -5,6 +5,8 @@
 #include <span>
 #include <string>
 
+#include "obs/events.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/pool.h"
@@ -157,6 +159,22 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
           reg.counter("litmus.worker." +
                       std::to_string(obs::thread_index()) + ".iterations")
               .add(a.iterations);
+        }
+        // Chunk-granular events (never per iteration): failed fits and
+        // Gram->QR fallbacks are the anomalies an auditor greps for.
+        if (auto* ev = obs::events()) {
+          if (a.failures > 0)
+            ev->emit(obs::EventType::kIterationRetry,
+                     [&](obs::JsonWriter& w2) {
+                       w2.member("stage", "fit")
+                           .member("failed", a.failures)
+                           .member("of", a.iterations);
+                     });
+          if (a.qr_fallback > 0)
+            ev->emit(obs::EventType::kFallbackQr, [&](obs::JsonWriter& w2) {
+              w2.member("fallbacks", a.qr_fallback)
+                  .member("of", a.iterations);
+            });
         }
       });
 

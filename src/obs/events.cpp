@@ -1,0 +1,104 @@
+#include "obs/events.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace litmus::obs {
+namespace {
+
+std::atomic<EventLog*> g_events{nullptr};
+
+}  // namespace
+
+const char* to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kRunStart: return "run_start";
+    case EventType::kHeartbeat: return "heartbeat";
+    case EventType::kElementAssessed: return "element_assessed";
+    case EventType::kKpiVerdict: return "kpi_verdict";
+    case EventType::kIterationRetry: return "iteration_retry";
+    case EventType::kFallbackQr: return "fallback_qr";
+    case EventType::kRunEnd: return "run_end";
+  }
+  return "?";
+}
+
+EventLog::EventLog(std::ostream& out) : out_(&out), epoch_ns_(now_ns()) {}
+
+std::unique_ptr<EventLog> EventLog::open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(open_output_file(path));
+  auto log = std::unique_ptr<EventLog>(new EventLog(*file));
+  log->owned_ = std::move(file);
+  return log;
+}
+
+EventLog::~EventLog() { flush(); }
+
+void EventLog::emit(EventType type, const FieldFn& extra) {
+  const std::uint64_t now = now_ns();
+  const std::uint64_t t_us = (now - epoch_ns_) / 1000;
+  const std::uint64_t span = current_span_id();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream line;
+  JsonWriter w(line);
+  w.begin_object();
+  w.member("v", static_cast<std::int64_t>(kSchemaVersion));
+  w.member("seq", seq_++);
+  w.member("t_us", t_us);
+  if (span != 0) w.member("span", span);
+  w.member("type", to_string(type));
+  if (extra) extra(w);
+  w.end_object();
+  buffer_ += line.str();
+  buffer_ += '\n';
+
+  const bool eager = type == EventType::kRunStart ||
+                     type == EventType::kHeartbeat ||
+                     type == EventType::kRunEnd;
+  if (eager || buffer_.size() >= kFlushBytes) flush_locked();
+}
+
+void EventLog::progress(std::string_view stage, std::uint64_t done,
+                        std::uint64_t total, std::uint64_t every) {
+  if (every == 0) every = 1;
+  if (done % every != 0 && done != total) return;
+  const std::string stage_copy(stage);
+  emit(EventType::kHeartbeat, [&](JsonWriter& w) {
+    w.member("stage", stage_copy)
+        .member("done", done)
+        .member("total", total);
+  });
+}
+
+void EventLog::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void EventLog::flush_locked() {
+  if (buffer_.empty()) return;
+  out_->write(buffer_.data(),
+              static_cast<std::streamsize>(buffer_.size()));
+  out_->flush();
+  buffer_.clear();
+}
+
+std::uint64_t EventLog::events_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+EventLog* events() noexcept {
+  return g_events.load(std::memory_order_relaxed);
+}
+
+void set_events(EventLog* log) noexcept {
+  g_events.store(log, std::memory_order_release);
+}
+
+}  // namespace litmus::obs

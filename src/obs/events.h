@@ -1,0 +1,106 @@
+// Structured JSONL event log: the durable, append-only record of what a
+// run did, one JSON object per line so `tail -f` and line-oriented tools
+// work on a live run.
+//
+//   {"v":1,"seq":17,"t_us":84231,"span":9,"type":"kpi_verdict",...}
+//
+// Schema, versioned "v":1:
+//   * v      — schema version of the line
+//   * seq    — per-log monotonic sequence number, gapless in file order
+//   * t_us   — microseconds since the log was opened (steady clock)
+//   * span   — obs::current_span_id() at emission (omitted when 0), so an
+//              event correlates with the --trace-json timeline
+//   * type   — run_start | heartbeat | element_assessed | kpi_verdict |
+//              iteration_retry | fallback_qr | run_end
+//   plus per-type fields appended by the emitter (run_start embeds the
+//   RunManifest; run_end carries wall_s and status).
+//
+// Concurrency: a single mutex orders seq assignment and buffer appends, so
+// lines are never torn and seq is monotonic in file order even when worker
+// threads emit concurrently. Writes are batched in a memory buffer and
+// flushed when it grows past a threshold — and eagerly on run_start,
+// heartbeat and run_end so a watcher always sees signs of life.
+//
+// Emission sites guard with `if (auto* ev = obs::events())`, one relaxed
+// atomic load when no --events-jsonl was requested; events are emitted at
+// element/chunk granularity, never per sampling iteration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace litmus::obs {
+
+class JsonWriter;
+
+enum class EventType : std::uint8_t {
+  kRunStart,
+  kHeartbeat,
+  kElementAssessed,
+  kKpiVerdict,
+  kIterationRetry,
+  kFallbackQr,
+  kRunEnd,
+};
+
+const char* to_string(EventType t) noexcept;
+
+class EventLog {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// Logs into a borrowed stream (tests, in-memory use).
+  explicit EventLog(std::ostream& out);
+
+  /// Opens `path` via open_output_file (creates parent directories,
+  /// rotates an existing file with a warning). Throws when unwritable.
+  static std::unique_ptr<EventLog> open(const std::string& path);
+
+  ~EventLog();  ///< flushes whatever is buffered
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event line; `extra` (may be empty) adds the per-type
+  /// fields to the open JSON object. Thread-safe.
+  using FieldFn = std::function<void(JsonWriter&)>;
+  void emit(EventType type, const FieldFn& extra = {});
+
+  /// Heartbeat helper for long fan-outs: emits a `heartbeat` event
+  /// carrying {stage, done, total} when `done` is a multiple of `every`
+  /// or the work just finished (done == total). Callers report their own
+  /// completion counter; emission granularity stays O(total / every).
+  void progress(std::string_view stage, std::uint64_t done,
+                std::uint64_t total, std::uint64_t every = 16);
+
+  void flush();
+  std::uint64_t events_written() const noexcept;
+
+ private:
+  void flush_locked();
+
+  static constexpr std::size_t kFlushBytes = 16 * 1024;
+
+  std::unique_ptr<std::ofstream> owned_;  ///< null when stream is borrowed
+  std::ostream* out_;
+  std::uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::string buffer_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Process-global event log the pipeline instrumentation emits into;
+/// nullptr (the default) disables emission. The pointer is borrowed — the
+/// owner (e.g. litmus_cli's ObsSession) must clear it before destroying
+/// the log.
+EventLog* events() noexcept;
+void set_events(EventLog* log) noexcept;
+
+}  // namespace litmus::obs

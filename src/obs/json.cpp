@@ -1,7 +1,9 @@
 #include "obs/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace litmus::obs {
 
@@ -109,6 +111,251 @@ JsonWriter& JsonWriter::null() {
   separate();
   *out_ << "null";
   return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::number_or(double fallback) const noexcept {
+  return kind == Kind::kNumber ? number : fallback;
+}
+
+std::string JsonValue::string_or(std::string fallback) const {
+  return kind == Kind::kString ? string : std::move(fallback);
+}
+
+double JsonValue::member_number(std::string_view key,
+                                double fallback) const noexcept {
+  const JsonValue* v = find(key);
+  return v ? v->number_or(fallback) : fallback;
+}
+
+std::string JsonValue::member_string(std::string_view key,
+                                     std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->string_or(std::move(fallback)) : std::move(fallback);
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view. Depth is bounded so a
+// pathological input cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!value(v, 0) || (skip_ws(), pos_ != text_.size())) {
+      if (error) {
+        if (message_.empty()) message_ = "trailing characters";
+        *error = "json parse error at byte " + std::to_string(pos_) + ": " +
+                 message_;
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool fail(const char* why) {
+    if (message_.empty()) message_ = why;
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':')
+        return fail("expected ':'");
+      ++pos_;
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      if (!value(elem, depth + 1)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by our writer; a lone surrogate encodes as-is).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error) {
+  return JsonParser(text).parse(error);
 }
 
 }  // namespace litmus::obs

@@ -1,11 +1,19 @@
-// Minimal streaming JSON writer (no external dependency): nested
-// objects/arrays with automatic comma placement, string escaping, and
-// NaN/Inf mapped to null so the output is always valid JSON.
+// Minimal JSON support (no external dependency).
+//
+//   * JsonWriter: streaming writer — nested objects/arrays with automatic
+//     comma placement, string escaping, and NaN/Inf mapped to null so the
+//     output is always valid JSON.
+//   * JsonValue / parse_json: recursive-descent reader for the audit
+//     tooling (run manifests, event streams, diff-runs). Order-preserving
+//     objects, doubles for all numbers; rejects trailing garbage.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace litmus::obs {
@@ -45,5 +53,45 @@ class JsonWriter {
   std::vector<bool> first_;  ///< per nesting level: no member emitted yet
   bool after_key_ = false;
 };
+
+/// Parsed JSON document. Objects preserve member order (and keep
+/// duplicates, should a producer emit them; find() returns the first).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kObject,
+    kArray,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool is_null() const noexcept { return kind == Kind::kNull; }
+  bool is_object() const noexcept { return kind == Kind::kObject; }
+  bool is_array() const noexcept { return kind == Kind::kArray; }
+
+  /// First member with this key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Loose accessors: the fallback when the value is missing or has a
+  /// different kind, so consumers of foreign JSON stay short.
+  double number_or(double fallback) const noexcept;
+  std::string string_or(std::string fallback) const;
+  double member_number(std::string_view key, double fallback) const noexcept;
+  std::string member_string(std::string_view key,
+                            std::string fallback) const;
+};
+
+/// Parses a complete JSON document. On failure returns nullopt and, when
+/// `error` is non-null, stores a message with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace litmus::obs

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/manifest.h"
 
 namespace litmus::obs {
 namespace {
@@ -28,9 +29,14 @@ void histogram_fields(JsonWriter& w, const HistogramSnapshot& h) {
 
 }  // namespace
 
-void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        const RunManifest* manifest) {
   JsonWriter w(out);
   w.begin_object();
+  if (manifest) {
+    w.key("manifest");
+    manifest->write(w);
+  }
   w.key("counters").begin_object();
   for (const auto& [name, value] : snapshot.counters) w.member(name, value);
   w.end_object();
@@ -89,9 +95,13 @@ std::string format_metrics_summary(const MetricsSnapshot& snapshot) {
 }
 
 void write_trace_json(std::ostream& out, std::span<const SpanRecord> spans,
-                      std::uint64_t epoch_ns) {
+                      std::uint64_t epoch_ns, const RunManifest* manifest) {
   JsonWriter w(out);
   w.begin_object();
+  if (manifest) {
+    w.key("manifest");
+    manifest->write(w);
+  }
   w.member("epoch_ns", epoch_ns);
   w.member("span_count", static_cast<std::uint64_t>(spans.size()));
   w.key("spans").begin_array();

@@ -18,9 +18,14 @@
 
 namespace litmus::obs {
 
-/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
-///  mean,p50,p90,p95,p99}}}
-void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+struct RunManifest;
+
+/// {"manifest":{...},"counters":{...},"gauges":{...},
+///  "histograms":{name:{count,sum,min,max,mean,p50,p90,p95,p99}}}
+/// The manifest member is present when `manifest` is non-null, so every
+/// metrics artifact carries its own provenance (obs/manifest.h).
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                        const RunManifest* manifest = nullptr);
 
 /// One row per metric:
 ///   counter,<name>,<value>
@@ -31,8 +36,10 @@ void write_metrics_csv(std::ostream& out, const MetricsSnapshot& snapshot);
 /// Aligned, name-sorted text block.
 std::string format_metrics_summary(const MetricsSnapshot& snapshot);
 
-/// {"epoch_ns":...,"spans":[{id,parent,name,thread,start_us,duration_us}]}
+/// {"manifest":{...}?,"epoch_ns":...,
+///  "spans":[{id,parent,name,thread,start_us,duration_us}]}
 void write_trace_json(std::ostream& out, std::span<const SpanRecord> spans,
-                      std::uint64_t epoch_ns = 0);
+                      std::uint64_t epoch_ns = 0,
+                      const RunManifest* manifest = nullptr);
 
 }  // namespace litmus::obs

@@ -9,6 +9,8 @@ thread_local std::uint64_t tls_current_span = 0;
 
 }  // namespace
 
+std::uint64_t current_span_id() noexcept { return tls_current_span; }
+
 void Tracer::start() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();

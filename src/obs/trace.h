@@ -31,6 +31,12 @@ struct SpanRecord {
   std::uint32_t thread = 0;  ///< obs::thread_index() of the recording thread
 };
 
+/// Innermost span currently open on the calling thread, 0 when none (or
+/// when tracing is off — span ids are only assigned while collecting).
+/// Event records (obs/events.h) carry this id so a JSONL event can be
+/// located on the --trace-json timeline.
+std::uint64_t current_span_id() noexcept;
+
 /// Collects completed spans. start() clears previous spans and anchors the
 /// epoch; collection is off by default.
 class Tracer {

@@ -1,0 +1,150 @@
+// Tests for the structured JSONL event log: line validity, the
+// run_start..run_end bracket, gapless monotonic sequence numbers under a
+// concurrent hammer from the worker pool, heartbeat cadence, and span-id
+// correlation with the tracer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/pool.h"
+
+namespace litmus::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+JsonValue parse_line(const std::string& line) {
+  std::string error;
+  auto v = parse_json(line, &error);
+  EXPECT_TRUE(v.has_value()) << error << " in: " << line;
+  return v ? *v : JsonValue{};
+}
+
+TEST(EventLogTest, EveryLineParsesAndCarriesSchemaFields) {
+  std::ostringstream os;
+  {
+    EventLog log(os);
+    log.emit(EventType::kRunStart, [](JsonWriter& w) {
+      w.member("tool", "test");
+    });
+    log.emit(EventType::kElementAssessed, [](JsonWriter& w) {
+      w.member("kpi", "voice_retainability").member("verdict", "no_impact");
+    });
+    log.emit(EventType::kRunEnd);
+  }
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const JsonValue v = parse_line(lines[i]);
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.member_number("v", -1), 1.0);
+    EXPECT_EQ(v.member_number("seq", -1), static_cast<double>(i));
+    EXPECT_GE(v.member_number("t_us", -1), 0.0);
+    EXPECT_NE(v.member_string("type", ""), "");
+  }
+  EXPECT_EQ(parse_line(lines.front()).member_string("type", ""), "run_start");
+  EXPECT_EQ(parse_line(lines.back()).member_string("type", ""), "run_end");
+}
+
+TEST(EventLogTest, ConcurrentEmissionNeverTearsLinesAndSeqIsGapless) {
+  std::ostringstream os;
+  constexpr std::size_t kTasks = 64;
+  constexpr int kPerTask = 50;
+  {
+    EventLog log(os);
+    set_events(&log);
+    par::set_threads(4);
+    par::parallel_for(kTasks, [&](std::size_t i) {
+      for (int j = 0; j < kPerTask; ++j) {
+        if (auto* ev = events())
+          ev->emit(EventType::kKpiVerdict, [&](JsonWriter& w) {
+            w.member("task", static_cast<std::uint64_t>(i))
+                .member("j", static_cast<std::int64_t>(j))
+                .member("pad", "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+          });
+      }
+    });
+    par::set_threads(1);
+    set_events(nullptr);
+    EXPECT_EQ(log.events_written(), kTasks * kPerTask);
+  }
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), kTasks * kPerTask);
+  std::set<std::uint64_t> seqs;
+  for (const std::string& line : lines) {
+    const JsonValue v = parse_line(line);  // a torn line would not parse
+    ASSERT_TRUE(v.is_object());
+    seqs.insert(static_cast<std::uint64_t>(v.member_number("seq", -1)));
+  }
+  // Gapless: exactly 0..N-1, each exactly once.
+  ASSERT_EQ(seqs.size(), lines.size());
+  EXPECT_EQ(*seqs.begin(), 0u);
+  EXPECT_EQ(*seqs.rbegin(), lines.size() - 1);
+  // Monotonic in file order: seq of line i is exactly i (single mutex
+  // orders seq assignment and buffer append together).
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    EXPECT_EQ(parse_line(lines[i]).member_number("seq", -1),
+              static_cast<double>(i));
+}
+
+TEST(EventLogTest, ProgressEmitsAtCadenceAndAtCompletion) {
+  std::ostringstream os;
+  {
+    EventLog log(os);
+    for (std::uint64_t done = 1; done <= 100; ++done)
+      log.progress("batch", done, 100, /*every=*/16);
+  }
+  const auto lines = lines_of(os.str());
+  // Multiples of 16 (16,32,48,64,80,96) plus done == total.
+  ASSERT_EQ(lines.size(), 7u);
+  const JsonValue last = parse_line(lines.back());
+  EXPECT_EQ(last.member_string("type", ""), "heartbeat");
+  EXPECT_EQ(last.member_string("stage", ""), "batch");
+  EXPECT_EQ(last.member_number("done", -1), 100.0);
+  EXPECT_EQ(last.member_number("total", -1), 100.0);
+}
+
+TEST(EventLogTest, EventsCarryTheCurrentTraceSpanId) {
+#if !LITMUS_OBS_ENABLED
+  GTEST_SKIP() << "spans are compiled out with -DLITMUS_OBS=OFF";
+#endif
+  std::ostringstream os;
+  set_enabled(true);
+  Tracer::global().start();
+  {
+    EventLog log(os);
+    log.emit(EventType::kHeartbeat);  // no active span -> no "span" field
+    {
+      ScopedSpan span("unit-test");
+      log.emit(EventType::kKpiVerdict);
+    }
+  }
+  Tracer::global().stop();
+  set_enabled(false);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue no_span = parse_line(lines[0]);
+  EXPECT_EQ(no_span.find("span"), nullptr);
+  const JsonValue with_span = parse_line(lines[1]);
+  const JsonValue* span = with_span.find("span");
+  ASSERT_NE(span, nullptr);
+  EXPECT_GT(span->number, 0.0);
+}
+
+}  // namespace
+}  // namespace litmus::obs

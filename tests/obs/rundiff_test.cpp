@@ -1,0 +1,150 @@
+// Tests for cross-run drift comparison: the golden zero-drift case on a
+// byte-identical copy, seed/config/input gating, the informational status
+// of thread count and wall time, verdict flips, and metric tolerance.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/rundiff.h"
+
+namespace litmus::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RunDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("litmus_rundiff_test_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// Writes a minimal but complete run directory.
+  std::string make_run(const std::string& name, std::uint64_t seed = 42,
+                       std::size_t threads = 1,
+                       const std::string& verdict = "improvement",
+                       double iterations = 1000, double p50 = 0.9) {
+    const fs::path dir = root_ / name;
+    fs::create_directories(dir);
+    std::ofstream(dir / "run_manifest.json")
+        << "{\"schema\":1,\"tool\":\"litmus_cli assess\","
+           "\"version\":\"0.4.0\",\"build_flags\":\"obs=on,assert=off\","
+           "\"threads\":" << threads << ",\"seed\":" << seed
+        << ",\"rng_scheme\":\"counter-fork-v1\","
+           "\"started_at_utc\":\"2026-08-06T00:00:00Z\","
+           "\"config\":{\"--kpi\":\"voice_retainability\"},"
+           "\"inputs\":[{\"path\":\"demo/series.csv\",\"bytes\":10,"
+           "\"fnv1a64\":\"00000000000000aa\",\"ok\":true}]}\n";
+    std::ofstream(dir / "events.jsonl")
+        << "{\"v\":1,\"seq\":0,\"t_us\":0,\"type\":\"run_start\"}\n"
+        << "{\"v\":1,\"seq\":1,\"t_us\":5,\"type\":\"element_assessed\","
+           "\"kpi\":\"voice_retainability\",\"element\":10,\"bin\":0,"
+           "\"verdict\":\"" << verdict << "\"}\n"
+        << "{\"v\":1,\"seq\":2,\"t_us\":9,\"type\":\"run_end\","
+           "\"wall_s\":0.5,\"status\":\"ok\"}\n";
+    std::ofstream(dir / "metrics.json")
+        << "{\"counters\":{\"litmus.iterations\":" << iterations
+        << ",\"stage.fit.calls\":123},"
+           "\"histograms\":{\"litmus.fit.r_squared\":{\"count\":10,"
+           "\"p50\":" << p50 << "}}}\n";
+    return dir.string();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(RunDiffTest, ByteIdenticalCopyReportsZeroDrift) {
+  const std::string a = make_run("a");
+  const fs::path b = root_ / "b";
+  fs::copy(a, b, fs::copy_options::recursive);  // the golden case
+  const RunDiffReport report =
+      diff_runs(load_run_dir(a), load_run_dir(b.string()));
+  EXPECT_FALSE(report.drift);
+  EXPECT_EQ(report.verdict_flips, 0u);
+  for (const auto& line : report.manifest) EXPECT_FALSE(line.gating);
+  const std::string text =
+      format_run_diff(report, load_run_dir(a), load_run_dir(b.string()));
+  EXPECT_NE(text.find("no drift"), std::string::npos);
+}
+
+TEST_F(RunDiffTest, SeedDeltaGates) {
+  const RunData a = load_run_dir(make_run("a", /*seed=*/42));
+  const RunData b = load_run_dir(make_run("b", /*seed=*/8));
+  const RunDiffReport report = diff_runs(a, b);
+  EXPECT_TRUE(report.drift);
+  const std::string text = format_run_diff(report, a, b);
+  EXPECT_NE(text.find("seed: 42 -> 8"), std::string::npos);
+  EXPECT_NE(text.find("DRIFT"), std::string::npos);
+
+  DiffThresholds ignore;
+  ignore.ignore_manifest = true;
+  EXPECT_FALSE(diff_runs(a, b, ignore).drift);
+}
+
+TEST_F(RunDiffTest, ThreadCountDeltaIsInformationalOnly) {
+  const RunData a = load_run_dir(make_run("a", 42, /*threads=*/1));
+  const RunData b = load_run_dir(make_run("b", 42, /*threads=*/8));
+  const RunDiffReport report = diff_runs(a, b);
+  EXPECT_FALSE(report.drift);  // determinism contract: threads never gate
+  bool mentioned = false;
+  for (const auto& line : report.manifest)
+    if (line.text.find("threads") != std::string::npos) {
+      mentioned = true;
+      EXPECT_FALSE(line.gating);
+    }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(RunDiffTest, VerdictFlipGatesAndMaxFlipsRaisesTheBar) {
+  const RunData a = load_run_dir(make_run("a", 42, 1, "improvement"));
+  const RunData b = load_run_dir(make_run("b", 42, 1, "degradation"));
+  const RunDiffReport report = diff_runs(a, b);
+  EXPECT_TRUE(report.drift);
+  EXPECT_EQ(report.verdict_flips, 1u);
+  EXPECT_EQ(report.verdicts_compared, 1u);
+
+  DiffThresholds lenient;
+  lenient.max_verdict_flips = 1;
+  EXPECT_FALSE(diff_runs(a, b, lenient).drift);
+}
+
+TEST_F(RunDiffTest, DeterministicCounterDeltaGatesExactly) {
+  const RunData a = load_run_dir(make_run("a", 42, 1, "improvement", 1000));
+  const RunData b = load_run_dir(make_run("b", 42, 1, "improvement", 1001));
+  EXPECT_TRUE(diff_runs(a, b).drift);  // deterministic counters: exact
+}
+
+TEST_F(RunDiffTest, HistogramDriftRespectsRelativeTolerance) {
+  const RunData a =
+      load_run_dir(make_run("a", 42, 1, "improvement", 1000, /*p50=*/0.90));
+  const RunData b =
+      load_run_dir(make_run("b", 42, 1, "improvement", 1000, /*p50=*/0.99));
+  EXPECT_FALSE(diff_runs(a, b).drift);  // 10% < default 25% tolerance
+
+  DiffThresholds tight;
+  tight.metric_rel_tolerance = 0.05;
+  EXPECT_TRUE(diff_runs(a, b, tight).drift);
+}
+
+TEST_F(RunDiffTest, LoadRejectsRunsWithUnparsableEventLines) {
+  const std::string a = make_run("a");
+  std::ofstream(fs::path(a) / "events.jsonl", std::ios::app)
+      << "{\"v\":1,\"seq\":3,truncated\n";
+  EXPECT_THROW(load_run_dir(a), std::runtime_error);
+}
+
+TEST_F(RunDiffTest, LoadRequiresManifestAndEvents) {
+  const fs::path dir = root_ / "empty";
+  fs::create_directories(dir);
+  EXPECT_THROW(load_run_dir(dir.string()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace litmus::obs

@@ -28,13 +28,16 @@ KEY_BENCHMARK = "BM_LitmusAssess_Controls/16"
 CALIBRATION_BENCHMARK = "BM_OlsFit/16"
 
 
-def load_times(path):
+def load_doc(path):
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_times(doc):
     times = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
@@ -44,6 +47,31 @@ def load_times(path):
         if name is not None and t is not None:
             times[name] = float(t)
     return times
+
+
+# Manifest fields whose mismatch makes a perf comparison apples-to-oranges.
+MANIFEST_FIELDS = ("version", "build_flags", "threads", "seed", "rng_scheme")
+
+
+def warn_on_manifest_mismatch(base_doc, cur_doc):
+    """Warns (never fails) when the two runs' provenance differs.
+
+    Older baselines predate the manifest block; that is reported once and
+    tolerated so refreshing a baseline is never blocked by its own age.
+    """
+    base_m = base_doc.get("manifest")
+    cur_m = cur_doc.get("manifest")
+    if not base_m or not cur_m:
+        missing = "baseline" if not base_m else "current"
+        print(f"warning: {missing} run has no manifest block; "
+              "provenance not comparable", file=sys.stderr)
+        return
+    for field in MANIFEST_FIELDS:
+        bv, cv = base_m.get(field), cur_m.get(field)
+        if bv != cv:
+            print(f"warning: manifest mismatch on {field}: "
+                  f"baseline={bv!r} current={cv!r} — the perf comparison "
+                  "may be apples-to-oranges", file=sys.stderr)
 
 
 def pick(times, name, path):
@@ -65,8 +93,11 @@ def main():
                     help="allowed relative slowdown (default 0.25 = 25%%)")
     args = ap.parse_args()
 
-    base = load_times(args.baseline)
-    cur = load_times(args.current)
+    base_doc = load_doc(args.baseline)
+    cur_doc = load_doc(args.current)
+    warn_on_manifest_mismatch(base_doc, cur_doc)
+    base = load_times(base_doc)
+    cur = load_times(cur_doc)
 
     base_ratio = (pick(base, KEY_BENCHMARK, args.baseline) /
                   pick(base, CALIBRATION_BENCHMARK, args.baseline))
