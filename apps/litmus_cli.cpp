@@ -41,6 +41,7 @@
 #include "io/store.h"
 #include "litmus/batch.h"
 #include "litmus/did.h"
+#include "litmus/panel_cache.h"
 #include "litmus/report.h"
 #include "litmus/study_only.h"
 #include "obs/events.h"
@@ -67,13 +68,13 @@ int usage() {
                "              [--controls IDS | --select region|msc|zip]\n"
                "              [--before-days N] [--after-days N] [--seed N] "
                "[--explain]\n"
-               "              [--threads N] [--metrics-json FILE] "
-               "[--trace-json FILE]\n"
+               "              [--threads N] [--panel-cache-mb N] "
+               "[--metrics-json FILE] [--trace-json FILE]\n"
                "              [--events-jsonl FILE]\n"
                "  litmus_cli batch --topology FILE --series FILE --changes "
                "FILE\n"
-               "              [--threads N] [--seed N] [--metrics-json FILE] "
-               "[--trace-json FILE]\n"
+               "              [--threads N] [--panel-cache-mb N] [--seed N] "
+               "[--metrics-json FILE] [--trace-json FILE]\n"
                "              [--events-jsonl FILE]\n"
                "  litmus_cli diff-runs A_DIR B_DIR [--max-flips N]\n"
                "              [--metric-tolerance F] [--wall-tolerance F] "
@@ -82,6 +83,9 @@ int usage() {
                "\n"
                "--threads N (or LITMUS_THREADS): worker threads for the\n"
                "sampling/batch fan-out; results are identical at any count.\n"
+               "--panel-cache-mb N (or LITMUS_PANEL_CACHE_MB): byte budget\n"
+               "of the shared Gram-panel cache (default 64; 0 disables);\n"
+               "results are identical at any setting.\n"
                "--events-jsonl FILE: structured JSONL event stream; also\n"
                "writes run_manifest.json + metrics.json into FILE's\n"
                "directory, the layout diff-runs consumes.\n"
@@ -219,6 +223,19 @@ void apply_threads_flag(const std::map<std::string, std::string>& args) {
   par::set_threads(static_cast<std::size_t>(*v));
 }
 
+// --panel-cache-mb N overrides the shared panel cache's byte budget (else
+// LITMUS_PANEL_CACHE_MB, else 64 MiB); 0 disables caching. Verdicts are
+// bit-identical at any setting (DESIGN.md §10).
+void apply_panel_cache_flag(const std::map<std::string, std::string>& args) {
+  const auto it = args.find("panel-cache-mb");
+  if (it == args.end()) return;
+  const auto v = io::parse_int(it->second);
+  if (!v || *v < 0)
+    throw std::runtime_error("bad --panel-cache-mb: " + it->second);
+  core::PanelCache::global().set_capacity_bytes(
+      static_cast<std::size_t>(*v) << 20);
+}
+
 std::vector<net::ElementId> parse_ids(const std::string& csv) {
   std::vector<net::ElementId> out;
   std::stringstream ss(csv);
@@ -296,6 +313,7 @@ int assess(const std::map<std::string, std::string>& args) {
   };
 
   apply_threads_flag(args);  // validate before the expensive loads
+  apply_panel_cache_flag(args);
   std::ifstream topo_in(need("topology"));
   if (!topo_in) throw std::runtime_error("cannot open topology file");
   const net::Topology topo = io::load_topology_csv(topo_in);
@@ -375,6 +393,7 @@ int batch(const std::map<std::string, std::string>& args) {
   };
 
   apply_threads_flag(args);  // validate before the expensive loads
+  apply_panel_cache_flag(args);
 
   std::ifstream topo_in(need("topology"));
   if (!topo_in) throw std::runtime_error("cannot open topology file");
@@ -494,7 +513,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "assess" || cmd == "batch") {
       static const std::set<std::string> kSharedFlags = {
-          "metrics-json", "trace-json", "threads", "seed", "events-jsonl"};
+          "metrics-json", "trace-json",   "threads",
+          "seed",         "events-jsonl", "panel-cache-mb"};
       std::set<std::string> valued = kSharedFlags;
       std::set<std::string> boolean;
       if (cmd == "assess") {

@@ -1,0 +1,180 @@
+// Microbenchmarks for the batch-sweep hot-path kernels: the columnar
+// design-matrix fill, the blocked Gram panel build, the shared panel
+// cache, and the multi-element sweep those kernels compose into.
+//
+// Where bench_perf.cpp tracks whole-assessment latency, this family
+// isolates the layers the panel cache and columnar overhaul touch, so a
+// regression pinpoints which kernel moved. The on/off pair of
+// BM_MultiElementSweep is the acceptance measurement for the cache: same
+// work, same results (bit-identical — tests/litmus/panel_cache_test.cpp),
+// only the panel rebuilds are saved.
+//
+// Results go to BENCH_kernels.json (google-benchmark JSON with an embedded
+// manifest block) unless the caller passes --benchmark_out; gate with
+//   tools/check_bench_regression.py --key <name> baseline.json candidate.json
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/group_sim.h"
+#include "litmus/panel_cache.h"
+#include "litmus/spatial_regression.h"
+#include "obs/manifest.h"
+#include "parallel/pool.h"
+#include "tsmath/gram.h"
+#include "tsmath/matrix.h"
+#include "tsmath/random.h"
+#include "tsmath/timeseries.h"
+
+namespace {
+
+using namespace litmus;
+
+constexpr std::size_t kRows = 14 * 24;  // 14-day hourly before window
+
+std::vector<ts::TimeSeries> make_controls(std::size_t n) {
+  ts::Rng rng(41);
+  std::vector<ts::TimeSeries> out;
+  out.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<double> v(kRows + 48);  // some slack on both sides
+    for (auto& x : v) x = rng.normal();
+    out.emplace_back(-24, std::move(v));
+  }
+  return out;
+}
+
+ts::Matrix fill_design(const std::vector<ts::TimeSeries>& controls) {
+  ts::Matrix x(kRows, controls.size());
+  for (std::size_t c = 0; c < controls.size(); ++c)
+    controls[c].copy_range_into(0, x.column(c));
+  return x;
+}
+
+// Columnar design fill: one copy_range_into per control column.
+void BM_DesignFill(benchmark::State& state) {
+  const auto controls = make_controls(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto x = fill_design(controls);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * kRows * controls.size()));
+}
+BENCHMARK(BM_DesignFill)->Arg(16)->Arg(64);
+
+// Cold Gram build: the O(m·N²) blocked accumulation the cache amortizes.
+void BM_GramBuildCold(benchmark::State& state) {
+  const auto x =
+      fill_design(make_controls(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    auto panel = ts::GramPanel::build(x);
+    benchmark::DoNotOptimize(panel);
+  }
+}
+BENCHMARK(BM_GramBuildCold)->Arg(16)->Arg(64);
+
+// Warm-cache path as the analyzer runs it: fingerprint the design, then
+// get_or_build on a cache that already holds the panel.
+void BM_PanelCacheHit(benchmark::State& state) {
+  const auto x =
+      fill_design(make_controls(static_cast<std::size_t>(state.range(0))));
+  core::PanelCache cache(64u << 20);
+  (void)cache.get_or_build(core::fingerprint_design(x),
+                           [&] { return ts::GramPanel::build(x); });
+  for (auto _ : state) {
+    auto panel = cache.get_or_build(core::fingerprint_design(x),
+                                    [&] { return ts::GramPanel::build(x); });
+    benchmark::DoNotOptimize(panel);
+  }
+  if (cache.stats().misses != 1) state.SkipWithError("cache did not stay warm");
+}
+BENCHMARK(BM_PanelCacheHit)->Arg(16)->Arg(64);
+
+// End-to-end multi-element sweep (8 elements sharing one 64-control
+// group), cache off (Arg 0) vs on (Arg 1). Items/s counts element
+// assessments; the ratio of the two rows is the cache speedup.
+void BM_MultiElementSweep(benchmark::State& state) {
+  eval::EpisodeSpec spec;
+  spec.n_study = 8;
+  spec.n_control = 64;
+  spec.before_bins = 14 * 24;
+  spec.after_bins = 14 * 24;
+  spec.true_sigma = 1.5;
+  spec.seed = 97;
+  const auto episode = eval::simulate_episode(spec);
+  const core::RobustSpatialRegression alg;
+
+  core::PanelCache& cache = core::PanelCache::global();
+  const std::size_t prev_capacity = cache.capacity_bytes();
+  cache.set_capacity_bytes(state.range(0) != 0 ? (64u << 20) : 0);
+  cache.clear();
+  for (auto _ : state) {
+    for (const auto& w : episode.study_windows) {
+      auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * episode.study_windows.size()));
+  cache.clear();
+  cache.set_capacity_bytes(prev_capacity);
+}
+BENCHMARK(BM_MultiElementSweep)->Arg(0)->Arg(1);
+
+// Same manifest-embedding scheme as bench_perf.cpp: google-benchmark owns
+// the JSON writer, so provenance is spliced in afterwards for
+// tools/check_bench_regression.py to inspect.
+void embed_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // bench ran with a different reporter; nothing to do
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::size_t brace = text.find('{');
+  if (brace == std::string::npos) return;
+
+  obs::RunManifest manifest;
+  manifest.tool = "bench_kernels";
+  manifest.threads = par::threads();
+  manifest.seed = 97;
+  manifest.started_at_utc = obs::utc_timestamp_now();
+  text.insert(brace + 1, "\n\"manifest\": " + manifest.to_json() + ",");
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot rewrite %s\n", path.c_str());
+    return;
+  }
+  out << text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  litmus::par::set_threads(1);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+      out_path = argv[i] + 16;
+  std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (out_path.empty()) {
+    out_path = "BENCH_kernels.json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  embed_manifest(out_path);
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 
+#include "litmus/panel_cache.h"
 #include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -23,18 +24,33 @@ namespace {
 
 // Packs aligned control windows into a design matrix over the study
 // window's absolute bin range. Bins a control lacks become NaN rows (the
-// OLS drops them; forecasts there are missing).
+// OLS drops them; forecasts there are missing). Columnar: the matrix is
+// column-major, so each control is one contiguous range copy.
 ts::Matrix design_matrix(const ts::TimeSeries& study,
                          std::span<const ts::TimeSeries> controls) {
   ts::Matrix x(study.size(), controls.size());
-  for (std::size_t c = 0; c < controls.size(); ++c) {
-    for (std::size_t r = 0; r < study.size(); ++r) {
-      const std::int64_t bin =
-          study.start_bin() + static_cast<std::int64_t>(r);
-      x(r, c) = controls[c].at_bin(bin);
-    }
-  }
+  for (std::size_t c = 0; c < controls.size(); ++c)
+    controls[c].copy_range_into(study.start_bin(), x.column(c));
   return x;
+}
+
+// Median of a complete (no missing values) sample, selecting in place.
+// The per-bin aggregation calls this once per forecast bin, so it must
+// not allocate or fully sort; nth_element finds the same order
+// statistics ts::median would, and the even-count interpolation repeats
+// ts::quantile's arithmetic (frac = 0.5) operand for operand, so the
+// result is bit-identical to ts::median on the same values.
+double median_complete(std::vector<double>& v) {
+  const std::size_t n = v.size();
+  const std::size_t hi = n / 2;
+  std::nth_element(v.begin(),
+                   v.begin() + static_cast<std::ptrdiff_t>(hi), v.end());
+  const double upper = v[hi];
+  if (n % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(v.begin(),
+                        v.begin() + static_cast<std::ptrdiff_t>(hi));
+  return lower * 0.5 + upper * 0.5;
 }
 
 }  // namespace
@@ -66,13 +82,23 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
   const std::span<const double> y = w.study_before.values();
   // The O(m·N²) panel precompute only pays off when enough iterations
   // amortize it (GramPanel::worthwhile); below the crossover every
-  // iteration just runs QR, exactly as with the fast path disabled.
+  // iteration just runs QR, exactly as with the fast path disabled. The
+  // decision deliberately ignores cache state (a hit would make the build
+  // free) so cached and uncached runs take identical code paths.
   const bool use_gram =
       params_.use_gram_fast_path &&
       ts::GramPanel::worthwhile(params_.n_iterations, k, x_before.cols());
-  ts::GramPanel gram;
-  if (use_gram)
-    gram = ts::GramPanel::build(x_before, y, params_.with_intercept);
+  PanelCache::PanelPtr panel;
+  ts::GramSystem gram;
+  if (use_gram) {
+    // Content-keyed: every study element regressing onto the same control
+    // columns over the same bins — across a multi-element assessment, a
+    // batch sweep, or monitor steps — shares one panel build.
+    panel = PanelCache::global().get_or_build(
+        fingerprint_design(x_before),
+        [&] { return ts::GramPanel::build(x_before); });
+    gram.bind(*panel, y, params_.with_intercept);
+  }
 
   // Iterations are independent: each draws from its own counter-based
   // substream (base.fork(it) is a pure function of seed and iteration
@@ -201,8 +227,11 @@ bool RobustSpatialRegression::forecast(const ElementWindows& w,
 
   const bool use_median =
       params_.aggregation == ForecastAggregation::kMedian;
-  auto aggregate = [use_median](const std::vector<double>& v) {
-    return use_median ? ts::median(v) : ts::mean(v);
+  // fc vectors hold only non-missing predictions (filtered at push), so
+  // the selection-based median applies; it may permute its input, which
+  // is fine — the per-bin vectors are dead after aggregation.
+  auto aggregate = [use_median](std::vector<double>& v) {
+    return use_median ? median_complete(v) : ts::mean(v);
   };
 
   out.median_forecast_before =

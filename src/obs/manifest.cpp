@@ -65,6 +65,16 @@ std::string build_flags_string() {
 #else
   flags += "on";
 #endif
+  // Debug (-O0) numbers are not comparable with optimized ones;
+  // check_bench_regression.py refuses to trust a run whose manifest says
+  // opt=off. (google-benchmark's own context.library_build_type reports
+  // how *its* library was compiled, not this code.)
+  flags += ",opt=";
+#ifdef __OPTIMIZE__
+  flags += "on";
+#else
+  flags += "off";
+#endif
   return flags;
 }
 

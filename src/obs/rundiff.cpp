@@ -76,10 +76,14 @@ std::string verdict_key(const JsonValue& event, const std::string& type) {
 }
 
 /// Metrics whose values depend on scheduling or machine speed, never on
-/// what the run computed. They stay out of the drift gate.
+/// what the run computed. They stay out of the drift gate. panel_cache.*
+/// belongs here too: hit/miss/eviction counts depend on the cache budget
+/// and on which worker got to a panel first, while the assessed results
+/// are bit-identical either way (DESIGN.md §10).
 bool scheduling_dependent(const std::string& name) {
   return name.starts_with("stage.") || name.starts_with("parallel.") ||
-         name.starts_with("litmus.worker.");
+         name.starts_with("litmus.worker.") ||
+         name.starts_with("panel_cache.");
 }
 
 double rel_delta(double a, double b) {
@@ -228,14 +232,15 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
   compare_scalar(report.manifest, a.manifest, b.manifest, "threads",
                  /*gating=*/false);
   {
-    // Output-destination flags differ between any two runs by
-    // construction (each run writes its own directory); they are
-    // reported but never gate.
+    // Flags that cannot change results are reported but never gate:
+    // output destinations differ between any two runs by construction
+    // (each run writes its own directory), and the panel-cache budget
+    // only trades rebuild time for memory (DESIGN.md §10).
     auto cfg_a = object_as_map(a.manifest.find("config"));
     auto cfg_b = object_as_map(b.manifest.find("config"));
     std::map<std::string, std::string> sink_a, sink_b;
-    for (const char* k :
-         {"--events-jsonl", "--metrics-json", "--trace-json"}) {
+    for (const char* k : {"--events-jsonl", "--metrics-json", "--trace-json",
+                          "--panel-cache-mb"}) {
       if (const auto it = cfg_a.find(k); it != cfg_a.end()) {
         sink_a[k] = it->second;
         cfg_a.erase(it);

@@ -1,11 +1,29 @@
 #include "obs/trace.h"
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace litmus::obs {
 namespace {
 
 thread_local std::uint64_t tls_current_span = 0;
+
+// Span names are static string literals, so the `stage.<name>` histogram
+// lookup can be memoized by pointer identity: a handful of hot spans
+// ("sampling", "fit", "forecast") close millions of times per sweep, and
+// building the prefixed name each close put a heap allocation plus a
+// registry map walk on the hot path. Registry references stay valid for
+// its lifetime, so caching them is safe; duplicate literals in different
+// translation units just yield two entries for the same histogram.
+Histogram& stage_histogram(const char* name) {
+  thread_local std::vector<std::pair<const char*, Histogram*>> cache;
+  for (const auto& [key, hist] : cache)
+    if (key == name) return *hist;
+  Histogram& h = Registry::global().histogram(std::string("stage.") + name);
+  cache.emplace_back(name, &h);
+  return h;
+}
 
 }  // namespace
 
@@ -69,9 +87,8 @@ ScopedSpan::~ScopedSpan() {
     tracer_->add(rec);
   }
   if (metrics_) {
-    Registry::global()
-        .histogram(std::string("stage.") + name_)
-        .record(static_cast<double>(duration) / 1000.0);  // microseconds
+    stage_histogram(name_).record(static_cast<double>(duration) /
+                                  1000.0);  // microseconds
   }
 }
 

@@ -16,100 +16,200 @@ constexpr std::size_t kWordBits = 64;
 /// the QR fallback handle them.
 constexpr double kMaxConditionRatio = 1e7;
 
-inline bool test_bit(const std::vector<std::uint64_t>& bits,
+inline bool test_bit(std::span<const std::uint64_t> bits,
                      std::size_t i) noexcept {
   return (bits[i / kWordBits] >> (i % kWordBits)) & 1u;
 }
 
-inline void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+inline void set_bit(std::span<std::uint64_t> bits, std::size_t i) noexcept {
   bits[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+}
+
+// Accumulates the augmented Gram matrix over `cols` packed (contiguous,
+// complete-case) columns of `n` rows each into `g`, a (cols+1)² row-major
+// buffer. Column pairs are processed two at a time so the shared left
+// column is loaded once per row (register blocking); every scalar still
+// accumulates its rows in ascending order, so the result is bit-identical
+// to the naive pair-at-a-time loop regardless of blocking.
+void accumulate_gram(const double* packed, std::size_t n, std::size_t cols,
+                     std::vector<double>& g) {
+  const std::size_t aug = cols + 1;
+  g.assign(aug * aug, 0.0);
+  g[0] = static_cast<double>(n);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double* pc = packed + c * n;
+    double s = 0.0;
+    for (std::size_t r = 0; r < n; ++r) s += pc[r];
+    g[0 * aug + (c + 1)] = s;
+    g[(c + 1) * aug + 0] = s;
+    std::size_t d = c;
+    for (; d + 1 < cols; d += 2) {
+      const double* pd0 = packed + d * n;
+      const double* pd1 = packed + (d + 1) * n;
+      double dot0 = 0.0, dot1 = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double v = pc[r];
+        dot0 += v * pd0[r];
+        dot1 += v * pd1[r];
+      }
+      g[(c + 1) * aug + (d + 1)] = dot0;
+      g[(d + 1) * aug + (c + 1)] = dot0;
+      g[(c + 1) * aug + (d + 2)] = dot1;
+      g[(d + 2) * aug + (c + 1)] = dot1;
+    }
+    if (d < cols) {
+      const double* pd = packed + d * n;
+      double dot = 0.0;
+      for (std::size_t r = 0; r < n; ++r) dot += pc[r] * pd[r];
+      g[(c + 1) * aug + (d + 1)] = dot;
+      g[(d + 1) * aug + (c + 1)] = dot;
+    }
+  }
 }
 
 }  // namespace
 
-GramPanel GramPanel::build(const Matrix& design, std::span<const double> y,
-                           bool with_intercept) {
+GramPanel GramPanel::build(const Matrix& design) {
   GramPanel p;
   p.n_cols_ = design.cols();
-  p.with_intercept_ = with_intercept;
-  const std::size_t m = design.rows();
-  if (m == 0 || y.size() != m || p.n_cols_ == 0) return p;
+  p.m_ = design.rows();
+  if (p.m_ == 0 || p.n_cols_ == 0) return p;
 
-  const std::size_t words = (m + kWordBits - 1) / kWordBits;
-  p.y_missing_.assign(words, 0);
-  p.all_missing_.assign(words, 0);
-  p.col_missing_.assign(p.n_cols_, std::vector<std::uint64_t>(words, 0));
+  p.words_ = (p.m_ + kWordBits - 1) / kWordBits;
+  p.col_missing_.assign(p.n_cols_ * p.words_, 0);
+  p.x_missing_.assign(p.words_, 0);
 
-  for (std::size_t r = 0; r < m; ++r)
-    if (is_missing(y[r])) set_bit(p.y_missing_, r);
   for (std::size_t c = 0; c < p.n_cols_; ++c) {
     const auto col = design.column(c);
-    for (std::size_t r = 0; r < m; ++r)
-      if (is_missing(col[r])) set_bit(p.col_missing_[c], r);
-  }
-  for (std::size_t w = 0; w < words; ++w) {
-    std::uint64_t u = p.y_missing_[w];
-    for (std::size_t c = 0; c < p.n_cols_; ++c) u |= p.col_missing_[c][w];
-    p.all_missing_[w] = u;
+    const std::span<std::uint64_t> bits{p.col_missing_.data() + c * p.words_,
+                                        p.words_};
+    for (std::size_t r = 0; r < p.m_; ++r)
+      if (is_missing(col[r])) set_bit(bits, r);
+    for (std::size_t w = 0; w < p.words_; ++w) p.x_missing_[w] |= bits[w];
   }
 
-  std::vector<std::uint32_t> rows;
-  rows.reserve(m);
-  for (std::size_t r = 0; r < m; ++r)
-    if (!test_bit(p.all_missing_, r))
-      rows.push_back(static_cast<std::uint32_t>(r));
-  p.n_rows_ = rows.size();
+  p.rows_.reserve(p.m_);
+  for (std::size_t r = 0; r < p.m_; ++r)
+    if (!test_bit(p.x_missing_, r))
+      p.rows_.push_back(static_cast<std::uint32_t>(r));
+  p.n_rows_ = p.rows_.size();
   // The tightest subset fit needs aug+2 rows; require at least the
   // smallest useful panel so degenerate windows skip straight to QR.
   if (p.n_rows_ < 4) return p;
 
-  const std::size_t aug = p.n_cols_ + 1;
-  p.g_.assign(aug * aug, 0.0);
-  p.xty_.assign(aug, 0.0);
-
-  // Intercept block and y moments.
-  p.g_[0] = static_cast<double>(p.n_rows_);
-  for (const auto r : rows) {
-    p.sum_y_ += y[r];
-    p.yty_ += y[r] * y[r];
-  }
-  p.xty_[0] = p.sum_y_;
-
+  // Gather the complete-case rows contiguous (column-major), then run the
+  // blocked columnar accumulation on stride-1 memory.
+  p.packed_.resize(p.n_rows_ * p.n_cols_);
   for (std::size_t c = 0; c < p.n_cols_; ++c) {
     const auto col = design.column(c);
-    double s = 0.0, sy = 0.0;
-    for (const auto r : rows) {
-      s += col[r];
-      sy += col[r] * y[r];
-    }
-    p.g_[0 * aug + (c + 1)] = s;
-    p.g_[(c + 1) * aug + 0] = s;
-    p.xty_[c + 1] = sy;
-    for (std::size_t d = c; d < p.n_cols_; ++d) {
-      const auto col2 = design.column(d);
-      double dot = 0.0;
-      for (const auto r : rows) dot += col[r] * col2[r];
-      p.g_[(c + 1) * aug + (d + 1)] = dot;
-      p.g_[(d + 1) * aug + (c + 1)] = dot;
-    }
+    double* out = p.packed_.data() + c * p.n_rows_;
+    for (std::size_t i = 0; i < p.n_rows_; ++i) out[i] = col[p.rows_[i]];
   }
+  accumulate_gram(p.packed_.data(), p.n_rows_, p.n_cols_, p.g_);
   p.ok_ = true;
   return p;
 }
 
-bool GramPanel::subset_matches_panel(
+std::size_t GramPanel::bytes() const noexcept {
+  return g_.capacity() * sizeof(double) + packed_.capacity() * sizeof(double) +
+         rows_.capacity() * sizeof(std::uint32_t) +
+         (col_missing_.capacity() + x_missing_.capacity()) *
+             sizeof(std::uint64_t) +
+         sizeof(GramPanel);
+}
+
+bool GramSystem::bind(const GramPanel& panel, std::span<const double> y,
+                      bool with_intercept) {
+  panel_ = &panel;
+  ok_ = false;
+  g_reduced_.clear();
+  with_intercept_ = with_intercept;
+  if (!panel.ok_ || y.size() != panel.m_) return false;
+
+  y_missing_.assign(panel.words_, 0);
+  for (std::size_t r = 0; r < panel.m_; ++r)
+    if (is_missing(y[r])) set_bit(y_missing_, r);
+
+  all_missing_.resize(panel.words_);
+  bool reduced = false;
+  for (std::size_t w = 0; w < panel.words_; ++w) {
+    all_missing_[w] = panel.x_missing_[w] | y_missing_[w];
+    reduced |= all_missing_[w] != panel.x_missing_[w];
+  }
+
+  // Gather y over the usable panel rows; positions index into the panel's
+  // packed row order so the reduced re-accumulation can gather from the
+  // already-packed columns.
+  std::vector<std::uint32_t> positions;
+  std::vector<double> y_packed;
+  y_packed.reserve(panel.n_rows_);
+  if (reduced) {
+    positions.reserve(panel.n_rows_);
+    for (std::size_t i = 0; i < panel.n_rows_; ++i)
+      if (!is_missing(y[panel.rows_[i]])) {
+        positions.push_back(static_cast<std::uint32_t>(i));
+        y_packed.push_back(y[panel.rows_[i]]);
+      }
+    n_rows_ = positions.size();
+  } else {
+    for (std::size_t i = 0; i < panel.n_rows_; ++i)
+      y_packed.push_back(y[panel.rows_[i]]);
+    n_rows_ = panel.n_rows_;
+  }
+  if (n_rows_ < 4) return false;
+
+  const double* cols_data = panel.packed_.data();
+  std::vector<double> reduced_packed;
+  if (reduced) {
+    // y knocks rows out of the panel: re-gather the surviving rows and
+    // re-accumulate an owned G over them with the same kernel (and the
+    // same ascending row order) a fresh build over the joint rows would
+    // use, so a shared/cached panel yields bit-identical results.
+    reduced_packed.resize(n_rows_ * panel.n_cols_);
+    for (std::size_t c = 0; c < panel.n_cols_; ++c) {
+      const double* in = panel.packed_.data() + c * panel.n_rows_;
+      double* out = reduced_packed.data() + c * n_rows_;
+      for (std::size_t i = 0; i < n_rows_; ++i) out[i] = in[positions[i]];
+    }
+    cols_data = reduced_packed.data();
+    accumulate_gram(cols_data, n_rows_, panel.n_cols_, g_reduced_);
+  }
+
+  sum_y_ = 0.0;
+  yty_ = 0.0;
+  for (std::size_t i = 0; i < n_rows_; ++i) {
+    sum_y_ += y_packed[i];
+    yty_ += y_packed[i] * y_packed[i];
+  }
+  xty_.assign(panel.n_cols_ + 1, 0.0);
+  xty_[0] = sum_y_;
+  for (std::size_t c = 0; c < panel.n_cols_; ++c) {
+    const double* pc = cols_data + c * n_rows_;
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n_rows_; ++i) dot += pc[i] * y_packed[i];
+    xty_[c + 1] = dot;
+  }
+  ok_ = true;
+  return true;
+}
+
+bool GramSystem::subset_matches_panel(
     std::span<const std::size_t> cols) const noexcept {
   if (!ok_) return false;
-  for (std::size_t w = 0; w < all_missing_.size(); ++w) {
+  const std::size_t words = panel_->words_;
+  for (std::size_t w = 0; w < words; ++w) {
+    // The plain fit drops rows missing in y or in a *selected* column; the
+    // solve is exact iff that union reproduces the joint complement the
+    // Gram quantities were accumulated over.
     std::uint64_t u = y_missing_[w];
-    for (const auto c : cols) u |= col_missing_[c][w];
+    for (const auto c : cols) u |= panel_->col_missing_[c * words + w];
     if (u != all_missing_[w]) return false;
   }
   return true;
 }
 
-bool GramPanel::solve_subset(std::span<const std::size_t> cols,
-                             GramScratch& scratch, LinearModel& out) const {
+bool GramSystem::solve_subset(std::span<const std::size_t> cols,
+                              GramScratch& scratch, LinearModel& out) const {
   out = LinearModel{};
   out.with_intercept = with_intercept_;
   const std::size_t k = cols.size();
@@ -118,7 +218,8 @@ bool GramPanel::solve_subset(std::span<const std::size_t> cols,
 
   // Extract the subset's normal system into the scratch arena. Augmented
   // index i maps to full-Gram index 0 (intercept) or cols[...]+1.
-  const std::size_t aug = n_cols_ + 1;
+  const std::size_t aug = panel_->n_cols_ + 1;
+  const double* g_full = gram();
   const auto full_index = [&](std::size_t i) -> std::size_t {
     if (with_intercept_) return i == 0 ? 0 : cols[i - 1] + 1;
     return cols[i] + 1;
@@ -130,7 +231,7 @@ bool GramPanel::solve_subset(std::span<const std::size_t> cols,
     const std::size_t fi = full_index(i);
     scratch.rhs[i] = xty_[fi];
     for (std::size_t j = 0; j <= i; ++j)
-      scratch.g[i * ka + j] = g_[fi * aug + full_index(j)];
+      scratch.g[i * ka + j] = g_full[fi * aug + full_index(j)];
   }
 
   // In-place lower Cholesky with a relative pivot guard (mirrors the

@@ -3,18 +3,33 @@
 // The robust spatial regression fits the *same* before-window panel
 // hundreds of times, each time on a different k-column subset of the
 // design. Re-running Householder QR per subset costs O(m·k²) per
-// iteration. A GramPanel instead precomputes, once per window,
+// iteration. The fast path instead precomputes, once per design,
 //
-//   G = X̃ᵀX̃   and   X̃ᵀy     with X̃ = [1 | X] over the *panel rows*
+//   G = X̃ᵀX̃        with X̃ = [1 | X] over the *panel rows*
 //
-// (the rows where y and every control column are observed, tracked with
-// per-column missing bitsets). Each iteration then extracts the k̃×k̃
-// submatrix of G for its column subset and solves the normal equations by
-// Cholesky — O(k³) per iteration, independent of the window length m.
+// (the rows where every control column is observed, tracked with
+// per-column missing bitsets), then binds a response y to form X̃ᵀy and
+// the y moments, and solves each iteration's k̃×k̃ normal-equation
+// subsystem by Cholesky — O(k³) per iteration, independent of the window
+// length m.
+//
+// The precompute is split in two so the expensive design-only half can be
+// shared (and cached — litmus/panel_cache.h) across study elements that
+// regress onto the same control panel:
+//
+//   * GramPanel — design-only and immutable after build(): complete-case
+//     row set, per-column validity bitsets, the packed (gathered,
+//     contiguous) column data, and G accumulated over the panel rows with
+//     a register-blocked columnar kernel. Safe to share across threads.
+//   * GramSystem — one response bound to a panel: X̃ᵀy, Σy, Σy² and the
+//     joint missing-row bitset. When y is missing on some panel rows the
+//     bind re-accumulates a reduced G over the joint rows (same columnar
+//     kernel, same row order — results do not depend on whether the panel
+//     came from a cache).
 //
 // Exactness rule: ordinary fit_ols drops only the rows incomplete in the
 // *selected* columns, while G is accumulated over rows complete in *all*
-// columns. The Gram solve therefore reproduces the QR fit (up to
+// columns (∩ y). The Gram solve therefore reproduces the QR fit (up to
 // round-off) exactly when the subset's complete-case row set equals the
 // panel row set — subset_matches_panel(), a cheap bitset comparison. When
 // it differs, or the Cholesky pivot/condition check fails (the normal
@@ -31,7 +46,7 @@
 
 namespace litmus::ts {
 
-/// Reusable scratch for GramPanel::solve_subset; keep one per thread and
+/// Reusable scratch for GramSystem::solve_subset; keep one per thread and
 /// the solve allocates nothing once capacities are warm.
 struct GramScratch {
   std::vector<double> g;    ///< packed k̃×k̃ sub-Gram / Cholesky factor
@@ -43,10 +58,10 @@ class GramPanel {
  public:
   GramPanel() = default;
 
-  /// Accumulates the Gram system over the complete-case rows of `design`
-  /// (and `y`). O(m·N²), once per window.
-  static GramPanel build(const Matrix& design, std::span<const double> y,
-                         bool with_intercept);
+  /// Accumulates the design-only Gram system over the complete-case rows
+  /// of `design` (rows observed in every column). O(m·N²), once per
+  /// design; the result is immutable and safe to share across threads.
+  static GramPanel build(const Matrix& design);
 
   /// Whether precomputing the panel pays for itself. The build costs
   /// ~m·N²/2 multiply-adds over ALL N columns, while each iteration it
@@ -54,7 +69,9 @@ class GramPanel {
   /// Dividing out m, the crossover is n_iterations·k² vs N²/2; below it
   /// (large control group, few iterations, or k clamped far below N by a
   /// short window) the precompute costs more than the QR loop it removes,
-  /// so callers should skip build() and fit with QR directly.
+  /// so callers should skip build() and fit with QR directly. (A panel
+  /// cache hit makes the build free, but the decision must not depend on
+  /// cache state or cached and uncached runs could diverge.)
   static bool worthwhile(std::size_t n_iterations, std::size_t k,
                          std::size_t n_cols) noexcept {
     return n_iterations * k * k >= n_cols * n_cols / 2;
@@ -64,11 +81,58 @@ class GramPanel {
   /// should then use fit_ols unconditionally.
   bool ok() const noexcept { return ok_; }
 
-  /// Rows complete in y and every design column.
+  /// Rows complete in every design column.
   std::size_t panel_rows() const noexcept { return n_rows_; }
+  std::size_t cols() const noexcept { return n_cols_; }
+  /// Rows of the design the panel was built from.
+  std::size_t design_rows() const noexcept { return m_; }
+
+  /// Heap bytes held (cache budget accounting).
+  std::size_t bytes() const noexcept;
+
+ private:
+  friend class GramSystem;
+
+  std::size_t n_cols_ = 0;  ///< design columns (controls)
+  std::size_t n_rows_ = 0;  ///< panel (complete-case) rows
+  std::size_t m_ = 0;       ///< design rows
+  std::size_t words_ = 0;   ///< bitset words per column (⌈m/64⌉)
+  bool ok_ = false;
+  /// Design-only augmented Gram, (N+1)×(N+1) row-major over the panel
+  /// rows; index 0 is the intercept column, index j+1 is design column j.
+  std::vector<double> g_;
+  /// Panel rows gathered contiguous: column-major n_rows_×n_cols_, the
+  /// complete-case rows of the design in ascending row order.
+  std::vector<double> packed_;
+  std::vector<std::uint32_t> rows_;  ///< panel row indices, ascending
+  /// Missing-row bitsets: column c occupies words [c·words_, (c+1)·words_),
+  /// plus the union over all columns (complement of the panel row set).
+  std::vector<std::uint64_t> col_missing_;
+  std::vector<std::uint64_t> x_missing_;
+};
+
+/// One response bound to a GramPanel: the per-study-element half of the
+/// normal equations. Cheap to build — O(m·N) — against a shared panel;
+/// falls back to an owned O(m·N²) re-accumulation only when y is missing
+/// on some panel rows. Holds a pointer to the panel: the panel must
+/// outlive the system.
+class GramSystem {
+ public:
+  GramSystem() = default;
+
+  /// Binds `y` (size == panel.design_rows()) to the panel. Returns false —
+  /// leaving ok() false — when the panel is not ok, sizes mismatch, or
+  /// fewer than 4 rows are complete in y and every column.
+  bool bind(const GramPanel& panel, std::span<const double> y,
+            bool with_intercept);
+
+  bool ok() const noexcept { return ok_; }
+
+  /// Rows complete in y and every design column.
+  std::size_t rows() const noexcept { return n_rows_; }
 
   /// True when restricting the design to `cols` keeps the complete-case
-  /// row set identical to the panel's — the condition under which
+  /// row set identical to this system's — the condition under which
   /// solve_subset is exact. O(k · m/64).
   bool subset_matches_panel(std::span<const std::size_t> cols) const noexcept;
 
@@ -81,21 +145,26 @@ class GramPanel {
                     LinearModel& out) const;
 
  private:
-  std::size_t n_cols_ = 0;   ///< design columns (controls)
-  std::size_t n_rows_ = 0;   ///< panel (complete-case) rows
-  bool with_intercept_ = true;
+  const GramPanel* panel_ = nullptr;
   bool ok_ = false;
-  /// Full augmented Gram matrix, (N+1)×(N+1) row-major; index 0 is the
-  /// intercept column, index j+1 is design column j.
-  std::vector<double> g_;
+  bool with_intercept_ = true;
+  std::size_t n_rows_ = 0;   ///< joint complete-case rows
   std::vector<double> xty_;  ///< augmented X̃ᵀy, size N+1
-  double yty_ = 0.0;         ///< Σ y² over panel rows
-  double sum_y_ = 0.0;       ///< Σ y over panel rows
-  /// Missing-row bitsets: per design column, and the union over y and all
-  /// columns (the complement of the panel row set).
-  std::vector<std::vector<std::uint64_t>> col_missing_;
+  double yty_ = 0.0;         ///< Σ y² over joint rows
+  double sum_y_ = 0.0;       ///< Σ y over joint rows
+  /// Rows where y is missing, and x_missing ∪ y_missing — the complement
+  /// of the joint row set. Both kept: subset_matches_panel needs y's own
+  /// bits (a row missing in y *and* in an unselected column is dropped by
+  /// the plain fit too, so such subsets still match).
   std::vector<std::uint64_t> y_missing_;
   std::vector<std::uint64_t> all_missing_;
+  /// Reduced G when y is missing on panel rows; empty when the shared
+  /// panel G applies verbatim.
+  std::vector<double> g_reduced_;
+
+  const double* gram() const noexcept {
+    return g_reduced_.empty() ? panel_->g_.data() : g_reduced_.data();
+  }
 };
 
 }  // namespace litmus::ts

@@ -14,20 +14,36 @@
 namespace litmus::ts {
 namespace {
 
+// Per-test metric handles, resolved once per process: the registry hands
+// out stable references, so the per-call path neither builds
+// "rank_test.<test>.<metric>" strings nor walks the registry map (both
+// showed up as hot-path heap churn — one test call per assessment, tens of
+// thousands per batch sweep).
+struct TestMetrics {
+  obs::Counter& calls;
+  obs::Histogram& z;
+  obs::Histogram& p_value;
+  obs::Counter& significant;
+
+  explicit TestMetrics(const char* test)
+      : calls(obs::Registry::global().counter(std::string("rank_test.") +
+                                              test + ".calls")),
+        z(obs::Registry::global().histogram(std::string("rank_test.") + test +
+                                            ".z")),
+        p_value(obs::Registry::global().histogram(std::string("rank_test.") +
+                                                  test + ".p_value")),
+        significant(obs::Registry::global().counter(
+            std::string("rank_test.") + test + ".significant")) {}
+};
+
 // Records one two-sample comparison into the metrics registry (z-score and
 // p-value distributions plus a per-test call counter).
-void observe_test(const char* test, const TestResult& r) {
-  if (!obs::enabled()) return;
-  auto& reg = obs::Registry::global();
-  reg.counter(std::string("rank_test.") + test + ".calls").add();
+void observe_test(const TestMetrics& m, const TestResult& r) {
+  m.calls.add();
   if (!is_missing(r.statistic) && std::isfinite(r.statistic))
-    reg.histogram(std::string("rank_test.") + test + ".z")
-        .record(r.statistic);
-  if (!is_missing(r.p_value))
-    reg.histogram(std::string("rank_test.") + test + ".p_value")
-        .record(r.p_value);
-  if (r.shift != Shift::kNone)
-    reg.counter(std::string("rank_test.") + test + ".significant").add();
+    m.z.record(r.statistic);
+  if (!is_missing(r.p_value)) m.p_value.record(r.p_value);
+  if (r.shift != Shift::kNone) m.significant.add();
 }
 
 std::vector<double> observed_of(std::span<const double> xs) {
@@ -88,8 +104,11 @@ TestResult wilcoxon_mann_whitney_impl(std::span<const double> xs,
   const double m = static_cast<double>(x.size());
   const double n = static_cast<double>(y.size());
   const double u = rank_sum_x - m * (m + 1.0) / 2.0;  // Mann-Whitney U for x
-  if (obs::enabled())
-    obs::Registry::global().histogram("rank_test.wmw.u_statistic").record(u);
+  if (obs::enabled()) {
+    static obs::Histogram& u_hist =
+        obs::Registry::global().histogram("rank_test.wmw.u_statistic");
+    u_hist.record(u);
+  }
   const double mu = m * n / 2.0;
   const double big_n = m + n;
   const double ties = tie_correction_sum(pooled);
@@ -177,14 +196,20 @@ TestResult robust_rank_order_impl(std::span<const double> xs,
 TestResult wilcoxon_mann_whitney(std::span<const double> xs,
                                  std::span<const double> ys, double alpha) {
   const TestResult r = wilcoxon_mann_whitney_impl(xs, ys, alpha);
-  observe_test("wmw", r);
+  if (obs::enabled()) {
+    static TestMetrics metrics("wmw");
+    observe_test(metrics, r);
+  }
   return r;
 }
 
 TestResult robust_rank_order(std::span<const double> xs,
                              std::span<const double> ys, double alpha) {
   const TestResult r = robust_rank_order_impl(xs, ys, alpha);
-  observe_test("fp", r);
+  if (obs::enabled()) {
+    static TestMetrics metrics("fp");
+    observe_test(metrics, r);
+  }
   return r;
 }
 

@@ -69,6 +69,25 @@ std::vector<double> TimeSeries::observed() const {
   return out;
 }
 
+void TimeSeries::copy_range_into(std::int64_t from_bin,
+                                 std::span<double> out) const noexcept {
+  const std::int64_t to_bin = from_bin + static_cast<std::int64_t>(out.size());
+  const std::int64_t lo = std::max(from_bin, start_bin_);
+  const std::int64_t hi = std::min(to_bin, end_bin());
+  if (lo >= hi) {
+    std::fill(out.begin(), out.end(), kMissing);
+    return;
+  }
+  const std::size_t head = static_cast<std::size_t>(lo - from_bin);
+  const std::size_t n = static_cast<std::size_t>(hi - lo);
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(head),
+            kMissing);
+  std::copy_n(values_.begin() + static_cast<std::ptrdiff_t>(lo - start_bin_),
+              n, out.begin() + static_cast<std::ptrdiff_t>(head));
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(head + n), out.end(),
+            kMissing);
+}
+
 TimeSeries TimeSeries::minus(const TimeSeries& other) const {
   const std::int64_t from = std::max(start_bin_, other.start_bin_);
   const std::int64_t to = std::min(end_bin(), other.end_bin());

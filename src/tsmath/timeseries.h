@@ -71,6 +71,13 @@ class TimeSeries {
   /// Non-missing values, in order, as a dense vector.
   std::vector<double> observed() const;
 
+  /// Copies the values of absolute bins [from_bin, from_bin + out.size())
+  /// into `out`: the overlap with this series is one contiguous memcpy,
+  /// bins outside the series are filled with kMissing. The columnar
+  /// counterpart of at_bin() for assembling design-matrix columns.
+  void copy_range_into(std::int64_t from_bin,
+                       std::span<double> out) const noexcept;
+
   /// Element-wise difference (this - other) over the overlapping bin range.
   /// Bins missing in either input are missing in the result.
   TimeSeries minus(const TimeSeries& other) const;

@@ -37,9 +37,15 @@ std::vector<double> make_response(const Matrix& x, std::uint64_t seed) {
 TEST(GramPanel, MatchesQrOnCompletePanel) {
   const Matrix x = random_design(120, 8, 42);
   const std::vector<double> y = make_response(x, 42);
-  const GramPanel gram = GramPanel::build(x, y, /*with_intercept=*/true);
-  ASSERT_TRUE(gram.ok());
-  EXPECT_EQ(gram.panel_rows(), 120u);
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  EXPECT_EQ(panel.panel_rows(), 120u);
+  EXPECT_EQ(panel.design_rows(), 120u);
+  EXPECT_EQ(panel.cols(), 8u);
+  EXPECT_GT(panel.bytes(), 0u);
+  GramSystem gram;
+  ASSERT_TRUE(gram.bind(panel, y, /*with_intercept=*/true));
+  EXPECT_EQ(gram.rows(), 120u);
 
   GramScratch scratch;
   const std::vector<std::vector<std::size_t>> subsets = {
@@ -63,8 +69,10 @@ TEST(GramPanel, MatchesQrOnCompletePanel) {
 TEST(GramPanel, MatchesQrWithoutIntercept) {
   const Matrix x = random_design(80, 5, 7);
   const std::vector<double> y = make_response(x, 7);
-  const GramPanel gram = GramPanel::build(x, y, /*with_intercept=*/false);
-  ASSERT_TRUE(gram.ok());
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  GramSystem gram;
+  ASSERT_TRUE(gram.bind(panel, y, /*with_intercept=*/false));
 
   GramScratch scratch;
   const std::vector<std::size_t> cols = {0, 2, 4};
@@ -88,9 +96,11 @@ TEST(GramPanel, SubsetMatchingTracksPerColumnMissingness) {
   // complete rows than the panel — the fast path must refuse those.
   x(10, 2) = kMissing;
   x(33, 2) = kMissing;
-  const GramPanel gram = GramPanel::build(x, y, true);
-  ASSERT_TRUE(gram.ok());
-  EXPECT_EQ(gram.panel_rows(), 62u);
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  EXPECT_EQ(panel.panel_rows(), 62u);
+  GramSystem gram;
+  ASSERT_TRUE(gram.bind(panel, y, true));
 
   const std::vector<std::size_t> with2 = {0, 2, 3};
   const std::vector<std::size_t> without2 = {0, 1, 3};
@@ -108,15 +118,20 @@ TEST(GramPanel, SubsetMatchingTracksPerColumnMissingness) {
     EXPECT_NEAR(fast.coefficients[i], slow.coefficients[i], 1e-9);
 }
 
-TEST(GramPanel, MissingResponseRowsJoinThePanelComplement) {
+TEST(GramPanel, MissingResponseRowsReduceTheBoundSystem) {
   Matrix x = random_design(50, 3, 11);
   std::vector<double> y = make_response(x, 11);
   y[5] = kMissing;
   y[49] = kMissing;
-  const GramPanel gram = GramPanel::build(x, y, true);
-  ASSERT_TRUE(gram.ok());
-  EXPECT_EQ(gram.panel_rows(), 48u);
-  // y-missing rows are excluded for every subset, so all subsets match.
+  // The design-only panel keeps all 50 rows (y is not its business)...
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  EXPECT_EQ(panel.panel_rows(), 50u);
+  // ...and the bound system drops the two y-missing rows, re-accumulating
+  // a reduced Gram so subsets still reproduce QR exactly.
+  GramSystem gram;
+  ASSERT_TRUE(gram.bind(panel, y, true));
+  EXPECT_EQ(gram.rows(), 48u);
   const std::vector<std::size_t> cols = {0, 1, 2};
   EXPECT_TRUE(gram.subset_matches_panel(cols));
   GramScratch scratch;
@@ -126,6 +141,29 @@ TEST(GramPanel, MissingResponseRowsJoinThePanelComplement) {
   ASSERT_TRUE(slow.ok);
   for (std::size_t i = 0; i < cols.size(); ++i)
     EXPECT_NEAR(fast.coefficients[i], slow.coefficients[i], 1e-9);
+}
+
+TEST(GramPanel, OnePanelServesManyResponses) {
+  // The sharing shape the panel cache exploits: bind E responses to one
+  // design-only panel and check each against its own QR fit.
+  const Matrix x = random_design(90, 6, 21);
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  GramScratch scratch;
+  const std::vector<std::size_t> cols = {0, 1, 3, 5};
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    const std::vector<double> y = make_response(x, 100 + e);
+    GramSystem gram;
+    ASSERT_TRUE(gram.bind(panel, y, true));
+    ASSERT_TRUE(gram.subset_matches_panel(cols));
+    LinearModel fast;
+    ASSERT_TRUE(gram.solve_subset(cols, scratch, fast));
+    const LinearModel slow = fit_ols(x.select_columns(cols), y);
+    ASSERT_TRUE(slow.ok);
+    EXPECT_NEAR(fast.intercept, slow.intercept, 1e-9);
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      EXPECT_NEAR(fast.coefficients[i], slow.coefficients[i], 1e-9);
+  }
 }
 
 TEST(GramPanel, RefusesSingularSubsets) {
@@ -140,8 +178,10 @@ TEST(GramPanel, RefusesSingularSubsets) {
   }
   std::vector<double> y(40);
   for (std::size_t r = 0; r < 40; ++r) y[r] = 2.0 * x(r, 0) + rng.normal();
-  const GramPanel gram = GramPanel::build(x, y, true);
-  ASSERT_TRUE(gram.ok());
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  GramSystem gram;
+  ASSERT_TRUE(gram.bind(panel, y, true));
   GramScratch scratch;
   LinearModel out;
   const std::vector<std::size_t> both = {0, 1};
@@ -156,22 +196,44 @@ TEST(GramPanel, RefusesSingularSubsets) {
 
 TEST(GramPanel, NotOkWhenTooFewCompleteRows) {
   Matrix x(6, 2);
-  std::vector<double> y(6, 1.0);
   for (std::size_t r = 0; r < 6; ++r) {
     x(r, 0) = static_cast<double>(r);
     x(r, 1) = r < 3 ? kMissing : 1.0;
   }
-  y[3] = kMissing;
-  y[4] = kMissing;
-  const GramPanel gram = GramPanel::build(x, y, true);
+  const GramPanel panel = GramPanel::build(x);
+  EXPECT_FALSE(panel.ok());
+  // Binding to a bad panel fails too.
+  GramSystem gram;
+  EXPECT_FALSE(gram.bind(panel, std::vector<double>(6, 1.0), true));
   EXPECT_FALSE(gram.ok());
+}
+
+TEST(GramPanel, BindFailsWhenYLeavesTooFewJointRows) {
+  Matrix x = random_design(8, 2, 13);
+  std::vector<double> y(8, 1.0);
+  for (std::size_t r = 0; r < 6; ++r) y[r] = kMissing;
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  GramSystem gram;
+  EXPECT_FALSE(gram.bind(panel, y, true));
+  EXPECT_FALSE(gram.ok());
+}
+
+TEST(GramPanel, BindRejectsSizeMismatch) {
+  const Matrix x = random_design(20, 2, 17);
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  GramSystem gram;
+  EXPECT_FALSE(gram.bind(panel, std::vector<double>(19, 1.0), true));
 }
 
 TEST(GramPanel, SolveRejectsOversizedSubsets) {
   const Matrix x = random_design(8, 6, 9);
   const std::vector<double> y = make_response(x, 9);
-  const GramPanel gram = GramPanel::build(x, y, true);
-  ASSERT_TRUE(gram.ok());
+  const GramPanel panel = GramPanel::build(x);
+  ASSERT_TRUE(panel.ok());
+  GramSystem gram;
+  ASSERT_TRUE(gram.bind(panel, y, true));
   // 8 rows cannot support 6 coefficients + intercept with 1 dof to spare.
   GramScratch scratch;
   LinearModel out;

@@ -1,0 +1,148 @@
+// Property test for the ranking kernels: midranks/placements/
+// tie_correction_sum are compared against brute-force O(n²)/O(m·n)
+// reference implementations over randomized inputs with heavy ties and
+// missing values. The production kernels are sort-based (O(n log n)); the
+// references below follow the definitions literally, so agreement across
+// many random draws pins the optimized code to the definitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tsmath/ranks.h"
+#include "tsmath/random.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::ts {
+namespace {
+
+// Draws a vector whose values cluster on a small grid (many exact ties)
+// with a sprinkling of missing entries.
+std::vector<double> rough_sample(Rng& rng, std::size_t n, double missing_p) {
+  std::vector<double> out(n);
+  for (auto& v : out) {
+    if (rng.uniform(0.0, 1.0) < missing_p) {
+      v = kMissing;
+      continue;
+    }
+    // Grid step 0.5 over [-3, 3] => ~13 distinct values, dense ties.
+    v = std::round(rng.normal() * 2.0) / 2.0;
+  }
+  return out;
+}
+
+// Literal definition: rank of x_i among the observed values (1-based),
+// ties averaged; missing stays missing.
+std::vector<double> brute_midranks(const std::vector<double>& xs) {
+  std::vector<double> out(xs.size(), kMissing);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (is_missing(xs[i])) continue;
+    double below = 0, equal = 0;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (is_missing(xs[j])) continue;
+      if (xs[j] < xs[i]) ++below;
+      if (xs[j] == xs[i]) ++equal;  // includes j == i
+    }
+    out[i] = below + (equal + 1.0) / 2.0;
+  }
+  return out;
+}
+
+// Literal definition: out[i] = #{ys < x_i} + 0.5 #{ys == x_i}.
+std::vector<double> brute_placements(const std::vector<double>& xs,
+                                     const std::vector<double>& ys) {
+  std::vector<double> out(xs.size(), kMissing);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (is_missing(xs[i])) continue;
+    double below = 0, equal = 0;
+    for (const double y : ys) {
+      if (is_missing(y)) continue;
+      if (y < xs[i]) ++below;
+      if (y == xs[i]) ++equal;
+    }
+    out[i] = below + 0.5 * equal;
+  }
+  return out;
+}
+
+// Literal definition: Σ (t³ - t) over groups of equal observed values.
+double brute_tie_correction(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (is_missing(xs[i])) continue;
+    // Count the group only at its first occurrence.
+    bool first = true;
+    for (std::size_t j = 0; j < i; ++j)
+      if (!is_missing(xs[j]) && xs[j] == xs[i]) first = false;
+    if (!first) continue;
+    double t = 0;
+    for (const double x : xs)
+      if (!is_missing(x) && x == xs[i]) ++t;
+    sum += t * t * t - t;
+  }
+  return sum;
+}
+
+void expect_same(const std::vector<double>& got,
+                 const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (is_missing(want[i])) {
+      EXPECT_TRUE(is_missing(got[i])) << "index " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(got[i], want[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(RanksProperty, MidranksMatchBruteForce) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 80);
+    const double missing_p = trial % 3 == 0 ? 0.2 : 0.0;
+    const auto xs = rough_sample(rng, n, missing_p);
+    expect_same(midranks(xs), brute_midranks(xs));
+  }
+}
+
+TEST(RanksProperty, PlacementsMatchBruteForce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 60);
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 60);
+    const double missing_p = trial % 4 == 0 ? 0.25 : 0.0;
+    const auto xs = rough_sample(rng, m, missing_p);
+    const auto ys = rough_sample(rng, n, missing_p);
+    expect_same(placements(xs, ys), brute_placements(xs, ys));
+    expect_same(placements(ys, xs), brute_placements(ys, xs));
+  }
+}
+
+TEST(RanksProperty, TieCorrectionMatchesBruteForce) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 100);
+    const double missing_p = trial % 3 == 1 ? 0.3 : 0.0;
+    const auto xs = rough_sample(rng, n, missing_p);
+    EXPECT_DOUBLE_EQ(tie_correction_sum(xs), brute_tie_correction(xs));
+  }
+}
+
+TEST(RanksProperty, EdgeCases) {
+  // All-missing, all-equal, single element.
+  const std::vector<double> all_missing(5, kMissing);
+  expect_same(midranks(all_missing), brute_midranks(all_missing));
+  EXPECT_DOUBLE_EQ(tie_correction_sum(all_missing), 0.0);
+
+  const std::vector<double> all_equal(7, 1.25);
+  expect_same(midranks(all_equal), brute_midranks(all_equal));
+  EXPECT_DOUBLE_EQ(tie_correction_sum(all_equal),
+                   brute_tie_correction(all_equal));
+
+  const std::vector<double> one = {3.0};
+  expect_same(midranks(one), brute_midranks(one));
+  expect_same(placements(one, all_equal), brute_placements(one, all_equal));
+}
+
+}  // namespace
+}  // namespace litmus::ts

@@ -174,5 +174,32 @@ TEST(TimeSeries, IsMissingDetectsOnlyNan) {
   EXPECT_FALSE(is_missing(std::numeric_limits<double>::infinity()));
 }
 
+TEST(TimeSeries, CopyRangeIntoMatchesAtBinEverywhere) {
+  const TimeSeries s(10, {1.0, 2.0, kMissing, 4.0, 5.0});
+  // Sweep windows that fall before, straddle, inside, and after the
+  // series; every output bin must equal at_bin().
+  for (std::int64_t from = 2; from <= 18; ++from) {
+    for (std::size_t n : {0u, 1u, 3u, 8u}) {
+      std::vector<double> out(n, -99.0);
+      s.copy_range_into(from, out);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double want = s.at_bin(from + static_cast<std::int64_t>(i));
+        if (is_missing(want)) {
+          EXPECT_TRUE(is_missing(out[i])) << "from=" << from << " i=" << i;
+        } else {
+          EXPECT_EQ(out[i], want) << "from=" << from << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(TimeSeries, CopyRangeIntoEmptySeriesFillsMissing) {
+  const TimeSeries s;
+  std::vector<double> out(4, 0.0);
+  s.copy_range_into(-2, out);
+  for (double v : out) EXPECT_TRUE(is_missing(v));
+}
+
 }  // namespace
 }  // namespace litmus::ts

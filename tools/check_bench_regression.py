@@ -1,18 +1,24 @@
 #!/usr/bin/env python3
-"""Guard against perf regressions in the single-assessment benchmark.
+"""Guard against perf regressions in the calibrated benchmark pair.
 
-Compares a fresh google-benchmark JSON export (BENCH_perf.json) against the
-committed baseline. Raw nanoseconds are not comparable across machines, so
-the check is *calibrated*: both runs are normalized by a CPU-bound primitive
-(the OLS fit) measured in the same process, and only the ratio
+Compares a fresh google-benchmark JSON export (BENCH_perf.json or
+BENCH_kernels.json) against the committed baseline. Raw nanoseconds are not
+comparable across machines, so the check is *calibrated*: both runs are
+normalized by a CPU-bound primitive measured in the same process, and only
+the ratio
 
-    assess_time / calibration_time
+    key_time / calibration_time
 
 is compared. The build fails when the current ratio exceeds the baseline
 ratio by more than the tolerance (default 25%).
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.25]
+        [--key BM_LitmusAssess_Controls/16] [--calibration BM_OlsFit/16]
+
+--key/--calibration select which benchmark pair to gate, so the same script
+guards BENCH_perf.json (default pair) and BENCH_kernels.json (e.g.
+--key BM_MultiElementSweep/1 --calibration BM_GramBuildCold/64).
 
 Exit status: 0 OK, 1 regression, 2 malformed input.
 """
@@ -22,10 +28,10 @@ import json
 import sys
 
 # The guarded benchmark: one assessment at the default production shape.
-KEY_BENCHMARK = "BM_LitmusAssess_Controls/16"
+DEFAULT_KEY = "BM_LitmusAssess_Controls/16"
 # Calibration primitive: scales with raw CPU speed, not with the algorithmic
 # changes this check is meant to catch.
-CALIBRATION_BENCHMARK = "BM_OlsFit/16"
+DEFAULT_CALIBRATION = "BM_OlsFit/16"
 
 
 def load_doc(path):
@@ -51,6 +57,43 @@ def load_times(doc):
 
 # Manifest fields whose mismatch makes a perf comparison apples-to-oranges.
 MANIFEST_FIELDS = ("version", "build_flags", "threads", "seed", "rng_scheme")
+
+
+def debug_markers(doc):
+    """Returns the reasons a run looks like an unoptimized build.
+
+    The authoritative signal is our manifest's build_flags, which carries
+    opt=on/off from __OPTIMIZE__ — the compiler's view of the code actually
+    being timed. google-benchmark's context.library_build_type only
+    describes how the benchmark *library* was built (a preinstalled debug
+    library under a Release build of ours is common), so it is consulted
+    only when the manifest predates the opt marker.
+    """
+    flags = (doc.get("manifest") or {}).get("build_flags", "")
+    if "opt=off" in flags:
+        return [f"manifest build_flags={flags!r}"]
+    if "opt=on" in flags:
+        return []
+    if (doc.get("context") or {}).get("library_build_type") == "debug":
+        return ["benchmark library_build_type=debug "
+                "(no opt marker in manifest)"]
+    return []
+
+
+def warn_on_debug_build(base_doc, cur_doc):
+    for side, doc in (("baseline", base_doc), ("current", cur_doc)):
+        reasons = debug_markers(doc)
+        if reasons:
+            print("*" * 72, file=sys.stderr)
+            print(f"* WARNING: the {side} run was produced by a DEBUG build",
+                  file=sys.stderr)
+            for r in reasons:
+                print(f"*   {r}", file=sys.stderr)
+            print("* Debug timings are meaningless for perf tracking —",
+                  file=sys.stderr)
+            print("* re-record with -DCMAKE_BUILD_TYPE=Release.",
+                  file=sys.stderr)
+            print("*" * 72, file=sys.stderr)
 
 
 def warn_on_manifest_mismatch(base_doc, cur_doc):
@@ -91,26 +134,32 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed relative slowdown (default 0.25 = 25%%)")
+    ap.add_argument("--key", default=DEFAULT_KEY,
+                    help=f"benchmark to gate (default {DEFAULT_KEY})")
+    ap.add_argument("--calibration", default=DEFAULT_CALIBRATION,
+                    help="CPU-speed normalizer benchmark "
+                         f"(default {DEFAULT_CALIBRATION})")
     args = ap.parse_args()
 
     base_doc = load_doc(args.baseline)
     cur_doc = load_doc(args.current)
+    warn_on_debug_build(base_doc, cur_doc)
     warn_on_manifest_mismatch(base_doc, cur_doc)
     base = load_times(base_doc)
     cur = load_times(cur_doc)
 
-    base_ratio = (pick(base, KEY_BENCHMARK, args.baseline) /
-                  pick(base, CALIBRATION_BENCHMARK, args.baseline))
-    cur_ratio = (pick(cur, KEY_BENCHMARK, args.current) /
-                 pick(cur, CALIBRATION_BENCHMARK, args.current))
+    base_ratio = (pick(base, args.key, args.baseline) /
+                  pick(base, args.calibration, args.baseline))
+    cur_ratio = (pick(cur, args.key, args.current) /
+                 pick(cur, args.calibration, args.current))
 
     change = cur_ratio / base_ratio - 1.0
-    print(f"{KEY_BENCHMARK} (normalized by {CALIBRATION_BENCHMARK}):")
+    print(f"{args.key} (normalized by {args.calibration}):")
     print(f"  baseline ratio {base_ratio:.3f}  current ratio {cur_ratio:.3f}"
           f"  change {change:+.1%}  tolerance +{args.tolerance:.0%}")
 
     if change > args.tolerance:
-        print("FAIL: single-assessment benchmark regressed beyond tolerance",
+        print("FAIL: key benchmark regressed beyond tolerance",
               file=sys.stderr)
         sys.exit(1)
     print("OK")
