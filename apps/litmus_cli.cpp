@@ -12,6 +12,7 @@
 //                     [--select region|msc|zip]     or predicate selection
 //                     [--before-days 14] [--after-days 14] [--seed N]
 //                     [--explain]                   per-verdict audit trail
+//                     [--snapshot-cache DIR]        binary ingest cache
 //                     [--metrics-json FILE] [--trace-json FILE]
 //                     [--events-jsonl FILE]
 //       prints the per-element verdicts, the vote, and the baselines'
@@ -25,6 +26,7 @@
 //       compares two persisted runs (manifest, verdict set, metrics) and
 //       exits 0 when equivalent, 3 on drift.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -38,6 +40,7 @@
 #include "cellnet/builder.h"
 #include "io/changes.h"
 #include "io/csv.h"
+#include "io/ingest.h"
 #include "io/store.h"
 #include "litmus/batch.h"
 #include "litmus/did.h"
@@ -69,13 +72,15 @@ int usage() {
                "              [--before-days N] [--after-days N] [--seed N] "
                "[--explain]\n"
                "              [--threads N] [--panel-cache-mb N] "
-               "[--metrics-json FILE] [--trace-json FILE]\n"
-               "              [--events-jsonl FILE]\n"
+               "[--snapshot-cache DIR]\n"
+               "              [--metrics-json FILE] [--trace-json FILE] "
+               "[--events-jsonl FILE]\n"
                "  litmus_cli batch --topology FILE --series FILE --changes "
                "FILE\n"
-               "              [--threads N] [--panel-cache-mb N] [--seed N] "
-               "[--metrics-json FILE] [--trace-json FILE]\n"
-               "              [--events-jsonl FILE]\n"
+               "              [--threads N] [--panel-cache-mb N] "
+               "[--snapshot-cache DIR] [--seed N]\n"
+               "              [--metrics-json FILE] [--trace-json FILE] "
+               "[--events-jsonl FILE]\n"
                "  litmus_cli diff-runs A_DIR B_DIR [--max-flips N]\n"
                "              [--metric-tolerance F] [--wall-tolerance F] "
                "[--ignore-manifest]\n"
@@ -86,6 +91,10 @@ int usage() {
                "--panel-cache-mb N (or LITMUS_PANEL_CACHE_MB): byte budget\n"
                "of the shared Gram-panel cache (default 64; 0 disables);\n"
                "results are identical at any setting.\n"
+               "--snapshot-cache DIR (or LITMUS_SNAPSHOT_CACHE): binary\n"
+               "series-ingest cache keyed by the CSV's fingerprint; repeated\n"
+               "runs over an unchanged export skip parsing entirely and are\n"
+               "bit-identical to a parsed run.\n"
                "--events-jsonl FILE: structured JSONL event stream; also\n"
                "writes run_manifest.json + metrics.json into FILE's\n"
                "directory, the layout diff-runs consumes.\n"
@@ -135,6 +144,16 @@ class ObsSession {
   /// Fingerprints an input file into the manifest (call for every CSV the
   /// command loads, before start()).
   void add_input(const std::string& path) { manifest_.add_input(path); }
+  /// Records an input whose fingerprint the ingest layer already computed.
+  void add_input(const std::string& path, std::uint64_t bytes,
+                 std::uint64_t hash) {
+    manifest_.add_input(path, bytes, hash);
+  }
+  /// Adds a resolved-config note (e.g. parsed-vs-snapshot per input);
+  /// "ingest."-prefixed keys are informational in diff-runs.
+  void note(std::string key, std::string value) {
+    manifest_.add_config(std::move(key), std::move(value));
+  }
   void set_seed(std::uint64_t seed) { manifest_.seed = seed; }
 
   /// Freezes the manifest, persists it, and opens the event stream; call
@@ -236,6 +255,35 @@ void apply_panel_cache_flag(const std::map<std::string, std::string>& args) {
       static_cast<std::size_t>(*v) << 20);
 }
 
+// --snapshot-cache DIR (else LITMUS_SNAPSHOT_CACHE) enables the binary
+// series-ingest cache (DESIGN.md §11); loaded results are bit-identical
+// to parsing, so the setting never gates diff-runs.
+std::string resolve_snapshot_dir(
+    const std::map<std::string, std::string>& args) {
+  if (const auto it = args.find("snapshot-cache"); it != args.end())
+    return it->second;
+  if (const char* env = std::getenv("LITMUS_SNAPSHOT_CACHE")) return env;
+  return "";
+}
+
+// Loads the series CSV through the high-throughput ingest layer and
+// registers provenance: the source CSV's fingerprint (identical whether
+// the bytes were parsed or snapshot-loaded) plus a parsed-vs-snapshot
+// note per input.
+io::IngestReport load_series_input(const std::string& path,
+                                   io::SeriesStore& store,
+                                   const std::map<std::string, std::string>&
+                                       args,
+                                   ObsSession& session) {
+  io::IngestOptions opts;
+  opts.snapshot_dir = resolve_snapshot_dir(args);
+  const io::IngestReport rep = io::ingest_series_file(path, store, opts);
+  session.add_input(path, rep.bytes, rep.fingerprint);
+  session.note("ingest.series",
+               rep.from_snapshot ? "snapshot" : "csv");
+  return rep;
+}
+
 std::vector<net::ElementId> parse_ids(const std::string& csv) {
   std::vector<net::ElementId> out;
   std::stringstream ss(csv);
@@ -249,6 +297,8 @@ std::vector<net::ElementId> parse_ids(const std::string& csv) {
 }
 
 int export_demo(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
   net::Topology topo =
       net::build_small_region(net::Region::kNortheast, 20130209, 5, 6);
   const auto rncs = topo.of_kind(net::ElementKind::kRnc);
@@ -314,16 +364,23 @@ int assess(const std::map<std::string, std::string>& args) {
 
   apply_threads_flag(args);  // validate before the expensive loads
   apply_panel_cache_flag(args);
+
+  // The session opens before the loads so the ingest layer's counters and
+  // throughput gauges land in --metrics-json.
+  ObsSession obs_session("assess", args);
+
   std::ifstream topo_in(need("topology"));
   if (!topo_in) throw std::runtime_error("cannot open topology file");
   const net::Topology topo = io::load_topology_csv(topo_in);
+  obs_session.add_input(need("topology"));
 
-  std::ifstream series_in(need("series"));
-  if (!series_in) throw std::runtime_error("cannot open series file");
   io::SeriesStore store;
-  const std::size_t points = io::load_series_csv(series_in, store);
-  std::printf("loaded %zu elements, %zu series (%zu points)\n", topo.size(),
-              store.size(), points);
+  const io::IngestReport ing =
+      load_series_input(need("series"), store, args, obs_session);
+  std::printf("loaded %zu elements, %zu series (%llu rows, %s)\n",
+              topo.size(), store.size(),
+              static_cast<unsigned long long>(ing.rows),
+              ing.from_snapshot ? "snapshot" : "csv");
 
   const std::vector<net::ElementId> study = parse_ids(need("study"));
   const auto kpi_id = kpi::parse_kpi(need("kpi"));
@@ -343,10 +400,7 @@ int assess(const std::map<std::string, std::string>& args) {
   }
   core::Assessor assessor(topo, store.provider(), cfg);
 
-  ObsSession obs_session("assess", args);
   obs_session.set_seed(cfg.regression.seed);
-  obs_session.add_input(need("topology"));
-  obs_session.add_input(need("series"));
   obs_session.start();
   core::ChangeAssessment a;
   if (const auto it = args.find("controls"); it != args.end()) {
@@ -395,19 +449,21 @@ int batch(const std::map<std::string, std::string>& args) {
   apply_threads_flag(args);  // validate before the expensive loads
   apply_panel_cache_flag(args);
 
+  ObsSession obs_session("batch", args);
+
   std::ifstream topo_in(need("topology"));
   if (!topo_in) throw std::runtime_error("cannot open topology file");
   const net::Topology topo = io::load_topology_csv(topo_in);
+  obs_session.add_input(need("topology"));
 
-  std::ifstream series_in(need("series"));
-  if (!series_in) throw std::runtime_error("cannot open series file");
   io::SeriesStore store;
-  io::load_series_csv(series_in, store);
+  load_series_input(need("series"), store, args, obs_session);
 
   std::ifstream changes_in(need("changes"));
   if (!changes_in) throw std::runtime_error("cannot open changes file");
   chg::ChangeLog log;
   const std::size_t n = io::load_changes_csv(changes_in, log);
+  obs_session.add_input(need("changes"));
   std::printf("loaded %zu change record(s)\n", n);
 
   core::BatchConfig config;
@@ -417,11 +473,7 @@ int batch(const std::map<std::string, std::string>& args) {
     config.assessment.regression.seed = static_cast<std::uint64_t>(*v);
   }
 
-  ObsSession obs_session("batch", args);
   obs_session.set_seed(config.assessment.regression.seed);
-  obs_session.add_input(need("topology"));
-  obs_session.add_input(need("series"));
-  obs_session.add_input(need("changes"));
   obs_session.start();
   const core::BatchReport report =
       core::assess_change_log(log, topo, store.provider(), config);
@@ -513,8 +565,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "assess" || cmd == "batch") {
       static const std::set<std::string> kSharedFlags = {
-          "metrics-json", "trace-json",   "threads",
-          "seed",         "events-jsonl", "panel-cache-mb"};
+          "metrics-json",   "trace-json",     "threads",
+          "seed",           "events-jsonl",   "panel-cache-mb",
+          "snapshot-cache"};
       std::set<std::string> valued = kSharedFlags;
       std::set<std::string> boolean;
       if (cmd == "assess") {

@@ -1,0 +1,110 @@
+// Versioned binary columnar snapshot of a SeriesStore (".litmus-snap").
+//
+// Purpose: repeated runs over an unchanged telemetry export should not pay
+// for CSV parsing at all. The snapshot stores each series as its raw
+// double column (bit patterns preserved, NaN missing values included), so
+// loading is a validate + memcpy pass that reproduces the parsed
+// SeriesStore bit-identically.
+//
+// Format (all fixed-width little-endian fields, no struct padding):
+//
+//   header  (64 bytes)
+//     magic            8 bytes  "LITSNAP1"
+//     version          u32      kSnapshotVersion
+//     endian_tag       u32      0x01020304 as written by the producer
+//     fingerprint      u64      FNV-1a 64 of the *source CSV* bytes
+//     source_bytes     u64      size of the source CSV
+//     source_mtime_ns  u64      source mtime (ns since epoch; 0 = unknown)
+//     n_series         u64
+//     payload_bytes    u64      total size of the records that follow
+//   payload: n_series records, each
+//     element          u32
+//     kpi              u32      kpi::KpiId numeric value
+//     start_bin        i64
+//     bin_minutes      i32
+//     reserved         u32      0
+//     n_values         u64
+//     values           n_values * f64 (raw bit patterns)
+//   trailer
+//     payload_fnv      u64      FNV-1a 64 of the payload bytes
+//
+// Invalidation rules: a snapshot loads only when magic, version, endian
+// tag, source fingerprint, source byte count, payload size, and payload
+// checksum all match; any mismatch (source edited, codec bumped, foreign
+// endianness, truncation, corruption) reports "stale" and the caller
+// falls back to parsing the CSV. Writes go through obs::open_output_file,
+// so an existing snapshot rotates to ".old" instead of being clobbered
+// mid-read by a concurrent consumer.
+//
+// The recorded (source_bytes, source_mtime_ns) pair lets a warm probe
+// skip re-hashing an unchanged multi-GiB source: when the source's stat
+// still matches, the recorded fingerprint is trusted (the same freshness
+// rule `make` uses); when it doesn't — or LITMUS_SNAPSHOT_VERIFY=1 asks
+// for belt and braces — the caller re-hashes the source and the
+// fingerprint comparison above decides. The payload checksum is verified
+// on every load regardless.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "io/store.h"
+
+namespace litmus::io {
+
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::string_view kSnapshotMagic = "LITSNAP1";
+inline constexpr std::string_view kSnapshotSuffix = ".litmus-snap";
+
+/// Writes the whole store as a snapshot keyed to the given source CSV
+/// identity. `source_mtime_ns` may be 0 when the mtime is unknown — the
+/// snapshot then never qualifies for the stat-trust shortcut and every
+/// probe re-hashes the source. Throws std::runtime_error on I/O failure.
+void save_series_snapshot(const std::string& path, const SeriesStore& store,
+                          std::uint64_t source_fingerprint,
+                          std::uint64_t source_bytes,
+                          std::uint64_t source_mtime_ns);
+
+/// Source identity recorded in a snapshot header.
+struct SnapshotMeta {
+  std::uint64_t fingerprint = 0;      ///< FNV-1a 64 of the source bytes
+  std::uint64_t source_bytes = 0;
+  std::uint64_t source_mtime_ns = 0;  ///< 0 = unknown at write time
+};
+
+/// Reads just the header of a snapshot. Returns nullopt when the file is
+/// missing, unreadable, or not a current-version snapshot for this
+/// byte order (callers then treat the snapshot as absent/stale).
+std::optional<SnapshotMeta> read_snapshot_meta(const std::string& path);
+
+/// Best-effort in-place update of the recorded source mtime. Called after
+/// a snapshot hit that had to fall back to the full content check because
+/// the source was touched without changing: refreshing the header lets
+/// the next probe take the stat-trust shortcut again. The header is not
+/// covered by the payload checksum, so the patch is safe in place.
+void refresh_snapshot_mtime(const std::string& path,
+                            std::uint64_t source_mtime_ns) noexcept;
+
+enum class SnapshotLoad {
+  kLoaded,   ///< store now holds the snapshot's series
+  kMissing,  ///< no snapshot file at `path`
+  kStale,    ///< exists but fails validation; caller should re-parse
+};
+
+/// Validates and loads a snapshot into `store`. On kStale/kMissing the
+/// store is left untouched; `why`, when non-null, receives a one-line
+/// reason for a stale result.
+SnapshotLoad load_series_snapshot(const std::string& path, SeriesStore& store,
+                                  std::uint64_t expected_fingerprint,
+                                  std::uint64_t expected_bytes,
+                                  std::string* why = nullptr);
+
+/// Cache-file path for a source with this key:
+/// "<dir>/<16-hex-digits>.litmus-snap". ingest_series_file keys by the
+/// FNV-1a hash of the source *path*, so each source owns one stable cache
+/// file (probed without touching the source bytes, rewritten in place —
+/// with rotation — when the source changes).
+std::string snapshot_cache_path(const std::string& dir, std::uint64_t key);
+
+}  // namespace litmus::io

@@ -1,11 +1,12 @@
 #include "io/store.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "io/csv.h"
+#include "io/series_accum.h"
 
 namespace litmus::io {
 namespace {
@@ -35,8 +36,17 @@ std::optional<net::Region> parse_region(const std::string& s) {
 
 std::string format_value(double v) {
   if (std::isnan(v)) return "nan";
+  // Shortest representation that re-parses to the same bits: 10
+  // significant digits when they round-trip (keeps files readable),
+  // otherwise the 17 digits a double always survives. save -> load is
+  // therefore bit-exact, which the snapshot cache and the ingest
+  // round-trip tests rely on.
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.10g", v);
+  const auto back = parse_double(buf);
+  if (!back || std::bit_cast<std::uint64_t>(*back) !=
+                   std::bit_cast<std::uint64_t>(v))
+    std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
 
@@ -45,6 +55,12 @@ std::string format_value(double v) {
 void SeriesStore::put(net::ElementId element, kpi::KpiId kpi,
                       ts::TimeSeries series) {
   series_.insert_or_assign({element.value, kpi}, std::move(series));
+}
+
+void SeriesStore::absorb(SeriesStore&& other) {
+  for (auto& [key, series] : other.series_)
+    series_.insert_or_assign(key, std::move(series));
+  other.series_.clear();
 }
 
 bool SeriesStore::contains(net::ElementId element, kpi::KpiId kpi) const {
@@ -75,12 +91,9 @@ core::SeriesProvider SeriesStore::provider() const {
 
 std::size_t load_series_csv(std::istream& in, SeriesStore& store) {
   // Accumulate points per (element, kpi), then assemble dense series.
-  struct Points {
-    std::int64_t min_bin = 0;
-    std::int64_t max_bin = 0;
-    std::vector<std::pair<std::int64_t, double>> values;
-  };
-  std::map<std::pair<std::uint32_t, kpi::KpiId>, Points> acc;
+  // SeriesAccum is shared with the mmap-parallel fast path (io/ingest.h),
+  // so both loaders build bit-identical stores by construction.
+  detail::SeriesAccum acc;
 
   std::size_t count = 0;
   CsvReader reader(in, "series csv");
@@ -95,23 +108,11 @@ std::size_t load_series_csv(std::istream& in, SeriesStore& store) {
     if (!bin) reader.fail("bad bin '" + (*row)[2] + "'");
     const double value = parse_double_or_missing((*row)[3]);
 
-    auto& p = acc[{static_cast<std::uint32_t>(*element), *kpi}];
-    if (p.values.empty()) {
-      p.min_bin = p.max_bin = *bin;
-    } else {
-      p.min_bin = std::min(p.min_bin, *bin);
-      p.max_bin = std::max(p.max_bin, *bin);
-    }
-    p.values.emplace_back(*bin, value);
+    acc.add(static_cast<std::uint32_t>(*element), *kpi, *bin, value);
     ++count;
   }
 
-  for (auto& [key, p] : acc) {
-    ts::TimeSeries s(p.min_bin,
-                     static_cast<std::size_t>(p.max_bin - p.min_bin + 1), 60);
-    for (const auto& [bin, value] : p.values) s.set_bin(bin, value);
-    store.put(net::ElementId{key.first}, key.second, std::move(s));
-  }
+  std::move(acc).build_into(store);
   return count;
 }
 

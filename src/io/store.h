@@ -30,11 +30,24 @@ namespace litmus::io {
 
 class SeriesStore {
  public:
+  /// Sorted-map key: (element id value, KPI). Sorted iteration makes every
+  /// serialization of a store (CSV, snapshot) byte-deterministic.
+  using Key = std::pair<std::uint32_t, kpi::KpiId>;
+
   /// Inserts/overwrites the series for (element, kpi).
   void put(net::ElementId element, kpi::KpiId kpi, ts::TimeSeries series);
 
+  /// Moves every series of `other` into this store (insert-or-assign).
+  void absorb(SeriesStore&& other);
+
   bool contains(net::ElementId element, kpi::KpiId kpi) const;
   std::size_t size() const noexcept { return series_.size(); }
+
+  /// Key-sorted read access to every stored series (snapshot writer,
+  /// store equality in tests).
+  const std::map<Key, ts::TimeSeries>& entries() const noexcept {
+    return series_;
+  }
 
   /// The stored series; throws std::out_of_range when absent.
   const ts::TimeSeries& get(net::ElementId element, kpi::KpiId kpi) const;
@@ -45,7 +58,7 @@ class SeriesStore {
   core::SeriesProvider provider() const;
 
  private:
-  std::map<std::pair<std::uint32_t, kpi::KpiId>, ts::TimeSeries> series_;
+  std::map<Key, ts::TimeSeries> series_;
 };
 
 /// Series CSV round-trip. Loading returns the number of data points read

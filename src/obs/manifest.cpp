@@ -22,18 +22,26 @@ std::string hex64(std::uint64_t v) {
 
 }  // namespace
 
+std::uint64_t fnv1a64(const void* data, std::size_t len,
+                      std::uint64_t seed) noexcept {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t hash = seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= p[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
 std::uint64_t fnv1a64(std::istream& in, std::uint64_t* bytes) {
   constexpr std::uint64_t kOffset = 14695981039346656037ull;
-  constexpr std::uint64_t kPrime = 1099511628211ull;
   std::uint64_t hash = kOffset;
   std::uint64_t total = 0;
   char chunk[65536];
   while (in.read(chunk, sizeof chunk) || in.gcount() > 0) {
     const std::streamsize got = in.gcount();
-    for (std::streamsize i = 0; i < got; ++i) {
-      hash ^= static_cast<unsigned char>(chunk[i]);
-      hash *= kPrime;
-    }
+    hash = fnv1a64(chunk, static_cast<std::size_t>(got), hash);
     total += static_cast<std::uint64_t>(got);
     if (!in) break;
   }
@@ -97,6 +105,16 @@ void RunManifest::add_config(std::string key, std::string value) {
 
 void RunManifest::add_input(const std::string& path) {
   inputs.push_back(fingerprint_file(path));
+}
+
+void RunManifest::add_input(std::string path, std::uint64_t bytes,
+                            std::uint64_t hash) {
+  InputFingerprint fp;
+  fp.path = std::move(path);
+  fp.bytes = bytes;
+  fp.hash = hash;
+  fp.ok = true;
+  inputs.push_back(std::move(fp));
 }
 
 void RunManifest::write(JsonWriter& w) const {

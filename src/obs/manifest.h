@@ -12,6 +12,7 @@
 // informational there (results are bit-identical at any thread count).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <istream>
@@ -24,7 +25,7 @@ namespace litmus::obs {
 class JsonWriter;
 
 /// Library semantic version, single-sourced for the CLI and the benches.
-inline constexpr const char* kLitmusVersion = "0.4.0";
+inline constexpr const char* kLitmusVersion = "0.5.0";
 
 /// Identifier of the RNG substream scheme (DESIGN.md §8): per-iteration
 /// counter-based forks, Rng(seed).fork(iteration). Recorded so a future
@@ -57,6 +58,9 @@ struct RunManifest {
   /// missing/unreadable file records ok = false rather than throwing, so
   /// the manifest always reflects what the run attempted to read.
   void add_input(const std::string& path);
+  /// Records an already-computed fingerprint (e.g. from the ingest layer,
+  /// which hashes the mapped file anyway) instead of re-reading the file.
+  void add_input(std::string path, std::uint64_t bytes, std::uint64_t hash);
 
   /// Emits the manifest as one JSON object (caller owns the surrounding
   /// document position — used both standalone and embedded).
@@ -70,6 +74,11 @@ struct RunManifest {
 /// Streaming FNV-1a 64 of everything readable from `in`; byte count is
 /// returned through `bytes` when non-null.
 std::uint64_t fnv1a64(std::istream& in, std::uint64_t* bytes = nullptr);
+
+/// FNV-1a 64 of an in-memory buffer. `seed` chains calls: pass a previous
+/// result to continue hashing, so buffered and streamed hashes agree.
+std::uint64_t fnv1a64(const void* data, std::size_t len,
+                      std::uint64_t seed = 14695981039346656037ull) noexcept;
 
 InputFingerprint fingerprint_file(const std::string& path);
 

@@ -83,7 +83,7 @@ std::string verdict_key(const JsonValue& event, const std::string& type) {
 bool scheduling_dependent(const std::string& name) {
   return name.starts_with("stage.") || name.starts_with("parallel.") ||
          name.starts_with("litmus.worker.") ||
-         name.starts_with("panel_cache.");
+         name.starts_with("panel_cache.") || name.starts_with("ingest.");
 }
 
 double rel_delta(double a, double b) {
@@ -234,20 +234,35 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
   {
     // Flags that cannot change results are reported but never gate:
     // output destinations differ between any two runs by construction
-    // (each run writes its own directory), and the panel-cache budget
-    // only trades rebuild time for memory (DESIGN.md §10).
+    // (each run writes its own directory), the panel-cache budget only
+    // trades rebuild time for memory (DESIGN.md §10), and the snapshot
+    // cache plus the ingest.* source notes only change how the input was
+    // *loaded* — a snapshot-loaded store is bit-identical to the parsed
+    // one (DESIGN.md §11).
     auto cfg_a = object_as_map(a.manifest.find("config"));
     auto cfg_b = object_as_map(b.manifest.find("config"));
+    const auto informational = [](const std::string& k) {
+      for (const char* name :
+           {"--events-jsonl", "--metrics-json", "--trace-json",
+            "--panel-cache-mb", "--snapshot-cache"})
+        if (k == name) return true;
+      return k.starts_with("ingest.");
+    };
     std::map<std::string, std::string> sink_a, sink_b;
-    for (const char* k : {"--events-jsonl", "--metrics-json", "--trace-json",
-                          "--panel-cache-mb"}) {
-      if (const auto it = cfg_a.find(k); it != cfg_a.end()) {
-        sink_a[k] = it->second;
-        cfg_a.erase(it);
+    for (auto it = cfg_a.begin(); it != cfg_a.end();) {
+      if (informational(it->first)) {
+        sink_a[it->first] = it->second;
+        it = cfg_a.erase(it);
+      } else {
+        ++it;
       }
-      if (const auto it = cfg_b.find(k); it != cfg_b.end()) {
-        sink_b[k] = it->second;
-        cfg_b.erase(it);
+    }
+    for (auto it = cfg_b.begin(); it != cfg_b.end();) {
+      if (informational(it->first)) {
+        sink_b[it->first] = it->second;
+        it = cfg_b.erase(it);
+      } else {
+        ++it;
       }
     }
     compare_maps(report.manifest, cfg_a, cfg_b, "config", gate_manifest);

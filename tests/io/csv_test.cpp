@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <charconv>
 #include <cmath>
 #include <sstream>
 
@@ -23,15 +24,16 @@ TEST(Csv, SplitKeepsEmptyFields) {
   EXPECT_EQ(f[1], "");
 }
 
-TEST(Csv, ReadSkipsCommentsAndBlanks) {
+TEST(CsvReader, SkipsCommentsAndBlanks) {
   std::istringstream in("# header\n\n1,2\n  \n# more\n3,4\n");
-  auto r1 = read_csv_row(in);
-  ASSERT_TRUE(r1.has_value());
+  CsvReader reader(in, "test csv");
+  const auto* r1 = reader.next();
+  ASSERT_NE(r1, nullptr);
   EXPECT_EQ((*r1)[0], "1");
-  auto r2 = read_csv_row(in);
-  ASSERT_TRUE(r2.has_value());
+  const auto* r2 = reader.next();
+  ASSERT_NE(r2, nullptr);
   EXPECT_EQ((*r2)[1], "4");
-  EXPECT_FALSE(read_csv_row(in).has_value());
+  EXPECT_EQ(reader.next(), nullptr);
 }
 
 TEST(Csv, WriteRow) {
@@ -56,17 +58,28 @@ TEST(Csv, ParseDoubleOrMissing) {
   EXPECT_TRUE(std::isnan(parse_double_or_missing("junk")));
 }
 
+TEST(Csv, ParseDoubleOrMissingCaseAndWhitespaceVariants) {
+  // Upper/mixed-case and padded spellings must behave exactly like the
+  // canonical "nan" — the trim is the same one field splitting applies.
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("NAN")));
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("NaN")));
+  EXPECT_TRUE(std::isnan(parse_double_or_missing(" nan ")));
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("\tNA ")));
+  EXPECT_TRUE(std::isnan(parse_double_or_missing("na")));
+  EXPECT_DOUBLE_EQ(parse_double_or_missing("  2.5\t"), 2.5);
+}
+
 TEST(CsvReader, TracksPhysicalLineNumbers) {
   std::istringstream in("# header\n\n1,2\n  \n# more\n3,4\n");
   CsvReader reader(in, "test csv");
   EXPECT_EQ(reader.line(), 0u);
-  auto r1 = reader.next();
-  ASSERT_TRUE(r1.has_value());
+  const auto* r1 = reader.next();
+  ASSERT_NE(r1, nullptr);
   EXPECT_EQ(reader.line(), 3u);  // two skipped lines before the first row
-  auto r2 = reader.next();
-  ASSERT_TRUE(r2.has_value());
+  const auto* r2 = reader.next();
+  ASSERT_NE(r2, nullptr);
   EXPECT_EQ(reader.line(), 6u);
-  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.next(), nullptr);
 }
 
 TEST(CsvReader, FailReportsSourceAndLine) {
@@ -86,14 +99,47 @@ TEST(CsvReader, FailReportsSourceAndLine) {
 TEST(CsvReader, RequireFieldsThrowsOnColumnMismatch) {
   std::istringstream in("a,b,c\n");
   CsvReader reader(in, "test csv");
-  const auto row = reader.next();
-  ASSERT_TRUE(row.has_value());
+  const auto* row = reader.next();
+  ASSERT_NE(row, nullptr);
   EXPECT_NO_THROW(reader.require_fields(*row, 3));
   try {
     reader.require_fields(*row, 4);
     FAIL() << "expected CsvError";
   } catch (const CsvError& e) {
     EXPECT_STREQ(e.what(), "test csv line 1: expected 4 fields, got 3");
+  }
+}
+
+TEST(Csv, ParseDoubleFastPathMatchesFromChars) {
+  // parse_double's short-decimal fast path must agree bit-for-bit with
+  // from_chars (the reference) on every input it accepts.
+  const auto reference = [](std::string_view s) -> std::optional<double> {
+    double v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc{} || ptr != s.data() + s.size())
+      return std::nullopt;
+    return v;
+  };
+  const char* cases[] = {
+      "0",       "-0",        "0.0",          "-0.0",
+      "1",       "-1",        "0.973245",     "-0.973245",
+      "12345.6789",           "0.000000000000097",
+      "999999999999999",      "0.999999999999999",
+      "1.",      ".5",        "-.5",          ".",
+      "-",       "1e3",       "1.5e-7",       "nan",
+      "inf",     "0007",      "1..2",         "1.2.3",
+      "123456789012345678901", "+1",          "",
+  };
+  for (const char* c : cases) {
+    const auto got = parse_double(c);
+    const auto want = reference(c);
+    ASSERT_EQ(got.has_value(), want.has_value()) << "input [" << c << "]";
+    if (got && !std::isnan(*got)) {
+      EXPECT_EQ(*got, *want) << "input [" << c << "]";
+      EXPECT_EQ(std::signbit(*got), std::signbit(*want))
+          << "input [" << c << "]";
+    }
   }
 }
 
