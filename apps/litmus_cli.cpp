@@ -25,6 +25,11 @@
 //   litmus_cli diff-runs A/ B/
 //       compares two persisted runs (manifest, verdict set, metrics) and
 //       exits 0 when equivalent, 3 on drift.
+//
+//   litmus_cli profile <run-dir|trace.json>
+//       summarizes a profile trace (--profile-json output, a --trace-json
+//       span dump, or a run directory containing either) into a per-stage
+//       table: count, total, exact p50/p99, % of wall, slowest spans.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,9 +52,12 @@
 #include "litmus/panel_cache.h"
 #include "litmus/report.h"
 #include "litmus/study_only.h"
+#include "obs/chrometrace.h"
 #include "obs/events.h"
+#include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/rundiff.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
@@ -75,15 +83,18 @@ int usage() {
                "[--snapshot-cache DIR]\n"
                "              [--metrics-json FILE] [--trace-json FILE] "
                "[--events-jsonl FILE]\n"
+               "              [--profile-json FILE] [--profile-sample N]\n"
                "  litmus_cli batch --topology FILE --series FILE --changes "
                "FILE\n"
                "              [--threads N] [--panel-cache-mb N] "
                "[--snapshot-cache DIR] [--seed N]\n"
                "              [--metrics-json FILE] [--trace-json FILE] "
                "[--events-jsonl FILE]\n"
+               "              [--profile-json FILE] [--profile-sample N]\n"
                "  litmus_cli diff-runs A_DIR B_DIR [--max-flips N]\n"
                "              [--metric-tolerance F] [--wall-tolerance F] "
                "[--ignore-manifest]\n"
+               "  litmus_cli profile RUN_DIR|TRACE.json [--top N]\n"
                "  litmus_cli --version\n"
                "\n"
                "--threads N (or LITMUS_THREADS): worker threads for the\n"
@@ -98,6 +109,11 @@ int usage() {
                "--events-jsonl FILE: structured JSONL event stream; also\n"
                "writes run_manifest.json + metrics.json into FILE's\n"
                "directory, the layout diff-runs consumes.\n"
+               "--profile-json FILE: cross-thread span timeline as Chrome\n"
+               "trace_event JSON (open in chrome://tracing or Perfetto);\n"
+               "--profile-sample N records 1 span in N (default: all).\n"
+               "`profile` summarizes such a file — or a run directory\n"
+               "holding profile.json/trace.json — as a p50/p99 stage table.\n"
                "diff-runs exit codes: 0 no drift, 3 drift, 1 error.\n");
   return 2;
 }
@@ -114,8 +130,8 @@ int usage() {
 // embedded in every JSON artifact the session writes.
 //
 // Output files are never silently overwritten: an existing file rotates to
-// "<path>.old" with a warning, and missing parent directories are created
-// (obs::open_output_file).
+// "<path>.old" (then ".old.1", ".old.2", ...) with a warning, and missing
+// parent directories are created (obs::open_output_file).
 class ObsSession {
  public:
   ObsSession(const std::string& command,
@@ -126,6 +142,8 @@ class ObsSession {
       trace_path_ = it->second;
     if (const auto it = args.find("events-jsonl"); it != args.end())
       events_path_ = it->second;
+    if (const auto it = args.find("profile-json"); it != args.end())
+      profile_path_ = it->second;
 
     manifest_.tool = "litmus_cli " + command;
     manifest_.build_flags = obs::build_flags_string();
@@ -136,7 +154,20 @@ class ObsSession {
 
     if (!metrics_path_.empty() || !events_path_.empty())
       obs::set_enabled(true);
-    if (!trace_path_.empty()) obs::Tracer::global().start();
+    if (!trace_path_.empty() || !profile_path_.empty()) {
+      obs::set_thread_name("main");
+      obs::TraceConfig config;
+      if (const auto it = args.find("profile-sample"); it != args.end()) {
+        const auto v = io::parse_int(it->second);
+        if (!v || *v <= 0)
+          throw std::runtime_error("bad --profile-sample: " + it->second);
+        if (*v > 1) {
+          config.mode = obs::TraceMode::kSampled;
+          config.sample_every = static_cast<std::uint32_t>(*v);
+        }
+      }
+      obs::Tracer::global().start(config);
+    }
   }
 
   ~ObsSession() { obs::set_events(nullptr); }
@@ -189,16 +220,37 @@ class ObsSession {
       std::printf("wrote %llu event(s) to %s\n",
                   static_cast<unsigned long long>(n), events_path_.c_str());
     }
-    if (!trace_path_.empty()) {
+    if (!trace_path_.empty() || !profile_path_.empty()) {
       obs::Tracer::global().stop();
-      std::ofstream out = obs::open_output_file(trace_path_);
       const auto spans = obs::Tracer::global().spans();
-      obs::write_trace_json(out, spans, obs::Tracer::global().epoch_ns(),
-                            &manifest_);
-      if (!out)
-        throw std::runtime_error("cannot write trace json: " + trace_path_);
-      std::printf("wrote %zu span(s) to %s\n", spans.size(),
-                  trace_path_.c_str());
+      const std::uint64_t dropped = obs::Tracer::global().dropped();
+      if (dropped > 0)
+        std::fprintf(stderr,
+                     "warning: %llu span(s) dropped (ring wrap); the trace "
+                     "keeps the most recent window\n",
+                     static_cast<unsigned long long>(dropped));
+      if (!trace_path_.empty()) {
+        std::ofstream out = obs::open_output_file(trace_path_);
+        obs::write_trace_json(out, spans, obs::Tracer::global().epoch_ns(),
+                              &manifest_);
+        if (!out)
+          throw std::runtime_error("cannot write trace json: " +
+                                   trace_path_);
+        std::printf("wrote %zu span(s) to %s\n", spans.size(),
+                    trace_path_.c_str());
+      }
+      if (!profile_path_.empty()) {
+        std::ofstream out = obs::open_output_file(profile_path_);
+        const auto names = obs::thread_names();
+        obs::write_chrome_trace(out, spans,
+                                obs::Tracer::global().epoch_ns(), names,
+                                dropped, &manifest_);
+        if (!out)
+          throw std::runtime_error("cannot write profile json: " +
+                                   profile_path_);
+        std::printf("wrote %zu span(s), %zu named thread(s) to %s\n",
+                    spans.size(), names.size(), profile_path_.c_str());
+      }
     }
     if (!metrics_path_.empty() || !run_dir_.empty()) {
       obs::set_enabled(false);
@@ -226,6 +278,7 @@ class ObsSession {
   std::string metrics_path_;
   std::string trace_path_;
   std::string events_path_;
+  std::string profile_path_;
   std::string run_dir_;
   obs::RunManifest manifest_;
   std::unique_ptr<obs::EventLog> events_;
@@ -514,6 +567,67 @@ int diff_runs_cmd(const std::string& dir_a, const std::string& dir_b,
   return report.drift ? 3 : 0;
 }
 
+// profile: summarize a trace file (or a run directory holding one) into a
+// per-stage table, no browser required.
+int profile_cmd(const std::string& target,
+                const std::map<std::string, std::string>& args) {
+  namespace fs = std::filesystem;
+  std::string path = target;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    // A run directory: prefer the chrome trace, fall back to the span dump.
+    std::string found;
+    for (const char* candidate : {"profile.json", "trace.json"}) {
+      const std::string p = path + "/" + candidate;
+      if (fs::exists(p, ec)) {
+        found = p;
+        break;
+      }
+    }
+    if (found.empty())
+      throw std::runtime_error(
+          "no profile.json or trace.json in directory: " + path);
+    path = found;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  const auto doc = obs::parse_json(buf.str(), &error);
+  if (!doc) throw std::runtime_error(path + ": " + error);
+  const auto parsed = obs::parse_trace_events(*doc, &error);
+  if (!parsed) throw std::runtime_error(path + ": " + error);
+
+  std::size_t top_n = 10;
+  if (const auto it = args.find("top"); it != args.end()) {
+    const auto v = io::parse_int(it->second);
+    if (!v || *v < 0) throw std::runtime_error("bad --top: " + it->second);
+    top_n = static_cast<std::size_t>(*v);
+  }
+
+  std::printf("%s", path.c_str());
+  if (const obs::JsonValue* other = doc->find("otherData")) {
+    const auto dropped =
+        static_cast<std::uint64_t>(other->member_number("dropped_spans", 0));
+    if (dropped > 0)
+      std::printf(" (%llu span(s) dropped at record time)",
+                  static_cast<unsigned long long>(dropped));
+  }
+  std::printf("\n%s",
+              obs::format_profile_report(
+                  obs::summarize_trace(parsed->events, top_n))
+                  .c_str());
+  if (!parsed->thread_names.empty()) {
+    std::printf("threads:\n");
+    for (const auto& [tid, name] : parsed->thread_names)
+      std::printf("  %3u  %s\n", tid, name.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Parses "--flag value" pairs (and valueless boolean flags) starting at
@@ -567,7 +681,7 @@ int main(int argc, char** argv) {
       static const std::set<std::string> kSharedFlags = {
           "metrics-json",   "trace-json",     "threads",
           "seed",           "events-jsonl",   "panel-cache-mb",
-          "snapshot-cache"};
+          "snapshot-cache", "profile-json",   "profile-sample"};
       std::set<std::string> valued = kSharedFlags;
       std::set<std::string> boolean;
       if (cmd == "assess") {
@@ -582,6 +696,20 @@ int main(int argc, char** argv) {
           rc != 0)
         return rc;
       return cmd == "assess" ? assess(args) : batch(args);
+    }
+    if (cmd == "profile") {
+      if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+        std::fprintf(stderr,
+                     "profile needs a run directory or trace file\n");
+        return usage();
+      }
+      static const std::set<std::string> kValued = {"top"};
+      std::map<std::string, std::string> args;
+      if (const int rc = parse_flags(argc, argv, kValued, {}, args,
+                                     /*first=*/3);
+          rc != 0)
+        return rc;
+      return profile_cmd(argv[2], args);
     }
     if (cmd == "diff-runs") {
       if (argc < 4 || std::strncmp(argv[2], "--", 2) == 0 ||

@@ -16,6 +16,7 @@
 #include "io/snapshot.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/pool.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -392,10 +393,12 @@ std::size_t load_series_csv_fast(std::string_view data, SeriesStore& store,
   par::parallel_chunks(
       actual, actual,
       [&](std::size_t, std::size_t begin, std::size_t end) {
-        for (std::size_t c = begin; c < end; ++c)
+        for (std::size_t c = begin; c < end; ++c) {
+          obs::ScopedSpan chunk_span("ingest.chunk");
           parse_series_chunk(
               data.substr(bounds[c], bounds[c + 1] - bounds[c]),
               outcomes[c]);
+        }
       });
 
   // The first failure in chunk order is the first failure in file order

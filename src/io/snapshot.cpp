@@ -10,6 +10,7 @@
 
 #include "io/ingest.h"
 #include "obs/manifest.h"
+#include "obs/trace.h"
 
 namespace litmus::io {
 namespace {
@@ -100,6 +101,7 @@ void save_series_snapshot(const std::string& path, const SeriesStore& store,
                           std::uint64_t source_fingerprint,
                           std::uint64_t source_bytes,
                           std::uint64_t source_mtime_ns) {
+  obs::ScopedSpan span("snapshot.save");
   ByteSink payload;
   for (const auto& [key, series] : store.entries()) {
     payload.u32(key.first);
@@ -136,6 +138,7 @@ SnapshotLoad load_series_snapshot(const std::string& path, SeriesStore& store,
                                   std::uint64_t expected_fingerprint,
                                   std::uint64_t expected_bytes,
                                   std::string* why) {
+  obs::ScopedSpan span("snapshot.load");
   const auto stale = [&](const char* reason) {
     if (why) *why = reason;
     return SnapshotLoad::kStale;

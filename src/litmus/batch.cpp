@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/events.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/pool.h"
@@ -87,7 +88,13 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
         item.assessment.summary.verdict == expected_verdict(record.expectation);
     if (auto* ev = obs::events())
       ev->progress("batch", done.fetch_add(1, std::memory_order_relaxed) + 1,
-                   records.size());
+                   records.size(), /*every=*/16, [](obs::JsonWriter& w) {
+                     const par::PoolStats pool = par::pool_stats();
+                     w.member("pool.queue_depth",
+                              static_cast<std::uint64_t>(pool.queue_depth))
+                         .member("pool.tasks_completed",
+                                 pool.tasks_completed);
+                   });
   });
 
   // Phase 3: tallies, in record order.

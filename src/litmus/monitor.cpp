@@ -4,6 +4,8 @@
 
 #include "obs/events.h"
 #include "obs/json.h"
+#include "obs/trace.h"
+#include "parallel/pool.h"
 
 namespace litmus::core {
 
@@ -37,6 +39,7 @@ ChangeMonitor::ChangeMonitor(SeriesProvider provider, net::ElementId study,
 }
 
 MonitorReading ChangeMonitor::evaluate_window(std::int64_t window_end) {
+  obs::ScopedSpan span("monitor.window");
   const std::int64_t before_start =
       change_bin_ - static_cast<std::int64_t>(config_.before_bins);
   const std::int64_t after_start =
@@ -101,6 +104,24 @@ std::vector<MonitorReading> ChangeMonitor::advance(std::int64_t now_bin) {
     out.push_back(evaluate_window(next_window_end_));
     history_.push_back(out.back());
     next_window_end_ += static_cast<std::int64_t>(config_.step_bins);
+  }
+  // Daemon-style liveness signal: one heartbeat per advance() sweep with
+  // the worker pool's load, so a dashboard tailing the JSONL sees both
+  // progress (windows evaluated) and saturation (queue depth).
+  if (!out.empty()) {
+    if (auto* ev = obs::events()) {
+      const par::PoolStats pool = par::pool_stats();
+      ev->emit(obs::EventType::kHeartbeat, [&](obs::JsonWriter& w) {
+        w.member("stage", "monitor")
+            .member("up_to", static_cast<std::int64_t>(out.back().up_to_bin))
+            .member("windows",
+                    static_cast<std::uint64_t>(history_.size()))
+            .member("state", to_string(state_))
+            .member("pool.queue_depth",
+                    static_cast<std::uint64_t>(pool.queue_depth))
+            .member("pool.tasks_completed", pool.tasks_completed);
+      });
+    }
   }
   return out;
 }

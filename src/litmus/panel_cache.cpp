@@ -53,8 +53,11 @@ PanelCache::PanelCache(std::size_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
 PanelCache& PanelCache::global() {
-  static PanelCache cache(capacity_from_env());
-  return cache;
+  // Intentionally immortal: pool workers hit the cache and can outlive the
+  // start of static destruction on the main thread. See
+  // thread_name_registry() in profile.cpp.
+  static PanelCache* cache = new PanelCache(capacity_from_env());
+  return *cache;
 }
 
 std::size_t PanelCache::capacity_bytes() const noexcept {
@@ -90,22 +93,52 @@ void PanelCache::observe(std::uint64_t hit_delta, std::uint64_t miss_delta,
     obs::Counter& evictions;
     obs::Gauge& bytes;
     obs::Gauge& entries;
+    obs::Gauge& pressure;
   };
   static Handles h{obs::Registry::global().counter("panel_cache.hits"),
                    obs::Registry::global().counter("panel_cache.misses"),
                    obs::Registry::global().counter("panel_cache.evictions"),
                    obs::Registry::global().gauge("panel_cache.bytes"),
-                   obs::Registry::global().gauge("panel_cache.entries")};
+                   obs::Registry::global().gauge("panel_cache.entries"),
+                   obs::Registry::global().gauge("panel_cache.pressure")};
   if (hit_delta > 0) h.hits.add(hit_delta);
   if (miss_delta > 0) h.misses.add(miss_delta);
   if (evict_delta > 0) h.evictions.add(evict_delta);
-  h.bytes.set(static_cast<double>(total_bytes_.load(std::memory_order_relaxed)));
+  const auto bytes = total_bytes_.load(std::memory_order_relaxed);
+  h.bytes.set(static_cast<double>(bytes));
   h.entries.set(
       static_cast<double>(total_entries_.load(std::memory_order_relaxed)));
+  // Byte-budget pressure: occupancy as a fraction of capacity. Sitting at
+  // 1.0 means the LRU is churning and eviction latency is in play.
+  const std::size_t cap = capacity_bytes_.load(std::memory_order_relaxed);
+  h.pressure.set(cap > 0 ? static_cast<double>(bytes) /
+                               static_cast<double>(cap)
+                         : 0.0);
 }
+
+namespace {
+
+/// Hit-vs-build latency split (microseconds): a healthy cache shows two
+/// well-separated modes; hit latency creeping toward build latency means
+/// shard-lock contention.
+obs::Histogram& hit_latency_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("panel_cache.hit_us");
+  return h;
+}
+
+obs::Histogram& build_latency_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("panel_cache.build_us");
+  return h;
+}
+
+}  // namespace
 
 PanelCache::PanelPtr PanelCache::get_or_build(const PanelKey& key,
                                               const Builder& build) {
+  const bool obs_on = obs::enabled();
+  const std::uint64_t lookup_start = obs_on ? obs::now_ns() : 0;
   const bool store = capacity_bytes_.load(std::memory_order_relaxed) > 0;
   if (store) {
     Shard& s = shard_of(key);
@@ -116,6 +149,9 @@ PanelCache::PanelPtr PanelCache::get_or_build(const PanelKey& key,
       s.lru.splice(s.lru.begin(), s.lru, it->second);
       PanelPtr panel = it->second->panel;
       lock.unlock();
+      if (obs_on)
+        hit_latency_histogram().record(
+            static_cast<double>(obs::now_ns() - lookup_start) / 1000.0);
       observe(1, 0, 0);
       return panel;
     }
@@ -124,7 +160,11 @@ PanelCache::PanelPtr PanelCache::get_or_build(const PanelKey& key,
   PanelPtr panel;
   {
     obs::ScopedSpan span("panel-cache.build");
+    const std::uint64_t build_start = obs_on ? obs::now_ns() : 0;
     panel = std::make_shared<const ts::GramPanel>(build());
+    if (obs_on)
+      build_latency_histogram().record(
+          static_cast<double>(obs::now_ns() - build_start) / 1000.0);
   }
   if (!store) {
     Shard& s = shard_of(key);

@@ -64,7 +64,8 @@ void EventLog::emit(EventType type, const FieldFn& extra) {
 }
 
 void EventLog::progress(std::string_view stage, std::uint64_t done,
-                        std::uint64_t total, std::uint64_t every) {
+                        std::uint64_t total, std::uint64_t every,
+                        const FieldFn& extra) {
   if (every == 0) every = 1;
   if (done % every != 0 && done != total) return;
   const std::string stage_copy(stage);
@@ -72,6 +73,7 @@ void EventLog::progress(std::string_view stage, std::uint64_t done,
     w.member("stage", stage_copy)
         .member("done", done)
         .member("total", total);
+    if (extra) extra(w);
   });
 }
 

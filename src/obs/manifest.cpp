@@ -163,7 +163,17 @@ std::ofstream open_output_file(const std::string& path) {
   const fs::path p(path);
   if (p.has_parent_path()) fs::create_directories(p.parent_path(), ec);
   if (fs::exists(p, ec)) {
-    const fs::path rotated = p.string() + ".old";
+    // First rotation takes "<path>.old"; later ones fall through to
+    // ".old.1", ".old.2", ... — fs::rename would silently replace an
+    // existing target, and a rotated artifact must never clobber an
+    // earlier one.
+    fs::path rotated = p.string() + ".old";
+    for (unsigned n = 1; fs::exists(rotated, ec); ++n) {
+      if (n > 10000)
+        throw std::runtime_error("refusing to overwrite " + path +
+                                 ": over 10000 rotated copies exist");
+      rotated = p.string() + ".old." + std::to_string(n);
+    }
     fs::rename(p, rotated, ec);
     if (ec) {
       throw std::runtime_error("refusing to overwrite " + path +

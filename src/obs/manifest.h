@@ -25,7 +25,7 @@ namespace litmus::obs {
 class JsonWriter;
 
 /// Library semantic version, single-sourced for the CLI and the benches.
-inline constexpr const char* kLitmusVersion = "0.5.0";
+inline constexpr const char* kLitmusVersion = "0.6.0";
 
 /// Identifier of the RNG substream scheme (DESIGN.md §8): per-iteration
 /// counter-based forks, Rng(seed).fork(iteration). Recorded so a future
@@ -90,9 +90,11 @@ std::string build_flags_string();
 std::string utc_timestamp_now();
 
 /// Opens `path` for writing. Creates missing parent directories, and when
-/// the file already exists rotates it to "<path>.old" (replacing any
-/// previous rotation) with a warning on stderr instead of silently
-/// overwriting. Throws std::runtime_error when the path stays unwritable.
+/// the file already exists rotates it aside with a warning on stderr
+/// instead of silently overwriting: to "<path>.old" first, then
+/// "<path>.old.1", "<path>.old.2", ... so repeated rotations never clobber
+/// an earlier rotation. Throws std::runtime_error when the path stays
+/// unwritable.
 std::ofstream open_output_file(const std::string& path);
 
 }  // namespace litmus::obs

@@ -175,8 +175,11 @@ void Registry::reset() {
 }
 
 Registry& Registry::global() {
-  static Registry registry;
-  return registry;
+  // Intentionally immortal: pool workers record into the registry and can
+  // outlive the start of static destruction on the main thread. See
+  // thread_name_registry() in profile.cpp.
+  static Registry* registry = new Registry;
+  return *registry;
 }
 
 }  // namespace litmus::obs

@@ -1,0 +1,251 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace litmus::obs {
+
+// ---------------------------------------------------------------------------
+// SpanRingSet
+
+SpanRingSet::SpanRingSet(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread) {}
+
+SpanRingSet::~SpanRingSet() {
+  for (auto& slot : rings_) delete slot.load(std::memory_order_acquire);
+}
+
+void SpanRingSet::append(const SpanRecord& rec) noexcept {
+  const std::uint32_t tid = thread_index();
+  if (tid >= kMaxThreads) {
+    overflow_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Ring* ring = rings_[tid].load(std::memory_order_acquire);
+  if (ring == nullptr) {
+    auto* fresh = new Ring(capacity_);
+    Ring* expected = nullptr;
+    if (rings_[tid].compare_exchange_strong(expected, fresh,
+                                            std::memory_order_acq_rel)) {
+      ring = fresh;
+    } else {
+      // thread_index() is unique per live thread, so two writers racing on
+      // one slot means an index was recycled across thread lifetimes; the
+      // loser adopts the winner's ring.
+      delete fresh;
+      ring = expected;
+    }
+  }
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head % ring->slots.size()];
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);  // odd: write in flight
+  slot.rec = rec;
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+SpanRingSet::Drain SpanRingSet::collect() const {
+  Drain out;
+  out.dropped = overflow_dropped_.load(std::memory_order_relaxed);
+  for (const auto& entry : rings_) {
+    const Ring* ring = entry.load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t live = std::min<std::uint64_t>(head, cap);
+    out.dropped += head - live;
+    for (std::uint64_t i = head - live; i < head; ++i) {
+      const Slot& slot = ring->slots[i % cap];
+      // Seqlock read: retry a torn slot a few times, then skip it — the
+      // writer is mid-append and the span will surface next collect.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const std::uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+        if (s1 & 1u) continue;
+        const SpanRecord rec = slot.rec;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) == s1) {
+          out.spans.push_back(rec);
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void SpanRingSet::clear() {
+  overflow_dropped_.store(0, std::memory_order_relaxed);
+  for (auto& entry : rings_) {
+    Ring* ring = entry.load(std::memory_order_acquire);
+    if (ring != nullptr) ring->head.store(0, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread names
+
+namespace {
+
+struct ThreadNameRegistry {
+  std::mutex mu;
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+};
+
+ThreadNameRegistry& thread_name_registry() {
+  // Intentionally immortal (never destroyed): a pool worker can still be
+  // executing set_thread_name while the main thread has already entered
+  // static destruction on a short run, and this registry — first touched
+  // from a worker — would be torn down before the pool joins its threads.
+  static ThreadNameRegistry* reg = new ThreadNameRegistry;
+  return *reg;
+}
+
+}  // namespace
+
+void set_thread_name(std::string name) {
+  const std::uint32_t tid = thread_index();
+  ThreadNameRegistry& reg = thread_name_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [index, existing] : reg.names) {
+    if (index == tid) {
+      existing = std::move(name);
+      return;
+    }
+  }
+  reg.names.emplace_back(tid, std::move(name));
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> thread_names() {
+  ThreadNameRegistry& reg = thread_name_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto out = reg.names;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace summarization
+
+namespace {
+
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank: the smallest value with at least q of the mass below it.
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[rank - 1];
+}
+
+std::string fmt_us(double us) {
+  char buf[48];
+  if (us < 1000.0)
+    std::snprintf(buf, sizeof(buf), "%.1f us", us);
+  else if (us < 1e6)
+    std::snprintf(buf, sizeof(buf), "%.2f ms", us / 1000.0);
+  else
+    std::snprintf(buf, sizeof(buf), "%.3f s", us / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+ProfileReport summarize_trace(const std::vector<TraceEvent>& events,
+                              std::size_t top_n) {
+  ProfileReport report;
+  report.span_count = events.size();
+  if (events.empty()) return report;
+
+  double min_start = events.front().start_us;
+  double max_end = min_start;
+  std::unordered_map<std::string, std::vector<double>> durations;
+  for (const TraceEvent& e : events) {
+    min_start = std::min(min_start, e.start_us);
+    max_end = std::max(max_end, e.start_us + e.duration_us);
+    durations[e.name].push_back(e.duration_us);
+  }
+  report.wall_us = max_end - min_start;
+
+  report.stages.reserve(durations.size());
+  for (auto& [name, values] : durations) {
+    std::sort(values.begin(), values.end());
+    StageRow row;
+    row.name = name;
+    row.count = values.size();
+    for (double v : values) row.total_us += v;
+    row.p50_us = exact_quantile(values, 0.50);
+    row.p99_us = exact_quantile(values, 0.99);
+    row.max_us = values.back();
+    row.pct_wall =
+        report.wall_us > 0.0 ? 100.0 * row.total_us / report.wall_us : 0.0;
+    report.stages.push_back(std::move(row));
+  }
+  std::sort(report.stages.begin(), report.stages.end(),
+            [](const StageRow& a, const StageRow& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+
+  std::vector<TraceEvent> by_duration = events;
+  std::sort(by_duration.begin(), by_duration.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.duration_us != b.duration_us)
+                return a.duration_us > b.duration_us;
+              return a.start_us < b.start_us;
+            });
+  if (by_duration.size() > top_n) by_duration.resize(top_n);
+  report.slowest = std::move(by_duration);
+  return report;
+}
+
+std::string format_profile_report(const ProfileReport& report) {
+  std::ostringstream out;
+  out << "trace: " << report.span_count << " span(s), wall "
+      << fmt_us(report.wall_us) << "\n";
+  if (report.stages.empty()) return out.str();
+
+  std::size_t name_w = 5;
+  for (const StageRow& row : report.stages)
+    name_w = std::max(name_w, row.name.size());
+
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-*s  %9s  %11s  %11s  %11s  %11s  %7s\n",
+                static_cast<int>(name_w), "stage", "count", "total", "p50",
+                "p99", "max", "% wall");
+  out << line;
+  for (const StageRow& row : report.stages) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s  %9llu  %11s  %11s  %11s  %11s  %7.1f\n",
+                  static_cast<int>(name_w), row.name.c_str(),
+                  static_cast<unsigned long long>(row.count),
+                  fmt_us(row.total_us).c_str(), fmt_us(row.p50_us).c_str(),
+                  fmt_us(row.p99_us).c_str(), fmt_us(row.max_us).c_str(),
+                  row.pct_wall);
+    out << line;
+  }
+
+  if (!report.slowest.empty()) {
+    out << "slowest spans:\n";
+    for (const TraceEvent& e : report.slowest) {
+      std::snprintf(line, sizeof(line), "  %11s  at %11s  thread %-3u  %s\n",
+                    fmt_us(e.duration_us).c_str(), fmt_us(e.start_us).c_str(),
+                    e.thread, e.name.c_str());
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace litmus::obs

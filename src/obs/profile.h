@@ -1,0 +1,142 @@
+// Cross-thread profiling substrate: per-thread lock-free span rings, the
+// thread-name registry behind Perfetto's named tracks, and the trace
+// summarization used by `litmus_cli profile`.
+//
+// The recording path is built for the hot loop: ScopedSpan (obs/trace.h)
+// closes millions of times per sweep, so completed spans land in a
+// fixed-capacity ring owned by the recording thread — a single-producer
+// structure whose writer never takes a lock and never allocates after the
+// ring exists. Each slot is seqlock-stamped (odd while a write is in
+// flight, even when stable) so an exporter can snapshot rings while
+// workers are still recording: a torn slot is detected by its sequence
+// number and skipped, never mis-read. When a ring wraps, the oldest spans
+// are overwritten and counted as dropped — the timeline keeps its most
+// recent window, like chrome://tracing's own ring-buffer mode.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace litmus::obs {
+
+/// One completed span. start_ns is relative to the owning Tracer's epoch;
+/// thread is obs::thread_index() of the recording thread, and parent links
+/// to the span that was innermost on that thread (or installed across a
+/// pool submit by SpanParentGuard) when this one opened.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 for root spans
+  const char* name = "";     ///< static stage name, e.g. "fit"
+  std::uint64_t start_ns = 0;  ///< relative to the Tracer's epoch
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;  ///< obs::thread_index() of the recording thread
+};
+
+/// Fixed set of per-thread span rings, indexed by obs::thread_index().
+/// append() is wait-free for the owning thread; collect() may run
+/// concurrently and returns every stable slot, oldest first.
+class SpanRingSet {
+ public:
+  /// Per-thread capacity: at ~48 bytes/span this is ~3 MiB per active
+  /// thread when full, holding minutes of batch-sweep spans.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+  /// Threads with thread_index() >= kMaxThreads drop spans (counted).
+  static constexpr std::size_t kMaxThreads = 512;
+
+  explicit SpanRingSet(std::size_t capacity_per_thread = kDefaultCapacity);
+  ~SpanRingSet();
+  SpanRingSet(const SpanRingSet&) = delete;
+  SpanRingSet& operator=(const SpanRingSet&) = delete;
+
+  /// Records one span into the calling thread's ring (lazily created on
+  /// first use). Only the owning thread may append to its ring.
+  void append(const SpanRecord& rec) noexcept;
+
+  struct Drain {
+    std::vector<SpanRecord> spans;  ///< time-sorted (start_ns, then id)
+    std::uint64_t dropped = 0;      ///< overwritten by wrap or over-capacity
+  };
+
+  /// Snapshot of every ring. Non-consuming and safe to call while writers
+  /// are appending; slots mid-write are skipped (they reappear stable on
+  /// the next collect).
+  Drain collect() const;
+
+  /// Rewinds every ring and zeroes drop counts. Callers must guarantee no
+  /// thread is inside append() (rings themselves are never freed, so a
+  /// straggler write is harmless — it just lands in the new window).
+  void clear();
+
+  std::size_t capacity_per_thread() const noexcept { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};  ///< odd: write in flight
+    SpanRecord rec{};
+  };
+  struct Ring {
+    explicit Ring(std::size_t cap) : slots(cap) {}
+    std::atomic<std::uint64_t> head{0};  ///< total spans ever appended
+    std::vector<Slot> slots;
+  };
+
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> overflow_dropped_{0};
+  std::array<std::atomic<Ring*>, kMaxThreads> rings_{};
+};
+
+/// Registers a human-readable name for the calling thread (by its
+/// obs::thread_index()), surfaced as Chrome-trace thread_name metadata so
+/// Perfetto shows "pool-worker-3" instead of a bare tid. Re-registering
+/// replaces the previous name.
+void set_thread_name(std::string name);
+
+/// All (thread_index, name) registrations, ordered by thread index.
+std::vector<std::pair<std::uint32_t, std::string>> thread_names();
+
+/// One event parsed back out of a trace file — the reader-side analog of
+/// SpanRecord, with owned name storage and microsecond units (the
+/// trace_event wire format's native unit).
+struct TraceEvent {
+  std::string name;
+  std::uint32_t thread = 0;
+  double start_us = 0.0;
+  double duration_us = 0.0;
+  std::uint64_t id = 0;      ///< 0 when the producer did not record ids
+  std::uint64_t parent = 0;  ///< 0 for root spans
+};
+
+/// Aggregated statistics for one stage (all spans sharing a name).
+struct StageRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double p50_us = 0.0;  ///< exact (computed from the full duration list)
+  double p99_us = 0.0;  ///< exact
+  double max_us = 0.0;
+  /// Stage total as a share of wall time. Sums across threads and nesting
+  /// levels, so a parallel or enclosing stage can legitimately exceed 100.
+  double pct_wall = 0.0;
+};
+
+struct ProfileReport {
+  std::uint64_t span_count = 0;
+  double wall_us = 0.0;  ///< max end - min start over all spans
+  std::vector<StageRow> stages;    ///< sorted by total_us, descending
+  std::vector<TraceEvent> slowest;  ///< top-N spans by duration
+};
+
+/// Builds the per-stage table `litmus_cli profile` prints: count, total,
+/// exact p50/p99, % of wall, and the top_n slowest individual spans.
+ProfileReport summarize_trace(const std::vector<TraceEvent>& events,
+                              std::size_t top_n = 10);
+
+/// Renders the report as an aligned text table.
+std::string format_profile_report(const ProfileReport& report);
+
+}  // namespace litmus::obs

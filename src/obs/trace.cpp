@@ -29,9 +29,18 @@ Histogram& stage_histogram(const char* name) {
 
 std::uint64_t current_span_id() noexcept { return tls_current_span; }
 
-void Tracer::start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  spans_.clear();
+SpanParentGuard::SpanParentGuard(std::uint64_t span_id) noexcept
+    : saved_(tls_current_span) {
+  tls_current_span = span_id;
+}
+
+SpanParentGuard::~SpanParentGuard() { tls_current_span = saved_; }
+
+Tracer::Tracer(std::size_t ring_capacity) : rings_(ring_capacity) {}
+
+void Tracer::start(const TraceConfig& config) {
+  rings_.clear();
+  config_ = config;
   next_id_.store(1, std::memory_order_relaxed);
   epoch_ns_ = now_ns();
   collecting_.store(true, std::memory_order_relaxed);
@@ -39,26 +48,37 @@ void Tracer::start() {
 
 void Tracer::stop() { collecting_.store(false, std::memory_order_relaxed); }
 
-std::vector<SpanRecord> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+bool Tracer::sample() noexcept {
+  if (config_.mode == TraceMode::kFull) return true;
+  const std::uint32_t every = config_.sample_every == 0
+                                  ? 1
+                                  : config_.sample_every;
+  // Per-thread counter (shared across Tracer instances; sessions do not
+  // overlap in practice, and a shared phase only shifts which spans the
+  // sampler keeps).
+  thread_local std::uint32_t tick = 0;
+  return tick++ % every == 0;
 }
 
-void Tracer::add(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(span);
+std::vector<SpanRecord> Tracer::spans() const {
+  return rings_.collect().spans;
 }
+
+std::uint64_t Tracer::dropped() const { return rings_.collect().dropped; }
 
 Tracer& Tracer::global() {
-  static Tracer tracer;
-  return tracer;
+  // Intentionally immortal: reached from pool workers (ScopedSpan's default
+  // argument), which can outlive the start of static destruction on the
+  // main thread. See thread_name_registry() in profile.cpp.
+  static Tracer* tracer = new Tracer;
+  return *tracer;
 }
 
 #if LITMUS_OBS_ENABLED
 
 ScopedSpan::ScopedSpan(const char* name, Tracer& tracer) {
   metrics_ = enabled();
-  tracing_ = tracer.collecting();
+  tracing_ = tracer.collecting() && tracer.sample();
   if (!metrics_ && !tracing_) return;
   name_ = name;
   tracer_ = &tracer;

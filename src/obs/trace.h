@@ -1,4 +1,4 @@
-// RAII trace spans forming a hierarchical trace tree.
+// RAII trace spans forming a hierarchical, cross-thread trace tree.
 //
 // A ScopedSpan measures the wall time of a scope. On destruction it
 //   * appends a SpanRecord (id, parent id, name, start, duration, thread)
@@ -6,8 +6,15 @@
 //   * records the duration into the `stage.<name>` histogram of the global
 //     Registry when metrics are enabled (obs::enabled()),
 // so every instrumented stage yields both an event on the trace timeline
-// and a latency distribution. Parentage is tracked per thread: spans nest
-// within the same thread; a span opened on a fresh thread is a root.
+// and a latency distribution. Completed spans land in per-thread lock-free
+// ring buffers (obs/profile.h): the close path is wait-free, and a full
+// ring drops its oldest spans (counted via Tracer::dropped()) instead of
+// blocking the pipeline.
+//
+// Parentage is tracked per thread: spans nest within the same thread, and
+// a span opened on a fresh thread is a root — unless the submitting span's
+// id is carried across with SpanParentGuard, which is what the worker pool
+// does so a worker's spans nest under the span that submitted the task.
 //
 // When neither metrics nor tracing is active the constructor is a couple
 // of relaxed loads and the destructor a branch; with
@@ -15,21 +22,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace litmus::obs {
-
-struct SpanRecord {
-  std::uint64_t id = 0;
-  std::uint64_t parent = 0;  ///< 0 for root spans
-  const char* name = "";     ///< static stage name, e.g. "fit"
-  std::uint64_t start_ns = 0;  ///< relative to the Tracer's epoch
-  std::uint64_t duration_ns = 0;
-  std::uint32_t thread = 0;  ///< obs::thread_index() of the recording thread
-};
 
 /// Innermost span currently open on the calling thread, 0 when none (or
 /// when tracing is off — span ids are only assigned while collecting).
@@ -37,23 +35,53 @@ struct SpanRecord {
 /// located on the --trace-json timeline.
 std::uint64_t current_span_id() noexcept;
 
-/// Collects completed spans. start() clears previous spans and anchors the
-/// epoch; collection is off by default.
+enum class TraceMode : std::uint8_t {
+  kFull,     ///< record every span
+  kSampled,  ///< record 1 in sample_every spans, decided per thread
+};
+
+struct TraceConfig {
+  TraceMode mode = TraceMode::kFull;
+  /// kSampled: keep one span in this many, per recording thread. Children
+  /// of a skipped span chain to their grandparent — the timeline thins but
+  /// never dangles.
+  std::uint32_t sample_every = 16;
+};
+
+/// Collects completed spans into per-thread rings. start() rewinds the
+/// rings and anchors the epoch; collection is off by default. start() and
+/// stop() are session boundaries: callers must not race them against
+/// in-flight spans (a straggler span is recorded harmlessly but may land
+/// in the next session's window).
 class Tracer {
  public:
-  void start();
+  explicit Tracer(
+      std::size_t ring_capacity = SpanRingSet::kDefaultCapacity);
+
+  void start() { start(TraceConfig{}); }
+  void start(const TraceConfig& config);
   void stop();
   bool collecting() const noexcept {
     return collecting_.load(std::memory_order_relaxed);
   }
 
+  /// Sampling gate, one decision per span open; always true in kFull mode.
+  bool sample() noexcept;
+
+  /// Time-sorted snapshot of every recorded span. Safe to call while
+  /// collection is live (mid-write ring slots are skipped).
   std::vector<SpanRecord> spans() const;
+
+  /// Spans lost to ring wrap-around or thread-count overflow since the
+  /// last start().
+  std::uint64_t dropped() const;
+
   std::uint64_t epoch_ns() const noexcept { return epoch_ns_; }
 
   std::uint64_t next_id() noexcept {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
-  void add(const SpanRecord& span);
+  void add(const SpanRecord& span) { rings_.append(span); }
 
   static Tracer& global();
 
@@ -61,8 +89,25 @@ class Tracer {
   std::atomic<bool> collecting_{false};
   std::atomic<std::uint64_t> next_id_{1};
   std::uint64_t epoch_ns_ = 0;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> spans_;
+  TraceConfig config_;
+  SpanRingSet rings_;
+};
+
+/// Installs `span_id` as the calling thread's current span for the guard's
+/// lifetime, restoring the previous chain on destruction. The worker pool
+/// wraps each task in one of these with the submitter's span id, which is
+/// what makes worker-side spans children of the span that enqueued the
+/// work instead of disconnected roots.
+class SpanParentGuard {
+ public:
+  explicit SpanParentGuard(std::uint64_t span_id) noexcept;
+  ~SpanParentGuard();
+
+  SpanParentGuard(const SpanParentGuard&) = delete;
+  SpanParentGuard& operator=(const SpanParentGuard&) = delete;
+
+ private:
+  std::uint64_t saved_ = 0;
 };
 
 #if LITMUS_OBS_ENABLED

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace litmus::par {
 namespace {
@@ -31,7 +33,7 @@ class ThreadPool {
   explicit ThreadPool(std::size_t workers) {
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, i] { worker_loop(i); });
   }
 
   ~ThreadPool() {
@@ -46,12 +48,20 @@ class ThreadPool {
   std::size_t workers() const noexcept { return threads_.size(); }
 
   void submit(std::function<void()> task) {
+    Task t;
+    t.fn = std::move(task);
+    t.submit_ns = obs::now_ns();
+    // Carry the submitter's span across the queue so spans opened by the
+    // task nest under the span that fanned the work out, not under a
+    // disconnected per-worker root.
+    t.parent_span = obs::current_span_id();
     std::size_t depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(std::move(task));
+      queue_.push_back(std::move(t));
       depth = queue_.size();
     }
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
     if (obs::enabled()) {
       auto& reg = obs::Registry::global();
       reg.counter("parallel.pool.tasks").add();
@@ -61,11 +71,32 @@ class ThreadPool {
     cv_.notify_one();
   }
 
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  std::uint64_t tasks_submitted() const noexcept {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_completed() const noexcept {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void worker_loop() {
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t submit_ns = 0;
+    std::uint64_t parent_span = 0;
+  };
+
+  void worker_loop(std::size_t index) {
+    obs::set_thread_name("pool-worker-" + std::to_string(index));
     RegionGuard region;  // everything a worker runs is a parallel region
+    const std::uint64_t born_ns = obs::now_ns();
+    std::uint64_t busy_ns = 0;
+    obs::Gauge* utilization = nullptr;  // lazily resolved, then cached
     for (;;) {
-      std::function<void()> task;
+      Task task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -77,15 +108,38 @@ class ThreadPool {
               .gauge("parallel.pool.queue_depth")
               .set(static_cast<double>(queue_.size()));
       }
-      task();
+      const std::uint64_t run_start = obs::now_ns();
+      {
+        obs::SpanParentGuard parent(task.parent_span);
+        task.fn();
+      }
+      const std::uint64_t run_end = obs::now_ns();
+      busy_ns += run_end - run_start;
+      tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        auto& reg = obs::Registry::global();
+        reg.histogram("pool.task_wait_us")
+            .record(static_cast<double>(run_start - task.submit_ns) / 1000.0);
+        reg.histogram("pool.task_run_us")
+            .record(static_cast<double>(run_end - run_start) / 1000.0);
+        if (utilization == nullptr)
+          utilization = &reg.gauge("pool.worker." + std::to_string(index) +
+                                   ".utilization");
+        const std::uint64_t alive_ns = run_end - born_ns;
+        if (alive_ns > 0)
+          utilization->set(static_cast<double>(busy_ns) /
+                           static_cast<double>(alive_ns));
+      }
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::atomic<std::uint64_t> tasks_completed_{0};
 };
 
 std::atomic<std::size_t> g_configured{0};
@@ -223,6 +277,19 @@ void parallel_for(std::size_t n_items,
                   [&fn](std::size_t, std::size_t begin, std::size_t end) {
                     for (std::size_t i = begin; i < end; ++i) fn(i);
                   });
+}
+
+PoolStats pool_stats() {
+  PoolStats stats;
+  PoolHolder& h = holder();
+  std::lock_guard<std::mutex> lock(h.mu);
+  if (h.pool) {
+    stats.workers = h.pool->workers();
+    stats.queue_depth = h.pool->queue_depth();
+    stats.tasks_submitted = h.pool->tasks_submitted();
+    stats.tasks_completed = h.pool->tasks_completed();
+  }
+  return stats;
 }
 
 }  // namespace litmus::par

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace litmus::par {
@@ -60,5 +61,19 @@ void parallel_chunks(
 /// chunks. Use when per-item work is independent and order-free.
 void parallel_for(std::size_t n_items,
                   const std::function<void(std::size_t i)>& fn);
+
+/// Live pool telemetry for heartbeats and run summaries. All zeros until
+/// the first parallel call creates the pool; lifetime counters reset when
+/// set_threads() forces a pool rebuild.
+struct PoolStats {
+  std::size_t workers = 0;
+  std::size_t queue_depth = 0;        ///< tasks waiting right now
+  std::uint64_t tasks_submitted = 0;  ///< lifetime, this pool instance
+  std::uint64_t tasks_completed = 0;  ///< lifetime, this pool instance
+};
+
+/// Snapshot of the current pool's counters (cheap; one mutex + two relaxed
+/// loads). Safe to call from any thread, including pool workers.
+PoolStats pool_stats();
 
 }  // namespace litmus::par

@@ -126,6 +126,31 @@ TEST(ManifestTest, OpenOutputFileCreatesParentsAndRotates) {
   EXPECT_EQ(content, "second");
 }
 
+TEST(ManifestTest, RepeatedRotationNeverClobbersEarlierRotations) {
+  // Regression: the second rotation used to overwrite <path>.old, losing
+  // the first run's output. Now each rotation picks the first free
+  // .old / .old.N slot.
+  TempDir dir;
+  const std::string path = dir.file("out.json");
+  const char* generations[] = {"first", "second", "third", "fourth"};
+  for (const char* text : generations) {
+    std::ofstream out = open_output_file(path);
+    out << text;
+  }
+  auto read = [](const std::string& p) {
+    std::ifstream in(p);
+    std::string s;
+    in >> s;
+    return s;
+  };
+  // Every generation survives, each in its own slot, oldest in .old.
+  EXPECT_EQ(read(path + ".old"), "first");
+  EXPECT_EQ(read(path + ".old.1"), "second");
+  EXPECT_EQ(read(path + ".old.2"), "third");
+  EXPECT_EQ(read(path), "fourth");
+  EXPECT_FALSE(fs::exists(path + ".old.3"));
+}
+
 TEST(ManifestTest, WriteFileProducesParsableStandaloneManifest) {
   TempDir dir;
   RunManifest m;

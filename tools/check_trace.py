@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by --profile-json.
+
+Checks, in order:
+  1. the file parses as JSON and has a non-empty traceEvents array
+     (a bare event array is also accepted);
+  2. every event carries the required fields (name, ph, ts, pid, tid)
+     with sane types, and ph is one of B/E/X/M/i;
+  3. per tid, timestamps are monotonically non-decreasing in file order
+     (the writer emits each thread's events in stack order);
+  4. per tid, B and E events pair up LIFO with matching names — no
+     unmatched E, nothing left open at the end;
+  5. at least one thread_name metadata event names a thread (Perfetto
+     needs it to label the tracks).
+
+Exit status: 0 valid, 1 validation failure, 2 usage / unreadable file.
+
+Usage:
+  check_trace.py TRACE.json [--min-spans N]
+
+--min-spans fails the check when fewer than N duration spans (B/E pairs
+plus X events) are present — a smoke guard against an instrumented run
+that silently recorded nothing.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace file to validate")
+    ap.add_argument("--min-spans", type=int, default=1, metavar="N",
+                    help="require at least N duration spans (default 1)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_trace: cannot read {args.trace}: {e}")
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"{args.trace} is not valid JSON: {e}")
+
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if events is None:
+            fail("top-level object has no 'traceEvents' key")
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        fail(f"top-level JSON is {type(doc).__name__}, expected object or array")
+    if not isinstance(events, list):
+        fail("'traceEvents' is not an array")
+    if not events:
+        fail("'traceEvents' is empty")
+
+    required = {"name": str, "ph": str, "pid": int, "tid": int}
+    phases_seen = set()
+    # per tid: open B-event name stack, and last timestamp seen
+    stacks = {}
+    last_ts = {}
+    spans = 0
+    named_threads = {}
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        for key, typ in required.items():
+            if key not in ev:
+                fail(f"event #{i} missing required field '{key}': {ev}")
+            if not isinstance(ev[key], typ) or isinstance(ev[key], bool):
+                fail(f"event #{i} field '{key}' has wrong type: {ev}")
+        ph = ev["ph"]
+        if ph not in ("B", "E", "X", "M", "i"):
+            fail(f"event #{i} has unknown phase '{ph}': {ev}")
+        phases_seen.add(ph)
+        tid = ev["tid"]
+
+        if ph == "M":
+            if ev["name"] == "thread_name":
+                name = ev.get("args", {}).get("name")
+                if not isinstance(name, str) or not name:
+                    fail(f"thread_name metadata event #{i} has no args.name")
+                named_threads[tid] = name
+            continue  # metadata events carry no meaningful ts
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            fail(f"event #{i} has missing or non-numeric 'ts': {ev}")
+        if tid in last_ts and ts < last_ts[tid]:
+            fail(f"event #{i} goes back in time on tid {tid}: "
+                 f"ts {ts} after {last_ts[tid]}")
+        last_ts[tid] = ts
+
+        if ph == "B":
+            stacks.setdefault(tid, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(tid)
+            if not stack:
+                fail(f"event #{i}: E with no open B on tid {tid}: {ev}")
+            opened = stack.pop()
+            if opened != ev["name"]:
+                fail(f"event #{i}: E '{ev['name']}' closes B '{opened}' "
+                     f"on tid {tid} (not LIFO)")
+            spans += 1
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+                fail(f"X event #{i} has missing or non-numeric 'dur': {ev}")
+            spans += 1
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"tid {tid} ends with {len(stack)} unclosed B event(s): "
+                 f"{stack}")
+    if not named_threads:
+        fail("no thread_name metadata events — tracks would be unlabeled")
+    if spans < args.min_spans:
+        fail(f"only {spans} duration span(s), need at least {args.min_spans}")
+
+    print(f"check_trace: OK: {len(events)} event(s), {spans} span(s), "
+          f"{len(named_threads)} named thread(s) "
+          f"({', '.join(sorted(named_threads.values()))}), "
+          f"phases {{{', '.join(sorted(phases_seen))}}}")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
