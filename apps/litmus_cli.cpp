@@ -63,6 +63,7 @@
 #include "obs/trace.h"
 #include "parallel/pool.h"
 #include "simkit/generator.h"
+#include "tsmath/simd/dispatch.h"
 #include "simkit/network_events.h"
 #include "simkit/seasonality.h"
 
@@ -81,6 +82,8 @@ int usage() {
                "[--explain]\n"
                "              [--threads N] [--panel-cache-mb N] "
                "[--snapshot-cache DIR]\n"
+               "              [--simd scalar|sse2|avx2|avx512|neon] "
+               "[--fast-math-kernels]\n"
                "              [--metrics-json FILE] [--trace-json FILE] "
                "[--events-jsonl FILE]\n"
                "              [--profile-json FILE] [--profile-sample N]\n"
@@ -88,6 +91,7 @@ int usage() {
                "FILE\n"
                "              [--threads N] [--panel-cache-mb N] "
                "[--snapshot-cache DIR] [--seed N]\n"
+               "              [--simd TIER] [--fast-math-kernels]\n"
                "              [--metrics-json FILE] [--trace-json FILE] "
                "[--events-jsonl FILE]\n"
                "              [--profile-json FILE] [--profile-sample N]\n"
@@ -106,6 +110,11 @@ int usage() {
                "series-ingest cache keyed by the CSV's fingerprint; repeated\n"
                "runs over an unchanged export skip parsing entirely and are\n"
                "bit-identical to a parsed run.\n"
+               "--simd TIER (or LITMUS_SIMD): force the SIMD kernel tier\n"
+               "instead of the detected best; results are bit-identical at\n"
+               "any tier. --fast-math-kernels enables reassociated (FMA)\n"
+               "kernels — faster, but results may differ in the last bits;\n"
+               "recorded in the manifest and GATING for diff-runs.\n"
                "--events-jsonl FILE: structured JSONL event stream; also\n"
                "writes run_manifest.json + metrics.json into FILE's\n"
                "directory, the layout diff-runs consumes.\n"
@@ -148,6 +157,9 @@ class ObsSession {
     manifest_.tool = "litmus_cli " + command;
     manifest_.build_flags = obs::build_flags_string();
     manifest_.threads = par::threads();
+    manifest_.simd_detected = ts::simd::tier_name(ts::simd::detected_tier());
+    manifest_.simd_dispatch = ts::simd::tier_name(ts::simd::active_tier());
+    manifest_.fast_math = ts::simd::fast_math();
     manifest_.started_at_utc = obs::utc_timestamp_now();
     for (const auto& [key, value] : args)
       manifest_.add_config("--" + key, value);
@@ -308,6 +320,26 @@ void apply_panel_cache_flag(const std::map<std::string, std::string>& args) {
       static_cast<std::size_t>(*v) << 20);
 }
 
+// --simd TIER forces the kernel dispatch tier (else LITMUS_SIMD, else the
+// best the host supports); default-mode results are bit-identical at any
+// tier (DESIGN.md §13). --fast-math-kernels switches the dot/Gram kernels
+// to their reassociated FMA variants: faster, but the last bits may move,
+// so the manifest records it and diff-runs gates on it.
+void apply_simd_flags(const std::map<std::string, std::string>& args) {
+  if (const auto it = args.find("simd"); it != args.end()) {
+    const auto tier = ts::simd::parse_tier(it->second);
+    if (!tier)
+      throw std::runtime_error(
+          "bad --simd: " + it->second +
+          " (want scalar|sse2|avx2|avx512|neon)");
+    if (!ts::simd::set_active_tier(*tier))
+      throw std::runtime_error("--simd " + it->second +
+                               " is not supported on this host/build (" +
+                               ts::simd::describe() + ")");
+  }
+  if (args.contains("fast-math-kernels")) ts::simd::set_fast_math(true);
+}
+
 // --snapshot-cache DIR (else LITMUS_SNAPSHOT_CACHE) enables the binary
 // series-ingest cache (DESIGN.md §11); loaded results are bit-identical
 // to parsing, so the setting never gates diff-runs.
@@ -417,6 +449,7 @@ int assess(const std::map<std::string, std::string>& args) {
 
   apply_threads_flag(args);  // validate before the expensive loads
   apply_panel_cache_flag(args);
+  apply_simd_flags(args);
 
   // The session opens before the loads so the ingest layer's counters and
   // throughput gauges land in --metrics-json.
@@ -501,6 +534,7 @@ int batch(const std::map<std::string, std::string>& args) {
 
   apply_threads_flag(args);  // validate before the expensive loads
   apply_panel_cache_flag(args);
+  apply_simd_flags(args);
 
   ObsSession obs_session("batch", args);
 
@@ -667,6 +701,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "--version" || cmd == "version") {
       std::printf("litmus_cli %s\n", obs::kLitmusVersion);
+      std::printf("simd: %s\n", ts::simd::describe().c_str());
       return 0;
     }
     if (cmd == "--help" || cmd == "help") {
@@ -681,9 +716,10 @@ int main(int argc, char** argv) {
       static const std::set<std::string> kSharedFlags = {
           "metrics-json",   "trace-json",     "threads",
           "seed",           "events-jsonl",   "panel-cache-mb",
-          "snapshot-cache", "profile-json",   "profile-sample"};
+          "snapshot-cache", "profile-json",   "profile-sample",
+          "simd"};
       std::set<std::string> valued = kSharedFlags;
-      std::set<std::string> boolean;
+      std::set<std::string> boolean = {"fast-math-kernels"};
       if (cmd == "assess") {
         valued.insert({"topology", "series", "study", "kpi", "change-bin",
                        "controls", "select", "before-days", "after-days"});

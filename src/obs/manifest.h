@@ -25,7 +25,7 @@ namespace litmus::obs {
 class JsonWriter;
 
 /// Library semantic version, single-sourced for the CLI and the benches.
-inline constexpr const char* kLitmusVersion = "0.6.0";
+inline constexpr const char* kLitmusVersion = "0.7.0";
 
 /// Identifier of the RNG substream scheme (DESIGN.md §8): per-iteration
 /// counter-based forks, Rng(seed).fork(iteration). Recorded so a future
@@ -48,6 +48,15 @@ struct RunManifest {
   std::uint64_t seed = 0;   ///< sampling seed of the run
   std::string rng_scheme = kRngScheme;
   std::string started_at_utc;  ///< informational; ignored by diff-runs
+  /// SIMD dispatch provenance (tsmath/simd/dispatch.h), set by entry
+  /// points — obs cannot depend on tsmath. `simd_detected` is the best
+  /// tier the host supports, `simd_dispatch` the tier actually run
+  /// (after LITMUS_SIMD / --simd overrides). Both are informational to
+  /// diff-runs: the default kernels are bit-identical across tiers.
+  /// `fast_math` is GATING: reassociated kernels may change results.
+  std::string simd_detected;
+  std::string simd_dispatch;
+  bool fast_math = false;
   /// Fully resolved configuration as key/value pairs, in insertion order
   /// (flags as given plus defaults the run actually used).
   std::vector<std::pair<std::string, std::string>> config;

@@ -231,6 +231,16 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
                  gate_manifest);
   compare_scalar(report.manifest, a.manifest, b.manifest, "threads",
                  /*gating=*/false);
+  // Dispatch tier is like the thread count: the default kernels are
+  // bit-identical across tiers (DESIGN.md §13), so a scalar run and an
+  // AVX-512 run of the same inputs are equivalent. fast_math gates — the
+  // reassociated kernels may round differently.
+  compare_scalar(report.manifest, a.manifest, b.manifest, "simd_detected",
+                 /*gating=*/false);
+  compare_scalar(report.manifest, a.manifest, b.manifest, "simd_dispatch",
+                 /*gating=*/false);
+  compare_scalar(report.manifest, a.manifest, b.manifest, "fast_math",
+                 gate_manifest);
   {
     // Flags that cannot change results are reported but never gate:
     // output destinations differ between any two runs by construction
@@ -244,7 +254,7 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
     const auto informational = [](const std::string& k) {
       for (const char* name :
            {"--events-jsonl", "--metrics-json", "--trace-json",
-            "--panel-cache-mb", "--snapshot-cache"})
+            "--panel-cache-mb", "--snapshot-cache", "--simd"})
         if (k == name) return true;
       return k.starts_with("ingest.");
     };

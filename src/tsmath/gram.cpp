@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tsmath/simd/kernels.h"
 #include "tsmath/timeseries.h"
 
 namespace litmus::ts {
@@ -21,50 +22,16 @@ inline bool test_bit(std::span<const std::uint64_t> bits,
   return (bits[i / kWordBits] >> (i % kWordBits)) & 1u;
 }
 
-inline void set_bit(std::span<std::uint64_t> bits, std::size_t i) noexcept {
-  bits[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
-}
-
 // Accumulates the augmented Gram matrix over `cols` packed (contiguous,
 // complete-case) columns of `n` rows each into `g`, a (cols+1)² row-major
-// buffer. Column pairs are processed two at a time so the shared left
-// column is loaded once per row (register blocking); every scalar still
-// accumulates its rows in ascending order, so the result is bit-identical
-// to the naive pair-at-a-time loop regardless of blocking.
+// buffer. Routed through the dispatched SIMD kernel: all tiers follow the
+// same fixed 8-lane block accumulation order (simd/dispatch.h), so the
+// result is identical whichever tier runs it.
 void accumulate_gram(const double* packed, std::size_t n, std::size_t cols,
                      std::vector<double>& g) {
   const std::size_t aug = cols + 1;
   g.assign(aug * aug, 0.0);
-  g[0] = static_cast<double>(n);
-  for (std::size_t c = 0; c < cols; ++c) {
-    const double* pc = packed + c * n;
-    double s = 0.0;
-    for (std::size_t r = 0; r < n; ++r) s += pc[r];
-    g[0 * aug + (c + 1)] = s;
-    g[(c + 1) * aug + 0] = s;
-    std::size_t d = c;
-    for (; d + 1 < cols; d += 2) {
-      const double* pd0 = packed + d * n;
-      const double* pd1 = packed + (d + 1) * n;
-      double dot0 = 0.0, dot1 = 0.0;
-      for (std::size_t r = 0; r < n; ++r) {
-        const double v = pc[r];
-        dot0 += v * pd0[r];
-        dot1 += v * pd1[r];
-      }
-      g[(c + 1) * aug + (d + 1)] = dot0;
-      g[(d + 1) * aug + (c + 1)] = dot0;
-      g[(c + 1) * aug + (d + 2)] = dot1;
-      g[(d + 2) * aug + (c + 1)] = dot1;
-    }
-    if (d < cols) {
-      const double* pd = packed + d * n;
-      double dot = 0.0;
-      for (std::size_t r = 0; r < n; ++r) dot += pc[r] * pd[r];
-      g[(c + 1) * aug + (d + 1)] = dot;
-      g[(d + 1) * aug + (c + 1)] = dot;
-    }
-  }
+  simd::accumulate_gram(packed, n, cols, g.data());
 }
 
 }  // namespace
@@ -81,10 +48,8 @@ GramPanel GramPanel::build(const Matrix& design) {
 
   for (std::size_t c = 0; c < p.n_cols_; ++c) {
     const auto col = design.column(c);
-    const std::span<std::uint64_t> bits{p.col_missing_.data() + c * p.words_,
-                                        p.words_};
-    for (std::size_t r = 0; r < p.m_; ++r)
-      if (is_missing(col[r])) set_bit(bits, r);
+    std::uint64_t* bits = p.col_missing_.data() + c * p.words_;
+    simd::scan_missing_bits(col, bits);
     for (std::size_t w = 0; w < p.words_; ++w) p.x_missing_[w] |= bits[w];
   }
 
@@ -126,9 +91,8 @@ bool GramSystem::bind(const GramPanel& panel, std::span<const double> y,
   with_intercept_ = with_intercept;
   if (!panel.ok_ || y.size() != panel.m_) return false;
 
-  y_missing_.assign(panel.words_, 0);
-  for (std::size_t r = 0; r < panel.m_; ++r)
-    if (is_missing(y[r])) set_bit(y_missing_, r);
+  y_missing_.resize(panel.words_);
+  simd::scan_missing_bits(y, y_missing_.data());
 
   all_missing_.resize(panel.words_);
   bool reduced = false;
@@ -175,19 +139,16 @@ bool GramSystem::bind(const GramPanel& panel, std::span<const double> y,
     accumulate_gram(cols_data, n_rows_, panel.n_cols_, g_reduced_);
   }
 
-  sum_y_ = 0.0;
-  yty_ = 0.0;
-  for (std::size_t i = 0; i < n_rows_; ++i) {
-    sum_y_ += y_packed[i];
-    yty_ += y_packed[i] * y_packed[i];
-  }
+  // X̃ᵀy GEMV through the dispatched kernels: Σy, yᵀy, then one packed
+  // column·y dot per predictor.
+  const std::span<const double> yp{y_packed.data(), n_rows_};
+  sum_y_ = simd::sum(yp);
+  yty_ = simd::dot(yp, yp);
   xty_.assign(panel.n_cols_ + 1, 0.0);
   xty_[0] = sum_y_;
   for (std::size_t c = 0; c < panel.n_cols_; ++c) {
     const double* pc = cols_data + c * n_rows_;
-    double dot = 0.0;
-    for (std::size_t i = 0; i < n_rows_; ++i) dot += pc[i] * y_packed[i];
-    xty_[c + 1] = dot;
+    xty_[c + 1] = simd::dot({pc, n_rows_}, yp);
   }
   ok_ = true;
   return true;

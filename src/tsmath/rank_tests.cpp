@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "parallel/workspace.h"
 #include "tsmath/normal.h"
 #include "tsmath/ranks.h"
+#include "tsmath/simd/kernels.h"
 #include "tsmath/stats.h"
 
 namespace litmus::ts {
@@ -46,12 +48,25 @@ void observe_test(const TestMetrics& m, const TestResult& r) {
   if (r.shift != Shift::kNone) m.significant.add();
 }
 
-std::vector<double> observed_of(std::span<const double> xs) {
-  std::vector<double> out;
+// par::Workspace slots 18-23 belong to this module (ranks.cpp owns 16-17,
+// the spatial regression loop 0-15). Both tests are called once per
+// assessment inside the batch sweep's parallel chunks; routing every
+// gather and intermediate through the thread's workspace keeps the
+// steady-state call allocation-free.
+constexpr std::size_t kXSlot = 18;       // observed x values
+constexpr std::size_t kYSlot = 19;       // observed y values
+constexpr std::size_t kPooledSlot = 20;  // WMW pooled sample
+constexpr std::size_t kRanksSlot = 21;   // WMW midranks
+constexpr std::size_t kUxSlot = 20;      // FP placements (WMW slots free)
+constexpr std::size_t kUySlot = 21;
+
+// Gathers the observed (non-NaN) values of `xs` into the workspace buffer
+// `out`, preserving order.
+void observed_into(std::span<const double> xs, std::vector<double>& out) {
+  out.clear();
   out.reserve(xs.size());
   for (double v : xs)
     if (!is_missing(v)) out.push_back(v);
-  return out;
 }
 
 Shift classify(double z, double p, double alpha) {
@@ -85,21 +100,30 @@ namespace {
 TestResult wilcoxon_mann_whitney_impl(std::span<const double> xs,
                                       std::span<const double> ys,
                                       double alpha) {
-  const std::vector<double> x = observed_of(xs);
-  const std::vector<double> y = observed_of(ys);
+  auto& ws = par::this_thread_workspace();
+  auto& x = ws.doubles(kXSlot);
+  auto& y = ws.doubles(kYSlot);
+  observed_into(xs, x);
+  observed_into(ys, y);
   TestResult r;
   r.n_x = x.size();
   r.n_y = y.size();
   if (x.size() < 2 || y.size() < 2) return r;
 
-  std::vector<double> pooled;
+  auto& pooled = ws.doubles(kPooledSlot);
+  pooled.clear();
   pooled.reserve(x.size() + y.size());
   pooled.insert(pooled.end(), x.begin(), x.end());
   pooled.insert(pooled.end(), y.begin(), y.end());
-  const std::vector<double> ranks = midranks(pooled);
 
-  double rank_sum_x = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) rank_sum_x += ranks[i];
+  // One sort produces both the midranks and the tie correction (the old
+  // tie_correction_sum call re-sorted the pooled sample from scratch).
+  auto& ranks = ws.doubles(kRanksSlot);
+  ranks.resize(pooled.size());
+  double ties = 0.0;
+  midranks_into(pooled, ranks, &ties);
+
+  const double rank_sum_x = simd::sum({ranks.data(), x.size()});
 
   const double m = static_cast<double>(x.size());
   const double n = static_cast<double>(y.size());
@@ -111,7 +135,6 @@ TestResult wilcoxon_mann_whitney_impl(std::span<const double> xs,
   }
   const double mu = m * n / 2.0;
   const double big_n = m + n;
-  const double ties = tie_correction_sum(pooled);
   const double var =
       m * n / 12.0 *
       ((big_n + 1.0) - ties / (big_n * (big_n - 1.0)));
@@ -131,16 +154,24 @@ TestResult wilcoxon_mann_whitney_impl(std::span<const double> xs,
 
 TestResult robust_rank_order_impl(std::span<const double> xs,
                                   std::span<const double> ys, double alpha) {
-  const std::vector<double> x = observed_of(xs);
-  const std::vector<double> y = observed_of(ys);
+  auto& ws = par::this_thread_workspace();
+  auto& x = ws.doubles(kXSlot);
+  auto& y = ws.doubles(kYSlot);
+  observed_into(xs, x);
+  observed_into(ys, y);
   TestResult r;
   r.n_x = x.size();
   r.n_y = y.size();
   if (x.size() < 2 || y.size() < 2) return r;
 
   // Placements: u_x[i] = #(y < x_i), u_y[j] = #(x < y_j) (ties count half).
-  const std::vector<double> u_x = placements(x, y);
-  const std::vector<double> u_y = placements(y, x);
+  // One fused call so the sorted path sorts each sample exactly once; the
+  // counting path sweeps the SIMD comparison kernel instead.
+  auto& u_x = ws.doubles(kUxSlot);
+  auto& u_y = ws.doubles(kUySlot);
+  u_x.resize(x.size());
+  u_y.resize(y.size());
+  placement_pair_into(x, y, u_x, u_y);
 
   const double m = static_cast<double>(x.size());
   const double n = static_cast<double>(y.size());

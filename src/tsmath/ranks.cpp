@@ -2,21 +2,68 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
+#include "parallel/workspace.h"
+#include "tsmath/simd/kernels.h"
 #include "tsmath/timeseries.h"
 
 namespace litmus::ts {
+namespace {
 
-std::vector<double> midranks(std::span<const double> xs) {
-  std::vector<std::size_t> idx;
+// par::Workspace slot assignments. The workspace is shared by everything
+// running on the thread, so slots are partitioned by module: the spatial
+// regression chunk loop owns 0-15, the ranking kernels here own 16-17,
+// and the rank tests (rank_tests.cpp) own 18-23.
+constexpr std::size_t kIdxSlot = 16;       // midranks: sort permutation
+constexpr std::size_t kSortedSlot = 16;    // placements/ties: sorted copy
+constexpr std::size_t kSortedSlot2 = 17;   // placement_pair: second copy
+
+// Counting beats sort+binary-search while m·n (SIMD-swept, ~8 compares
+// per cycle) is below the (m+n)·log(n) sort cost plus its constant. Both
+// paths yield exact half-integer counts, so this only moves time, never
+// bits. Sizes are raw span lengths: deterministic for a given call.
+constexpr std::size_t kCountingCrossover = 32768;
+
+// Gathers the observed (non-NaN) values of `xs` into `out` (workspace
+// buffer), preserving order.
+void gather_observed(std::span<const double> xs, std::vector<double>& out) {
+  out.clear();
+  out.reserve(xs.size());
+  for (const double v : xs)
+    if (!is_missing(v)) out.push_back(v);
+}
+
+// Placement of every observed x against an ascending sorted sample.
+void place_against_sorted(std::span<const double> xs,
+                          const std::vector<double>& sorted,
+                          std::span<double> out) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (is_missing(xs[i])) {
+      out[i] = kMissing;
+      continue;
+    }
+    const auto lo = std::lower_bound(sorted.begin(), sorted.end(), xs[i]);
+    const auto hi = std::upper_bound(lo, sorted.end(), xs[i]);
+    const double below = static_cast<double>(lo - sorted.begin());
+    const double equal = static_cast<double>(hi - lo);
+    out[i] = below + 0.5 * equal;
+  }
+}
+
+}  // namespace
+
+void midranks_into(std::span<const double> xs, std::span<double> out,
+                   double* tie_correction) {
+  auto& idx = par::this_thread_workspace().indices(kIdxSlot);
+  idx.clear();
   idx.reserve(xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i)
     if (!is_missing(xs[i])) idx.push_back(i);
   std::sort(idx.begin(), idx.end(),
             [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
 
-  std::vector<double> ranks(xs.size(), kMissing);
+  std::fill(out.begin(), out.end(), kMissing);
+  double ties = 0.0;
   std::size_t i = 0;
   while (i < idx.size()) {
     std::size_t j = i;
@@ -24,37 +71,85 @@ std::vector<double> midranks(std::span<const double> xs) {
     // Positions i..j (0-based) share the mid-rank of 1-based ranks i+1..j+1.
     const double r = 0.5 * (static_cast<double>(i + 1) +
                             static_cast<double>(j + 1));
-    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = r;
+    for (std::size_t k = i; k <= j; ++k) out[idx[k]] = r;
+    const double t = static_cast<double>(j - i + 1);
+    ties += t * t * t - t;
     i = j + 1;
   }
+  if (tie_correction != nullptr) *tie_correction = ties;
+}
+
+std::vector<double> midranks(std::span<const double> xs) {
+  std::vector<double> ranks(xs.size());
+  midranks_into(xs, ranks);
   return ranks;
+}
+
+void placements_counting_into(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::span<double> out) {
+  // The comparison kernel is NaN-safe (missing ys count as neither below
+  // nor equal), so the raw control sample needs no gathering pass.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (is_missing(xs[i])) {
+      out[i] = kMissing;
+      continue;
+    }
+    const simd::CmpCount c = simd::count_cmp(ys, xs[i]);
+    out[i] = static_cast<double>(c.below) +
+             0.5 * static_cast<double>(c.equal);
+  }
+}
+
+void placements_sorted_into(std::span<const double> xs,
+                            std::span<const double> ys,
+                            std::span<double> out) {
+  auto& sorted_y = par::this_thread_workspace().doubles(kSortedSlot);
+  gather_observed(ys, sorted_y);
+  std::sort(sorted_y.begin(), sorted_y.end());
+  place_against_sorted(xs, sorted_y, out);
+}
+
+void placements_into(std::span<const double> xs, std::span<const double> ys,
+                     std::span<double> out) {
+  if (xs.size() * ys.size() <= kCountingCrossover) {
+    placements_counting_into(xs, ys, out);
+  } else {
+    placements_sorted_into(xs, ys, out);
+  }
+}
+
+void placement_pair_into(std::span<const double> xs,
+                         std::span<const double> ys, std::span<double> u_x,
+                         std::span<double> u_y) {
+  if (xs.size() * ys.size() <= kCountingCrossover) {
+    placements_counting_into(xs, ys, u_x);
+    placements_counting_into(ys, xs, u_y);
+    return;
+  }
+  // One sort per sample covers both directions (the naive pair of
+  // placements() calls would sort each control sample from scratch).
+  auto& ws = par::this_thread_workspace();
+  auto& sorted_y = ws.doubles(kSortedSlot);
+  auto& sorted_x = ws.doubles(kSortedSlot2);
+  gather_observed(ys, sorted_y);
+  gather_observed(xs, sorted_x);
+  std::sort(sorted_y.begin(), sorted_y.end());
+  std::sort(sorted_x.begin(), sorted_x.end());
+  place_against_sorted(xs, sorted_y, u_x);
+  place_against_sorted(ys, sorted_x, u_y);
 }
 
 std::vector<double> placements(std::span<const double> xs,
                                std::span<const double> ys) {
-  std::vector<double> sorted_y;
-  sorted_y.reserve(ys.size());
-  for (double v : ys)
-    if (!is_missing(v)) sorted_y.push_back(v);
-  std::sort(sorted_y.begin(), sorted_y.end());
-
-  std::vector<double> out(xs.size(), kMissing);
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    if (is_missing(xs[i])) continue;
-    const auto lo = std::lower_bound(sorted_y.begin(), sorted_y.end(), xs[i]);
-    const auto hi = std::upper_bound(lo, sorted_y.end(), xs[i]);
-    const double below = static_cast<double>(lo - sorted_y.begin());
-    const double equal = static_cast<double>(hi - lo);
-    out[i] = below + 0.5 * equal;
-  }
+  std::vector<double> out(xs.size());
+  placements_into(xs, ys, out);
   return out;
 }
 
 double tie_correction_sum(std::span<const double> xs) {
-  std::vector<double> v;
-  v.reserve(xs.size());
-  for (double x : xs)
-    if (!is_missing(x)) v.push_back(x);
+  auto& v = par::this_thread_workspace().doubles(kSortedSlot);
+  gather_observed(xs, v);
   std::sort(v.begin(), v.end());
   double sum = 0;
   std::size_t i = 0;

@@ -1,0 +1,75 @@
+// Dispatched hot-path kernels (see dispatch.h for the tier model and the
+// determinism contract). Call the free functions; they route through the
+// KernelTable of the active tier with one relaxed atomic load per call,
+// which is noise against loops of hundreds of rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace litmus::ts::simd {
+
+/// Exact comparison counts of one probe value against a sample.
+struct CmpCount {
+  std::uint64_t below = 0;  ///< #{ j : ys[j] <  x }
+  std::uint64_t equal = 0;  ///< #{ j : ys[j] == x }
+};
+
+/// One tier's kernel implementations. The *_fast entries may reassociate
+/// (FMA + wider unroll); everything else is bit-identical across tiers.
+struct KernelTable {
+  double (*sum)(const double* p, std::size_t n);
+  double (*dot)(const double* a, const double* b, std::size_t n);
+  double (*dot_fast)(const double* a, const double* b, std::size_t n);
+  /// Augmented-Gram accumulation over `cols` packed column-major columns
+  /// of `n` rows into `g`, a zero-initialized (cols+1)² row-major buffer.
+  void (*accumulate_gram)(const double* packed, std::size_t n,
+                          std::size_t cols, double* g);
+  void (*accumulate_gram_fast)(const double* packed, std::size_t n,
+                               std::size_t cols, double* g);
+  /// NaN-safe: NaN sample entries count as neither below nor equal.
+  CmpCount (*count_cmp)(const double* ys, std::size_t n, double x);
+  /// Sets bit i of `bits` (⌈n/64⌉ words, fully overwritten) iff p[i] is
+  /// NaN.
+  void (*scan_missing_bits)(const double* p, std::size_t n,
+                            std::uint64_t* bits);
+  std::size_t (*count_missing)(const double* p, std::size_t n);
+};
+
+/// The active tier's table (after LITMUS_SIMD / --simd overrides).
+const KernelTable& kernels() noexcept;
+
+// ---- convenience wrappers over kernels() ------------------------------
+
+/// Σ p[i], fixed 8-lane block order.
+double sum(std::span<const double> p) noexcept;
+
+/// Σ a[i]·b[i], fixed 8-lane block order; honors fast_math().
+double dot(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Augmented Gram into `g` (pre-sized (cols+1)², will be overwritten);
+/// honors fast_math(). g[0][0] is set to n, row/col 0 to the column sums.
+void accumulate_gram(const double* packed, std::size_t n, std::size_t cols,
+                     double* g) noexcept;
+
+/// Comparison counts of `x` against `ys` (NaN entries of ys ignored).
+CmpCount count_cmp(std::span<const double> ys, double x) noexcept;
+
+/// Missing (NaN) bitmap of `p` into `bits` (⌈n/64⌉ words, overwritten).
+void scan_missing_bits(std::span<const double> p,
+                       std::uint64_t* bits) noexcept;
+
+/// #NaN entries of `p`.
+std::size_t count_missing(std::span<const double> p) noexcept;
+
+// ---- per-tier tables (defined in kernels_<tier>.cpp) ------------------
+// Null when the build could not compile the tier's instructions; the
+// dispatcher then reports the tier as not compiled (dispatch.h).
+const KernelTable* table_scalar() noexcept;
+const KernelTable* table_sse2() noexcept;
+const KernelTable* table_avx2() noexcept;
+const KernelTable* table_avx512() noexcept;
+const KernelTable* table_neon() noexcept;
+
+}  // namespace litmus::ts::simd

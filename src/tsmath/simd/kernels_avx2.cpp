@@ -1,0 +1,20 @@
+// AVX2 tier: two 4-lane registers per 8-lane block. Compiled with
+// -mavx2 -mfma -ffp-contract=off (src/tsmath/CMakeLists.txt): FMA must
+// only ever appear through the explicit madd_fma intrinsics of the
+// fast-math mode, never from compiler contraction of the exact path.
+#include "tsmath/simd/kernels.h"
+
+#if defined(__AVX2__)
+#include "tsmath/simd/kernels_generic.h"
+#include "tsmath/simd/vec.h"
+#endif
+
+namespace litmus::ts::simd {
+
+#if defined(__AVX2__)
+const KernelTable* table_avx2() noexcept { return table_for<Avx2Block>(); }
+#else
+const KernelTable* table_avx2() noexcept { return nullptr; }
+#endif
+
+}  // namespace litmus::ts::simd

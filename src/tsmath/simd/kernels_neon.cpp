@@ -1,0 +1,17 @@
+// NEON tier (aarch64 baseline): four 2-lane registers per 8-lane block.
+#include "tsmath/simd/kernels.h"
+
+#if defined(__aarch64__)
+#include "tsmath/simd/kernels_generic.h"
+#include "tsmath/simd/vec.h"
+#endif
+
+namespace litmus::ts::simd {
+
+#if defined(__aarch64__)
+const KernelTable* table_neon() noexcept { return table_for<NeonBlock>(); }
+#else
+const KernelTable* table_neon() noexcept { return nullptr; }
+#endif
+
+}  // namespace litmus::ts::simd

@@ -1,0 +1,13 @@
+// Scalar tier: the portable reference every other tier must match bit
+// for bit. Compiled at the build's baseline arch (the compiler may still
+// auto-vectorize — per-lane IEEE semantics make that harmless).
+#include "tsmath/simd/kernels.h"
+
+#include "tsmath/simd/kernels_generic.h"
+#include "tsmath/simd/vec.h"
+
+namespace litmus::ts::simd {
+
+const KernelTable* table_scalar() noexcept { return table_for<ScalarBlock>(); }
+
+}  // namespace litmus::ts::simd

@@ -1,0 +1,17 @@
+// SSE2 tier (x86-64 baseline): four 2-lane registers per 8-lane block.
+#include "tsmath/simd/kernels.h"
+
+#if defined(__SSE2__)
+#include "tsmath/simd/kernels_generic.h"
+#include "tsmath/simd/vec.h"
+#endif
+
+namespace litmus::ts::simd {
+
+#if defined(__SSE2__)
+const KernelTable* table_sse2() noexcept { return table_for<Sse2Block>(); }
+#else
+const KernelTable* table_sse2() noexcept { return nullptr; }
+#endif
+
+}  // namespace litmus::ts::simd

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tsmath/simd/kernels.h"
+
 namespace litmus::ts {
 
 bool is_missing(double v) noexcept { return std::isnan(v); }
@@ -38,10 +40,7 @@ void TimeSeries::set_bin(std::int64_t bin, double v) noexcept {
 }
 
 std::size_t TimeSeries::observed_count() const noexcept {
-  std::size_t n = 0;
-  for (double v : values_)
-    if (!is_missing(v)) ++n;
-  return n;
+  return values_.size() - simd::count_missing(values_);
 }
 
 TimeSeries TimeSeries::slice_bins(std::int64_t from, std::int64_t to) const {

@@ -118,6 +118,57 @@ TEST(RanksProperty, PlacementsMatchBruteForce) {
   }
 }
 
+// Both placement implementations — the SIMD compare-and-count kernel and
+// the sort+binary-search path — must agree with the oracle AND with each
+// other exactly, whatever the auto-selection would pick: the size-based
+// crossover may only ever move time, never a bit of output.
+TEST(RanksProperty, PlacementPathsAgreeExactly) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 70);
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 70);
+    const double missing_p = trial % 3 == 0 ? 0.3 : 0.0;
+    const auto xs = rough_sample(rng, m, missing_p);
+    const auto ys = rough_sample(rng, n, missing_p);
+    const auto want = brute_placements(xs, ys);
+
+    std::vector<double> counted(m), sorted(m);
+    placements_counting_into(xs, ys, counted);
+    placements_sorted_into(xs, ys, sorted);
+    expect_same(counted, want);
+    expect_same(sorted, want);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (is_missing(want[i])) continue;
+      // Bit-equality, not tolerance: both paths compute exact integer
+      // counts plus an exact half.
+      EXPECT_EQ(counted[i], sorted[i]) << "index " << i;
+    }
+
+    // The fused pair call must match two independent calls.
+    std::vector<double> u_x(m), u_y(n);
+    placement_pair_into(xs, ys, u_x, u_y);
+    expect_same(u_x, want);
+    expect_same(u_y, brute_placements(ys, xs));
+  }
+}
+
+// midranks_into's fused tie accumulator must match the standalone
+// tie_correction_sum (which re-sorts) exactly.
+TEST(RanksProperty, FusedTieCorrectionMatchesStandalone) {
+  Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0.0, 1.0) * 90);
+    const double missing_p = trial % 2 == 0 ? 0.2 : 0.0;
+    const auto xs = rough_sample(rng, n, missing_p);
+    std::vector<double> ranks(xs.size());
+    double fused = -1.0;
+    midranks_into(xs, ranks, &fused);
+    EXPECT_DOUBLE_EQ(fused, tie_correction_sum(xs));
+    EXPECT_DOUBLE_EQ(fused, brute_tie_correction(xs));
+    expect_same(ranks, brute_midranks(xs));
+  }
+}
+
 TEST(RanksProperty, TieCorrectionMatchesBruteForce) {
   Rng rng(7);
   for (int trial = 0; trial < 60; ++trial) {

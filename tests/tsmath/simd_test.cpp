@@ -1,0 +1,220 @@
+// Bit-identity property tests for the dispatched SIMD kernels: every tier
+// that compiled AND runs on this host must reproduce the scalar tier's
+// results exactly — same bits, not "close" — across odd sizes, unaligned
+// tails, all-missing columns, and tie-heavy inputs. The fast-math kernels
+// are exempt from bit-identity and instead pinned to a relative tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "tsmath/random.h"
+#include "tsmath/simd/dispatch.h"
+#include "tsmath/simd/kernels.h"
+#include "tsmath/timeseries.h"
+
+namespace litmus::ts::simd {
+namespace {
+
+std::vector<const KernelTable*> testable_tiers() {
+  std::vector<const KernelTable*> out;
+  const KernelTable* tables[] = {table_sse2(), table_avx2(), table_avx512(),
+                                 table_neon()};
+  const Tier tiers[] = {Tier::kSse2, Tier::kAvx2, Tier::kAvx512,
+                        Tier::kNeon};
+  for (int i = 0; i < 4; ++i) {
+    if (tables[i] != nullptr && tier_supported(tiers[i]))
+      out.push_back(tables[i]);
+  }
+  return out;
+}
+
+// Sizes that exercise every tail residue mod 8 plus multi-block bodies.
+const std::size_t kSizes[] = {0,  1,  2,  3,  4,  5,  6,  7,  8,  9,
+                              15, 16, 17, 23, 31, 32, 33, 63, 64, 65,
+                              100, 127, 128, 129, 255, 1000};
+
+std::vector<double> draw(Rng& rng, std::size_t n, double missing_p,
+                         bool ties) {
+  std::vector<double> out(n);
+  for (auto& v : out) {
+    if (missing_p > 0.0 && rng.uniform(0.0, 1.0) < missing_p) {
+      v = kMissing;
+    } else if (ties) {
+      v = std::round(rng.normal() * 2.0) / 2.0;
+    } else {
+      v = rng.normal() * 3.0 + rng.uniform(-1.0, 1.0);
+    }
+  }
+  return out;
+}
+
+// Bit-level equality that also matches NaN payloads.
+::testing::AssertionResult same_bits(double a, double b) {
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, 8);
+  std::memcpy(&ub, &b, 8);
+  if (ua == ub) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " (bits differ by " << (ua ^ ub) << ")";
+}
+
+TEST(SimdKernels, SumDotBitIdentical) {
+  const auto tiers = testable_tiers();
+  const KernelTable* sc = table_scalar();
+  ASSERT_NE(sc, nullptr);
+  Rng rng(20260808);
+  for (const std::size_t n : kSizes) {
+    // +3 head slack so we can probe deliberately unaligned base pointers.
+    auto a = draw(rng, n + 3, 0.0, false);
+    auto b = draw(rng, n + 3, 0.0, false);
+    for (std::size_t off = 0; off < 3; ++off) {
+      const double s0 = sc->sum(a.data() + off, n);
+      const double d0 = sc->dot(a.data() + off, b.data() + off, n);
+      for (const KernelTable* t : tiers) {
+        EXPECT_TRUE(same_bits(s0, t->sum(a.data() + off, n)))
+            << "sum n=" << n << " off=" << off;
+        EXPECT_TRUE(same_bits(d0, t->dot(a.data() + off, b.data() + off, n)))
+            << "dot n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, GramBitIdentical) {
+  const auto tiers = testable_tiers();
+  const KernelTable* sc = table_scalar();
+  Rng rng(7);
+  for (const std::size_t cols : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{3}, std::size_t{5},
+                                 std::size_t{8}}) {
+    for (const std::size_t n :
+         {std::size_t{1}, std::size_t{7}, std::size_t{8}, std::size_t{33},
+          std::size_t{100}, std::size_t{257}}) {
+      auto packed = draw(rng, n * cols, 0.0, false);
+      const std::size_t gn = (cols + 1) * (cols + 1);
+      std::vector<double> g0(gn, 0.0);
+      sc->accumulate_gram(packed.data(), n, cols, g0.data());
+      for (const KernelTable* t : tiers) {
+        std::vector<double> g1(gn, 0.0);
+        t->accumulate_gram(packed.data(), n, cols, g1.data());
+        for (std::size_t i = 0; i < gn; ++i) {
+          EXPECT_TRUE(same_bits(g0[i], g1[i]))
+              << "gram cols=" << cols << " n=" << n << " entry=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, CountCmpMatchesBruteForceAndTiers) {
+  const auto tiers = testable_tiers();
+  const KernelTable* sc = table_scalar();
+  Rng rng(99);
+  for (const std::size_t n : kSizes) {
+    // Tie-heavy with missing sprinkled in: NaN must count as neither
+    // below nor equal, exactly like the brute-force loop below.
+    auto ys = draw(rng, n, 0.15, true);
+    for (int probe = 0; probe < 8; ++probe) {
+      const double x = std::round(rng.normal() * 2.0) / 2.0;
+      std::uint64_t below = 0, equal = 0;
+      for (const double y : ys) {
+        if (y < x) ++below;
+        if (y == x) ++equal;
+      }
+      const CmpCount c0 = sc->count_cmp(ys.data(), n, x);
+      EXPECT_EQ(c0.below, below) << "n=" << n;
+      EXPECT_EQ(c0.equal, equal) << "n=" << n;
+      for (const KernelTable* t : tiers) {
+        const CmpCount c1 = t->count_cmp(ys.data(), n, x);
+        EXPECT_EQ(c0.below, c1.below) << "n=" << n;
+        EXPECT_EQ(c0.equal, c1.equal) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MissingScansAgreeIncludingAllMissing) {
+  const auto tiers = testable_tiers();
+  const KernelTable* sc = table_scalar();
+  Rng rng(5);
+  for (const std::size_t n : kSizes) {
+    for (const double p : {0.0, 0.3, 1.0}) {  // none / sparse / all-missing
+      auto xs = draw(rng, n, p, true);
+      const std::size_t words = (n + 63) / 64;
+      std::vector<std::uint64_t> b0(words + 1, ~std::uint64_t{0});
+      std::vector<std::uint64_t> b1(words + 1, ~std::uint64_t{0});
+      sc->scan_missing_bits(xs.data(), n, b0.data());
+      std::size_t expect = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool bit = (b0[i / 64] >> (i % 64)) & 1u;
+        EXPECT_EQ(bit, is_missing(xs[i])) << "n=" << n << " i=" << i;
+        expect += is_missing(xs[i]);
+      }
+      EXPECT_EQ(sc->count_missing(xs.data(), n), expect);
+      for (const KernelTable* t : tiers) {
+        t->scan_missing_bits(xs.data(), n, b1.data());
+        for (std::size_t w = 0; w < words; ++w)
+          EXPECT_EQ(b0[w], b1[w]) << "n=" << n << " word=" << w;
+        EXPECT_EQ(t->count_missing(xs.data(), n), expect) << "n=" << n;
+      }
+      // The word after the bitmap must never be touched.
+      EXPECT_EQ(b0[words], ~std::uint64_t{0});
+      EXPECT_EQ(b1[words], ~std::uint64_t{0});
+    }
+  }
+}
+
+TEST(SimdKernels, FastMathWithinRelativeTolerance) {
+  const auto tiers = testable_tiers();
+  const KernelTable* sc = table_scalar();
+  Rng rng(1234);
+  for (const std::size_t n : {std::size_t{9}, std::size_t{100},
+                              std::size_t{1000}}) {
+    auto a = draw(rng, n, 0.0, false);
+    auto b = draw(rng, n, 0.0, false);
+    const double exact = sc->dot(a.data(), b.data(), n);
+    std::vector<const KernelTable*> all = tiers;
+    all.push_back(sc);
+    for (const KernelTable* t : all) {
+      const double fast = t->dot_fast(a.data(), b.data(), n);
+      EXPECT_NEAR(fast, exact, 1e-9 * (1.0 + std::abs(exact)))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdDispatch, ParseAndNames) {
+  EXPECT_EQ(parse_tier("scalar"), Tier::kScalar);
+  EXPECT_EQ(parse_tier("sse2"), Tier::kSse2);
+  EXPECT_EQ(parse_tier("avx2"), Tier::kAvx2);
+  EXPECT_EQ(parse_tier("avx512"), Tier::kAvx512);
+  EXPECT_EQ(parse_tier("neon"), Tier::kNeon);
+  EXPECT_FALSE(parse_tier("sse4").has_value());
+  EXPECT_FALSE(parse_tier("").has_value());
+  for (int i = 0; i < kTierCount; ++i) {
+    const Tier t = static_cast<Tier>(i);
+    EXPECT_EQ(parse_tier(tier_name(t)), t);
+  }
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailableAndSwitchable) {
+  EXPECT_TRUE(tier_compiled(Tier::kScalar));
+  EXPECT_TRUE(tier_supported(Tier::kScalar));
+  EXPECT_TRUE(tier_supported(detected_tier()));
+  const Tier before = active_tier();
+  ASSERT_TRUE(set_active_tier(Tier::kScalar));
+  EXPECT_EQ(active_tier(), Tier::kScalar);
+  EXPECT_EQ(&kernels(), table_scalar());
+#if defined(__x86_64__) || defined(__i386__)
+  EXPECT_FALSE(set_active_tier(Tier::kNeon));  // never supported on x86
+  EXPECT_EQ(active_tier(), Tier::kScalar);     // failed set leaves state
+#endif
+  ASSERT_TRUE(set_active_tier(before));
+  EXPECT_EQ(active_tier(), before);
+}
+
+}  // namespace
+}  // namespace litmus::ts::simd

@@ -20,7 +20,16 @@ Usage:
 guards BENCH_perf.json (default pair) and BENCH_kernels.json (e.g.
 --key BM_MultiElementSweep/1 --calibration BM_GramBuildCold/64).
 
-Exit status: 0 OK, 1 regression, 2 malformed input.
+A second mode gates an *absolute* speedup within one run — machine-
+independent because both rows come from the same process:
+
+    check_bench_regression.py RESULTS.json --min-speedup 1.5 \
+        --slow "BM_GramAccumulate/64/0" --fast "BM_GramAccumulate/64/1"
+
+fails unless slow_time / fast_time >= the floor (used to assert the SIMD
+tiers actually beat the scalar kernels where they claim to).
+
+Exit status: 0 OK, 1 regression/floor miss, 2 malformed input.
 """
 
 import argparse
@@ -131,7 +140,7 @@ def pick(times, name, path):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="?")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed relative slowdown (default 0.25 = 25%%)")
     ap.add_argument("--key", default=DEFAULT_KEY,
@@ -139,8 +148,37 @@ def main():
     ap.add_argument("--calibration", default=DEFAULT_CALIBRATION,
                     help="CPU-speed normalizer benchmark "
                          f"(default {DEFAULT_CALIBRATION})")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="single-file mode: require --slow to be at least "
+                         "this many times slower than --fast")
+    ap.add_argument("--slow", help="slow row for --min-speedup")
+    ap.add_argument("--fast", help="fast row for --min-speedup")
     args = ap.parse_args()
 
+    if args.min_speedup is not None:
+        if not args.slow or not args.fast:
+            print("error: --min-speedup needs --slow and --fast",
+                  file=sys.stderr)
+            sys.exit(2)
+        path = args.current or args.baseline
+        doc = load_doc(path)
+        if markers := debug_markers(doc):
+            print(f"warning: {path} looks like a debug build: "
+                  f"{'; '.join(markers)}", file=sys.stderr)
+        times = load_times(doc)
+        speedup = pick(times, args.slow, path) / pick(times, args.fast, path)
+        print(f"{args.fast} vs {args.slow}: speedup {speedup:.2f}x"
+              f"  floor {args.min_speedup:.2f}x")
+        if speedup < args.min_speedup:
+            print("FAIL: speedup below the required floor", file=sys.stderr)
+            sys.exit(1)
+        print("OK")
+        return
+
+    if args.current is None:
+        print("error: need BASELINE and CURRENT (or --min-speedup)",
+              file=sys.stderr)
+        sys.exit(2)
     base_doc = load_doc(args.baseline)
     cur_doc = load_doc(args.current)
     warn_on_debug_build(base_doc, cur_doc)
