@@ -30,6 +30,7 @@
 //       summarizes a profile trace (--profile-json output, a --trace-json
 //       span dump, or a run directory containing either) into a per-stage
 //       table: count, total, exact p50/p99, % of wall, slowest spans.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,9 +38,11 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cellnet/builder.h"
@@ -49,11 +52,13 @@
 #include "io/store.h"
 #include "litmus/batch.h"
 #include "litmus/did.h"
+#include "litmus/monitor.h"
 #include "litmus/panel_cache.h"
 #include "litmus/report.h"
 #include "litmus/study_only.h"
 #include "obs/chrometrace.h"
 #include "obs/events.h"
+#include "obs/http.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -95,6 +100,13 @@ int usage() {
                "              [--metrics-json FILE] [--trace-json FILE] "
                "[--events-jsonl FILE]\n"
                "              [--profile-json FILE] [--profile-sample N]\n"
+               "  litmus_cli monitor --topology FILE --series FILE --study "
+               "IDS --kpi NAME --change-bin N\n"
+               "              [--controls IDS | --select region|msc|zip]\n"
+               "              [--before-days N] [--window-days N] "
+               "[--step-hours N] [--confirm N]\n"
+               "              [--tick-ms N] [--linger-ms N] "
+               "[plus the shared assess/batch flags]\n"
                "  litmus_cli diff-runs A_DIR B_DIR [--max-flips N]\n"
                "              [--metric-tolerance F] [--wall-tolerance F] "
                "[--ignore-manifest]\n"
@@ -123,6 +135,16 @@ int usage() {
                "--profile-sample N records 1 span in N (default: all).\n"
                "`profile` summarizes such a file — or a run directory\n"
                "holding profile.json/trace.json — as a p50/p99 stage table.\n"
+               "--serve [ADDR:]PORT (or LITMUS_SERVE): embedded read-only\n"
+               "HTTP plane while the run is in flight — Prometheus /metrics,\n"
+               "/healthz, /readyz (503 when heartbeats go stale; tune with\n"
+               "--ready-stale-ms, default 30000), JSON /status, and\n"
+               "/events?since=SEQ. Port 0 picks an ephemeral port; the bound\n"
+               "address is printed and recorded in the run manifest. All\n"
+               "serve.* metrics are informational to diff-runs.\n"
+               "`monitor` replays stored bins through the sliding-window\n"
+               "state machines (DESIGN.md §12); --tick-ms paces the replay,\n"
+               "--linger-ms keeps the HTTP plane up after the last step.\n"
                "diff-runs exit codes: 0 no drift, 3 drift, 1 error.\n");
   return 2;
 }
@@ -153,6 +175,16 @@ class ObsSession {
       events_path_ = it->second;
     if (const auto it = args.find("profile-json"); it != args.end())
       profile_path_ = it->second;
+    if (const auto it = args.find("serve"); it != args.end())
+      serve_spec_ = it->second;
+    else if (const char* env = std::getenv("LITMUS_SERVE"))
+      serve_spec_ = env;
+    if (const auto it = args.find("ready-stale-ms"); it != args.end()) {
+      const auto v = io::parse_int(it->second);
+      if (!v || *v <= 0)
+        throw std::runtime_error("bad --ready-stale-ms: " + it->second);
+      ready_stale_ms_ = static_cast<std::uint64_t>(*v);
+    }
 
     manifest_.tool = "litmus_cli " + command;
     manifest_.build_flags = obs::build_flags_string();
@@ -164,7 +196,8 @@ class ObsSession {
     for (const auto& [key, value] : args)
       manifest_.add_config("--" + key, value);
 
-    if (!metrics_path_.empty() || !events_path_.empty())
+    if (!metrics_path_.empty() || !events_path_.empty() ||
+        !serve_spec_.empty())
       obs::set_enabled(true);
     if (!trace_path_.empty() || !profile_path_.empty()) {
       obs::set_thread_name("main");
@@ -199,27 +232,75 @@ class ObsSession {
   }
   void set_seed(std::uint64_t seed) { manifest_.seed = seed; }
 
+  /// Registers extra /status members (pool stats are always included;
+  /// this adds command-specific rows, e.g. monitor state machines).
+  /// Call before start().
+  void set_status_fn(obs::HttpServer::StatusFn fn) {
+    status_fn_ = std::move(fn);
+  }
+  bool serving() const noexcept { return server_.running(); }
+
   /// Freezes the manifest, persists it, and opens the event stream; call
-  /// after inputs are registered and before the pipeline runs.
+  /// after inputs are registered and before the pipeline runs. With
+  /// --serve the HTTP plane comes up first so the bound address lands in
+  /// the manifest (and thus in run_manifest.json and every artifact).
   void start() {
-    if (events_path_.empty()) return;
-    run_dir_ = std::filesystem::path(events_path_).parent_path().string();
-    if (run_dir_.empty()) run_dir_ = ".";
-    manifest_.write_file(run_dir_ + "/run_manifest.json");
-    events_ = obs::EventLog::open(events_path_);
-    obs::set_events(events_.get());
-    events_->emit(obs::EventType::kRunStart, [&](obs::JsonWriter& w) {
-      w.member("tool", manifest_.tool)
-          .member("version", manifest_.version)
-          .member("seed", manifest_.seed)
-          .member("threads",
-                  static_cast<std::uint64_t>(manifest_.threads));
-    });
+    if (!serve_spec_.empty()) {
+      const auto addr = obs::parse_serve_addr(serve_spec_);
+      if (!addr)
+        throw std::runtime_error(
+            "bad --serve (want PORT or ADDR:PORT): " + serve_spec_);
+      obs::ServeOptions opts;
+      opts.host = addr->first;
+      opts.port = addr->second;
+      opts.ready_stale_after_ms = ready_stale_ms_;
+      server_.set_manifest(&manifest_);
+      server_.set_status_fn([fn = status_fn_](obs::JsonWriter& w) {
+        const par::PoolStats pool = par::pool_stats();
+        w.key("pool").begin_object();
+        w.member("workers", static_cast<std::uint64_t>(pool.workers))
+            .member("queue_depth",
+                    static_cast<std::uint64_t>(pool.queue_depth))
+            .member("tasks_submitted", pool.tasks_submitted)
+            .member("tasks_completed", pool.tasks_completed);
+        w.end_object();
+        if (fn) fn(w);
+      });
+      const std::string bound = server_.start(opts);
+      manifest_.add_config("serve.addr", bound);
+      std::printf("serving on http://%s  (/metrics /healthz /readyz "
+                  "/status /events)\n",
+                  bound.c_str());
+      std::fflush(stdout);  // CI polls stdout for the bound port
+    }
+    if (!events_path_.empty()) {
+      run_dir_ = std::filesystem::path(events_path_).parent_path().string();
+      if (run_dir_.empty()) run_dir_ = ".";
+      manifest_.write_file(run_dir_ + "/run_manifest.json");
+      events_ = obs::EventLog::open(events_path_);
+    } else if (server_.running()) {
+      // No JSONL file requested, but /events needs something to page:
+      // keep a ring-only log in memory.
+      events_ = std::make_unique<obs::EventLog>();
+    }
+    if (events_) {
+      obs::set_events(events_.get());
+      events_->emit(obs::EventType::kRunStart, [&](obs::JsonWriter& w) {
+        w.member("tool", manifest_.tool)
+            .member("version", manifest_.version)
+            .member("seed", manifest_.seed)
+            .member("threads",
+                    static_cast<std::uint64_t>(manifest_.threads));
+      });
+    }
     run_t0_ns_ = obs::now_ns();
   }
 
   /// Writes the requested dumps; throws on unwritable paths.
   void finish() {
+    // The plane goes down with the run: stop before the final dumps so a
+    // scrape can never observe a half-written end state.
+    server_.stop();
     if (events_) {
       const double wall_s =
           static_cast<double>(obs::now_ns() - run_t0_ns_) / 1e9;
@@ -229,8 +310,10 @@ class ObsSession {
       obs::set_events(nullptr);
       const std::uint64_t n = events_->events_written();
       events_.reset();  // flush + close
-      std::printf("wrote %llu event(s) to %s\n",
-                  static_cast<unsigned long long>(n), events_path_.c_str());
+      if (!events_path_.empty())
+        std::printf("wrote %llu event(s) to %s\n",
+                    static_cast<unsigned long long>(n),
+                    events_path_.c_str());
     }
     if (!trace_path_.empty() || !profile_path_.empty()) {
       obs::Tracer::global().stop();
@@ -292,9 +375,15 @@ class ObsSession {
   std::string events_path_;
   std::string profile_path_;
   std::string run_dir_;
+  std::string serve_spec_;
+  std::uint64_t ready_stale_ms_ = 30000;
+  obs::HttpServer::StatusFn status_fn_;
   obs::RunManifest manifest_;
   std::unique_ptr<obs::EventLog> events_;
   std::uint64_t run_t0_ns_ = 0;
+  // Declared last: destroyed first, so the serving thread joins before
+  // the manifest and event log it reads go away.
+  obs::HttpServer server_;
 };
 
 // --threads N overrides the worker count (else LITMUS_THREADS, else
@@ -569,6 +658,191 @@ int batch(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+// monitor: the paper's "confirm over multiple time-intervals" workflow as
+// a long-running loop — replays stored bins through ChangeMonitor state
+// machines at --step-hours granularity, printing each completed window.
+// This is the daemon mode the live observability plane is built for:
+// --serve exposes per-element monitor state on /status while the loop
+// runs, --tick-ms slows the replay to wall-clock time, and --linger-ms
+// keeps the plane up after the last heartbeat so /readyz demonstrably
+// flips to 503 on staleness.
+int monitor_cmd(const std::map<std::string, std::string>& args) {
+  const auto need = [&](const char* key) -> const std::string& {
+    const auto it = args.find(key);
+    if (it == args.end())
+      throw std::runtime_error(std::string("missing --") + key);
+    return it->second;
+  };
+
+  apply_threads_flag(args);
+  apply_panel_cache_flag(args);
+  apply_simd_flags(args);
+
+  ObsSession obs_session("monitor", args);
+
+  std::ifstream topo_in(need("topology"));
+  if (!topo_in) throw std::runtime_error("cannot open topology file");
+  const net::Topology topo = io::load_topology_csv(topo_in);
+  obs_session.add_input(need("topology"));
+
+  io::SeriesStore store;
+  load_series_input(need("series"), store, args, obs_session);
+
+  const std::vector<net::ElementId> study = parse_ids(need("study"));
+  const auto kpi_id = kpi::parse_kpi(need("kpi"));
+  if (!kpi_id) throw std::runtime_error("unknown KPI name");
+  const auto change_bin = io::parse_int(need("change-bin"));
+  if (!change_bin) throw std::runtime_error("bad --change-bin");
+
+  core::MonitorConfig mcfg;
+  if (const auto it = args.find("before-days"); it != args.end())
+    mcfg.before_bins = static_cast<std::size_t>(std::stoi(it->second)) * 24;
+  if (const auto it = args.find("window-days"); it != args.end())
+    mcfg.window_bins = static_cast<std::size_t>(std::stoi(it->second)) * 24;
+  if (const auto it = args.find("step-hours"); it != args.end())
+    mcfg.step_bins = static_cast<std::size_t>(std::stoi(it->second));
+  if (const auto it = args.find("confirm"); it != args.end())
+    mcfg.confirm_windows = static_cast<std::size_t>(std::stoi(it->second));
+  if (const auto it = args.find("seed"); it != args.end()) {
+    const auto v = io::parse_int(it->second);
+    if (!v || *v < 0) throw std::runtime_error("bad --seed: " + it->second);
+    mcfg.regression.seed = static_cast<std::uint64_t>(*v);
+  }
+
+  const auto parse_ms = [&](const char* key) -> std::uint64_t {
+    const auto it = args.find(key);
+    if (it == args.end()) return 0;
+    const auto v = io::parse_int(it->second);
+    if (!v || *v < 0)
+      throw std::runtime_error(std::string("bad --") + key + ": " +
+                               it->second);
+    return static_cast<std::uint64_t>(*v);
+  };
+  const std::uint64_t tick_ms = parse_ms("tick-ms");
+  const std::uint64_t linger_ms = parse_ms("linger-ms");
+
+  std::vector<net::ElementId> controls;
+  if (const auto it = args.find("controls"); it != args.end()) {
+    controls = parse_ids(it->second);
+  } else {
+    std::string mode = "region";
+    if (const auto sel = args.find("select"); sel != args.end())
+      mode = sel->second;
+    core::ControlPredicate pred;
+    if (mode == "region")
+      pred = core::all_of({core::same_region(), core::same_technology()});
+    else if (mode == "msc")
+      pred = core::all_of({core::same_upstream(net::ElementKind::kMsc),
+                           core::same_technology()});
+    else if (mode == "zip")
+      pred = core::all_of({core::same_zip(), core::same_technology()});
+    else
+      throw std::runtime_error("unknown --select mode: " + mode);
+    const core::SelectionResult sel =
+        core::select_control_group(topo, study, pred);
+    if (!sel.meets_min_size)
+      throw std::runtime_error(
+          "control selection too small; pass --controls explicitly");
+    controls = sel.controls;
+    obs_session.note("monitor.controls_selected",
+                     std::to_string(controls.size()));
+  }
+
+  // Data horizon: the last bin any study series reaches for this KPI.
+  std::int64_t horizon = *change_bin;
+  for (const auto e : study)
+    if (store.contains(e, *kpi_id))
+      horizon = std::max(horizon, store.get(e, *kpi_id).end_bin());
+  if (horizon == *change_bin)
+    throw std::runtime_error("no stored series for the study/KPI pair");
+
+  // Live monitor state shared with the /status handler (server thread).
+  struct LiveRow {
+    std::uint32_t element;
+    const char* state;
+    std::int64_t up_to;
+    std::uint64_t windows;
+  };
+  const auto live_mu = std::make_shared<std::mutex>();
+  const auto live = std::make_shared<std::vector<LiveRow>>();
+  for (const auto e : study)
+    live->push_back({e.value, core::to_string(core::MonitorState::kWarmup),
+                     *change_bin, 0});
+  const std::string kpi_name = need("kpi");
+  obs_session.set_status_fn([live_mu, live, kpi_name](obs::JsonWriter& w) {
+    w.key("monitors").begin_array();
+    const std::lock_guard<std::mutex> lock(*live_mu);
+    for (const auto& row : *live) {
+      w.begin_object();
+      w.member("element", static_cast<std::uint64_t>(row.element))
+          .member("kpi", kpi_name)
+          .member("state", row.state)
+          .member("up_to_bin", row.up_to)
+          .member("windows", row.windows);
+      w.end_object();
+    }
+    w.end_array();
+  });
+
+  obs_session.set_seed(mcfg.regression.seed);
+  obs_session.start();
+
+  std::vector<core::ChangeMonitor> monitors;
+  monitors.reserve(study.size());
+  for (const auto e : study)
+    monitors.emplace_back(store.provider(), e, controls, *kpi_id,
+                          *change_bin, mcfg);
+
+  std::printf("monitoring %zu element(s) vs %zu control(s), "
+              "bins %lld..%lld (step %zuh)\n",
+              study.size(), controls.size(),
+              static_cast<long long>(*change_bin),
+              static_cast<long long>(horizon), mcfg.step_bins);
+
+  // Replay clock: a daemon waking up once per step, but over recorded
+  // bins; --tick-ms stretches it toward real time for demos and CI.
+  std::int64_t now_bin =
+      *change_bin + static_cast<std::int64_t>(mcfg.window_bins);
+  while (true) {
+    if (now_bin > horizon) now_bin = horizon;
+    for (std::size_t i = 0; i < monitors.size(); ++i) {
+      const auto readings = monitors[i].advance(now_bin);
+      for (const auto& r : readings)
+        std::printf("bin %lld  element %u  verdict=%s  state=%s\n",
+                    static_cast<long long>(r.up_to_bin), study[i].value,
+                    to_string(r.outcome.verdict),
+                    core::to_string(r.state));
+      const std::lock_guard<std::mutex> lock(*live_mu);
+      auto& row = (*live)[i];
+      row.state = core::to_string(monitors[i].state());
+      if (!readings.empty()) row.up_to = readings.back().up_to_bin;
+      row.windows = monitors[i].history().size();
+    }
+    std::fflush(stdout);
+    if (now_bin >= horizon) break;
+    if (tick_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
+    now_bin += static_cast<std::int64_t>(mcfg.step_bins);
+  }
+
+  for (std::size_t i = 0; i < monitors.size(); ++i)
+    std::printf("element %u final state: %s (%zu window(s))\n",
+                study[i].value, core::to_string(monitors[i].state()),
+                monitors[i].history().size());
+
+  // Heartbeats have stopped; lingering keeps the plane answering so a
+  // probe can watch /readyz flip to 503 once the watermark goes stale.
+  if (linger_ms > 0 && obs_session.serving()) {
+    std::printf("lingering %llu ms before shutdown\n",
+                static_cast<unsigned long long>(linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
+
+  obs_session.finish();
+  return 0;
+}
+
 // diff-runs: load two persisted run directories and report drift.
 // Exit codes: 0 equivalent, 3 drift (errors throw -> 1).
 int diff_runs_cmd(const std::string& dir_a, const std::string& dir_b,
@@ -717,7 +991,7 @@ int main(int argc, char** argv) {
           "metrics-json",   "trace-json",     "threads",
           "seed",           "events-jsonl",   "panel-cache-mb",
           "snapshot-cache", "profile-json",   "profile-sample",
-          "simd"};
+          "simd",           "serve",          "ready-stale-ms"};
       std::set<std::string> valued = kSharedFlags;
       std::set<std::string> boolean = {"fast-math-kernels"};
       if (cmd == "assess") {
@@ -732,6 +1006,24 @@ int main(int argc, char** argv) {
           rc != 0)
         return rc;
       return cmd == "assess" ? assess(args) : batch(args);
+    }
+    if (cmd == "monitor") {
+      static const std::set<std::string> kValued = {
+          "topology",       "series",       "study",
+          "kpi",            "change-bin",   "controls",
+          "select",         "before-days",  "window-days",
+          "step-hours",     "confirm",      "tick-ms",
+          "linger-ms",      "metrics-json", "trace-json",
+          "threads",        "seed",         "events-jsonl",
+          "panel-cache-mb", "snapshot-cache", "profile-json",
+          "profile-sample", "simd",         "serve",
+          "ready-stale-ms"};
+      static const std::set<std::string> kBoolean = {"fast-math-kernels"};
+      std::map<std::string, std::string> args;
+      if (const int rc = parse_flags(argc, argv, kValued, kBoolean, args);
+          rc != 0)
+        return rc;
+      return monitor_cmd(args);
     }
     if (cmd == "profile") {
       if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {

@@ -18,15 +18,24 @@
 // BENCH_obs.json with an embedded provenance manifest.
 #include <benchmark/benchmark.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/group_sim.h"
 #include "litmus/spatial_regression.h"
+#include "obs/http.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -104,6 +113,67 @@ void BM_SpanOpenClose(benchmark::State& state) {
   obs::set_enabled(false);
 }
 BENCHMARK(BM_SpanOpenClose)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Cost of the live observability plane on the assessment hot path:
+//   Arg(0)  serve off  — no server constructed: the zero-overhead claim
+//                        (CI gates this row against the baseline; it must
+//                        match BM_AssessObs/1, metrics-only)
+//   Arg(1)  serve idle — HTTP server bound and listening, nobody scraping
+//   Arg(2)  scraped    — a loopback client scrapes /metrics in a tight
+//                        loop for the whole measurement
+// The serve path reads atomic counters and takes only the snapshot's own
+// stripe locks, so all three rows should be statistically identical.
+void BM_AssessServe(benchmark::State& state) {
+  const auto w = make_windows(16, 14);
+  const core::RobustSpatialRegression alg;
+  const int mode = static_cast<int>(state.range(0));
+
+  obs::set_enabled(true);  // serve implies metrics collection
+  obs::HttpServer server;
+  std::atomic<bool> stop_scraper{false};
+  std::thread scraper;
+  if (mode >= 1) server.start({});
+  if (mode >= 2) {
+    const std::string addr = server.address();
+    scraper = std::thread([addr, &stop_scraper] {
+      const auto colon = addr.rfind(':');
+      const int port = std::stoi(addr.substr(colon + 1));
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) continue;
+        sockaddr_in sa{};
+        sa.sin_family = AF_INET;
+        sa.sin_port = htons(static_cast<std::uint16_t>(port));
+        ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) ==
+            0) {
+          const char req[] = "GET /metrics HTTP/1.1\r\nHost: b\r\n\r\n";
+          (void)!::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL);
+          char buf[4096];
+          while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+          }
+        }
+        ::close(fd);
+      }
+    });
+  }
+
+  for (auto _ : state) {
+    auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+    benchmark::DoNotOptimize(out);
+  }
+
+  stop_scraper.store(true, std::memory_order_relaxed);
+  if (scraper.joinable()) scraper.join();
+  server.stop();
+  obs::set_enabled(false);
+  switch (mode) {
+    case 0: state.SetLabel("serve off"); break;
+    case 1: state.SetLabel("serve idle"); break;
+    default: state.SetLabel("serve + continuous scrape"); break;
+  }
+}
+BENCHMARK(BM_AssessServe)->Arg(0)->Arg(1)->Arg(2);
 
 // Calibration primitive shared with bench_perf: scales with raw CPU
 // speed, not with instrumentation changes.

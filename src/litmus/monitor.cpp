@@ -99,6 +99,10 @@ void ChangeMonitor::update_state(const AnalysisOutcome& outcome) {
 }
 
 std::vector<MonitorReading> ChangeMonitor::advance(std::int64_t now_bin) {
+  // Every poll is a sign of life for the /readyz staleness watermark,
+  // even when no window completed — an idle-but-polling monitor is
+  // healthy, a wedged one is not.
+  if (obs::enabled()) obs::touch_heartbeat();
   std::vector<MonitorReading> out;
   while (next_window_end_ <= now_bin) {
     out.push_back(evaluate_window(next_window_end_));

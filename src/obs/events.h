@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -35,6 +36,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace litmus::obs {
 
@@ -52,9 +54,36 @@ enum class EventType : std::uint8_t {
 
 const char* to_string(EventType t) noexcept;
 
+/// A page of recent events from the in-memory ring (the /events?since=SEQ
+/// endpoint's payload). `lines` are complete JSON objects (no trailing
+/// newline), ascending by seq starting at `first_seq`; `next_seq` is the
+/// cursor to pass as `since` on the next call; `dropped` counts events
+/// that have already fallen out of the ring since the log opened.
+struct EventTail {
+  std::uint64_t first_seq = 0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t dropped = 0;
+  std::vector<std::string> lines;
+};
+
+/// The last progress report seen by EventLog::progress (throttled lines
+/// included), for the /status payload. total == 0 means "none yet".
+struct ProgressSnapshot {
+  std::string stage;
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+};
+
 class EventLog {
  public:
   static constexpr int kSchemaVersion = 1;
+  /// Events retained in memory for tail(); older ones count as dropped.
+  static constexpr std::size_t kRingCapacity = 512;
+
+  /// Ring-only log: events are retained in memory for tail() but never
+  /// written anywhere. --serve without --events-jsonl uses this so the
+  /// /events endpoint works without touching disk.
+  EventLog();
 
   /// Logs into a borrowed stream (tests, in-memory use).
   explicit EventLog(std::ostream& out);
@@ -86,17 +115,29 @@ class EventLog {
   void flush();
   std::uint64_t events_written() const noexcept;
 
+  /// Events with seq >= since, oldest first, at most max_lines. Thread-
+  /// safe; non-consuming (the same page can be read twice).
+  EventTail tail(std::uint64_t since = 0, std::size_t max_lines = 256) const;
+
+  /// Events no longer retained by the ring.
+  std::uint64_t ring_dropped() const noexcept;
+
+  ProgressSnapshot last_progress() const;
+
  private:
   void flush_locked();
 
   static constexpr std::size_t kFlushBytes = 16 * 1024;
 
   std::unique_ptr<std::ofstream> owned_;  ///< null when stream is borrowed
-  std::ostream* out_;
+  std::ostream* out_;  ///< null for a ring-only log
   std::uint64_t epoch_ns_;
   mutable std::mutex mu_;
   std::string buffer_;
   std::uint64_t seq_ = 0;
+  std::deque<std::pair<std::uint64_t, std::string>> ring_;  ///< (seq, line)
+  std::uint64_t ring_dropped_ = 0;
+  ProgressSnapshot progress_;
 };
 
 /// Process-global event log the pipeline instrumentation emits into;
@@ -105,5 +146,17 @@ class EventLog {
 /// the log.
 EventLog* events() noexcept;
 void set_events(EventLog* log) noexcept;
+
+/// Liveness watermark for /readyz: the steady-clock time of the most
+/// recent sign of life. Touched by every run_start/heartbeat emission and
+/// every EventLog::progress call (throttled lines included), and directly
+/// by long-running loops that want liveness without an event line.
+/// 0 means "never".
+void touch_heartbeat() noexcept;
+std::uint64_t last_heartbeat_ns() noexcept;
+
+/// Resident set size of the calling process in bytes, from
+/// /proc/self/statm; 0 where unsupported. Cheap enough for heartbeats.
+std::uint64_t rss_bytes() noexcept;
 
 }  // namespace litmus::obs

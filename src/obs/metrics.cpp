@@ -71,6 +71,22 @@ double Histogram::bucket_value(std::size_t bucket) noexcept {
   return positive ? mid : -mid;
 }
 
+double Histogram::bucket_upper(std::size_t bucket) noexcept {
+  if (bucket == kMagBuckets) return 0.0;
+  const bool positive = bucket > kMagBuckets;
+  const std::size_t mag =
+      positive ? bucket - kMagBuckets - 1 : kMagBuckets - 1 - bucket;
+  const int exp = kExpMin + static_cast<int>(mag / kSubBuckets);
+  const int sub = static_cast<int>(mag % kSubBuckets);
+  const double lo =
+      std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, exp);
+  const double hi =
+      std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets, exp);
+  // A positive bucket covers [lo, hi); its mirrored negative twin covers
+  // (-hi, -lo], whose upper edge is -lo.
+  return positive ? hi : -lo;
+}
+
 void Histogram::record(double v) noexcept {
   if (std::isnan(v)) return;
   Stripe& s = stripes_[thread_index() % kStripes];
@@ -121,6 +137,27 @@ HistogramSnapshot Histogram::snapshot() const {
   out.p90 = quantile(0.90);
   out.p95 = quantile(0.95);
   out.p99 = quantile(0.99);
+
+  // Cumulative distribution at the non-empty buckets' upper edges, for
+  // the Prometheus exporter. Dropping a point from a cumulative series
+  // is lossless for monotonicity, so over-full histograms coalesce by
+  // keeping every stride-th point (and always the last).
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (merged[b] == 0) continue;
+    cum += merged[b];
+    out.buckets.push_back({bucket_upper(b), cum});
+  }
+  if (out.buckets.size() > kMaxExportBuckets) {
+    std::vector<HistogramBucket> kept;
+    const std::size_t n = out.buckets.size();
+    const std::size_t stride = (n + kMaxExportBuckets - 1) / kMaxExportBuckets;
+    for (std::size_t i = stride - 1; i < n; i += stride)
+      kept.push_back(out.buckets[i]);
+    if (kept.empty() || kept.back().cumulative != out.count)
+      kept.push_back(out.buckets.back());
+    out.buckets = std::move(kept);
+  }
   return out;
 }
 

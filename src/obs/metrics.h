@@ -80,6 +80,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Cumulative distribution point: `cumulative` observations fell at or
+/// below `upper_bound` (Prometheus `le` semantics; the underlying raw
+/// buckets are half-open, so a value exactly on an edge counts under the
+/// next point's bound — cumulative counts stay monotone either way).
+struct HistogramBucket {
+  double upper_bound = 0.0;
+  std::uint64_t cumulative = 0;
+};
+
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
@@ -90,6 +99,10 @@ struct HistogramSnapshot {
   double p90 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  /// Cumulative counts at the non-empty raw buckets' upper bounds,
+  /// ascending and monotone, coalesced to at most kMaxExportBuckets
+  /// points. The implicit final point is (+Inf, count); it is not stored.
+  std::vector<HistogramBucket> buckets;
 
   double mean() const noexcept {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
@@ -109,6 +122,11 @@ class Histogram {
   static constexpr std::size_t kMagBuckets =
       static_cast<std::size_t>(kExpMax - kExpMin + 1) * kSubBuckets;
   static constexpr std::size_t kBuckets = 2 * kMagBuckets + 1;
+  /// Cap on the cumulative-distribution points a snapshot exports; more
+  /// non-empty raw buckets than this coalesce into their neighbors
+  /// (dropping an intermediate cumulative point loses resolution, never
+  /// correctness).
+  static constexpr std::size_t kMaxExportBuckets = 64;
 
   Histogram();
 
@@ -120,6 +138,9 @@ class Histogram {
   /// value of a bucket; exposed for tests.
   static std::size_t bucket_of(double v) noexcept;
   static double bucket_value(std::size_t bucket) noexcept;
+  /// Upper edge of a bucket's value range (the `le` bound its
+  /// observations fall under); exposed for tests.
+  static double bucket_upper(std::size_t bucket) noexcept;
 
  private:
   struct Stripe {

@@ -1,0 +1,107 @@
+#include "obs/promexport.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace litmus::obs {
+namespace {
+
+// Shortest round-trip decimal for a sample value. Prometheus parses
+// standard C float syntax; NaN should never reach the exposition (the
+// registry never produces one), but map it to "NaN" defensively.
+std::string num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g rendering when it round-trips exactly.
+  char shorter[40];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double back = 0.0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == v)
+    return shorter;
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+bool prom_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Deterministic collision disambiguation: the first claimant of an
+/// exposition name keeps it, later ones append _2, _3, ...
+class NameTable {
+ public:
+  std::string claim(std::string name) {
+    auto [it, fresh] = taken_.try_emplace(name, 1);
+    if (fresh) return name;
+    std::string suffixed;
+    do {
+      suffixed = name + "_" + std::to_string(++it->second);
+    } while (!taken_.try_emplace(suffixed, 1).second);
+    return suffixed;
+  }
+
+ private:
+  std::map<std::string, int> taken_;
+};
+
+void help_and_type(std::ostream& out, const std::string& prom,
+                   std::string_view original, const char* type) {
+  // HELP text: the registry's dotted name, so a dashboard can map the
+  // exposition family back to --metrics-json. Newlines/backslashes can't
+  // occur in registry names; no escaping needed.
+  out << "# HELP " << prom << " litmus metric " << original << "\n";
+  out << "# TYPE " << prom << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string prom_sanitize(std::string_view name) {
+  std::string out = "litmus_";
+  out.reserve(name.size() + 7);
+  for (const char c : name) out.push_back(prom_name_char(c) ? c : '_');
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  NameTable names;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = names.claim(prom_sanitize(name) + "_total");
+    help_and_type(out, prom, name, "counter");
+    out << prom << " " << num(value) << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = names.claim(prom_sanitize(name));
+    help_and_type(out, prom, name, "gauge");
+    out << prom << " " << num(value) << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = names.claim(prom_sanitize(name));
+    help_and_type(out, prom, name, "histogram");
+    for (const HistogramBucket& b : h.buckets)
+      out << prom << "_bucket{le=\"" << num(b.upper_bound) << "\"} "
+          << num(b.cumulative) << "\n";
+    out << prom << "_bucket{le=\"+Inf\"} " << num(h.count) << "\n";
+    out << prom << "_sum " << num(h.sum) << "\n";
+    out << prom << "_count " << num(h.count) << "\n";
+  }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  write_prometheus(out, snapshot);
+  return out.str();
+}
+
+}  // namespace litmus::obs

@@ -1,0 +1,46 @@
+// Prometheus text-exposition translation of the obs metrics registry
+// (exposition format 0.0.4, the format every Prometheus server scrapes).
+//
+// The mapping from the registry's dotted names:
+//   * every metric gains the `litmus_` namespace prefix;
+//   * characters outside [a-zA-Z0-9_] become '_'
+//     (`panel_cache.hits` -> `litmus_panel_cache_hits`);
+//   * counters additionally gain the conventional `_total` suffix
+//     (`litmus_panel_cache_hits_total`);
+//   * histograms render as the cumulative `_bucket{le="..."}` series
+//     (from HistogramSnapshot::buckets) plus `_sum` and `_count`, with
+//     the mandatory `le="+Inf"` bucket equal to `_count`;
+//   * when two registry names sanitize to the same exposition name, the
+//     later one (in counter -> gauge -> histogram, name-sorted order)
+//     gains a `_2`/`_3`/... suffix, deterministically, so the exposition
+//     never emits a duplicate metric family.
+// Every family carries `# HELP` (the original dotted name) and `# TYPE`.
+//
+// The translation is a pure function of a MetricsSnapshot — collection
+// stays non-consuming and the scrape path never blocks the hot path
+// beyond the snapshot's own short stripe locks.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace litmus::obs {
+
+/// `litmus_` + `name` with every character outside [a-zA-Z0-9_] replaced
+/// by '_'. Does not apply the counter `_total` suffix.
+std::string prom_sanitize(std::string_view name);
+
+/// Renders the snapshot in Prometheus text exposition format 0.0.4.
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/// write_prometheus into a string (the /metrics handler's body).
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// The Content-Type a 0.0.4 exposition must be served with.
+inline constexpr const char* kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace litmus::obs

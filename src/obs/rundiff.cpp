@@ -80,10 +80,13 @@ std::string verdict_key(const JsonValue& event, const std::string& type) {
 /// belongs here too: hit/miss/eviction counts depend on the cache budget
 /// and on which worker got to a panel first, while the assessed results
 /// are bit-identical either way (DESIGN.md §10).
+/// serve.* belongs here too: scrape counts and latencies depend on who
+/// polled the live observability plane, never on what the run computed.
 bool scheduling_dependent(const std::string& name) {
   return name.starts_with("stage.") || name.starts_with("parallel.") ||
          name.starts_with("litmus.worker.") ||
-         name.starts_with("panel_cache.") || name.starts_with("ingest.");
+         name.starts_with("panel_cache.") || name.starts_with("ingest.") ||
+         name.starts_with("serve.");
 }
 
 double rel_delta(double a, double b) {
@@ -251,12 +254,16 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
     // one (DESIGN.md §11).
     auto cfg_a = object_as_map(a.manifest.find("config"));
     auto cfg_b = object_as_map(b.manifest.find("config"));
+    // The live observability plane is read-only: whether a run served
+    // scrapes (and on which ephemeral port) cannot change its results,
+    // so --serve and the recorded serve.addr never gate.
     const auto informational = [](const std::string& k) {
       for (const char* name :
            {"--events-jsonl", "--metrics-json", "--trace-json",
-            "--panel-cache-mb", "--snapshot-cache", "--simd"})
+            "--panel-cache-mb", "--snapshot-cache", "--simd", "--serve",
+            "--ready-stale-ms", "--profile-json", "--profile-sample"})
         if (k == name) return true;
-      return k.starts_with("ingest.");
+      return k.starts_with("ingest.") || k.starts_with("serve.");
     };
     std::map<std::string, std::string> sink_a, sink_b;
     for (auto it = cfg_a.begin(); it != cfg_a.end();) {

@@ -146,5 +146,92 @@ TEST(EventLogTest, EventsCarryTheCurrentTraceSpanId) {
   EXPECT_GT(span->number, 0.0);
 }
 
+TEST(EventLogTest, HeartbeatsCarryUptimeRssAndDropCounters) {
+  std::ostringstream os;
+  {
+    EventLog log(os);
+    log.emit(EventType::kHeartbeat,
+             [](JsonWriter& w) { w.member("stage", "x"); });
+    log.emit(EventType::kElementAssessed);  // not a liveness event
+  }
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue hb = parse_line(lines[0]);
+  EXPECT_NE(hb.find("uptime_ms"), nullptr);
+  EXPECT_GE(hb.member_number("uptime_ms", -1), 0.0);
+  ASSERT_NE(hb.find("rss_bytes"), nullptr);
+#if defined(__linux__)
+  EXPECT_GT(hb.member_number("rss_bytes", 0), 0.0);
+#endif
+  EXPECT_EQ(hb.member_number("events.dropped", -1), 0.0);
+  // Enrichment is liveness-only: ordinary events stay lean.
+  const JsonValue other = parse_line(lines[1]);
+  EXPECT_EQ(other.find("uptime_ms"), nullptr);
+  EXPECT_EQ(other.find("rss_bytes"), nullptr);
+}
+
+TEST(EventLogTest, LivenessEventsTouchTheHeartbeatWatermark) {
+  std::ostringstream os;
+  EventLog log(os);
+  const std::uint64_t before = last_heartbeat_ns();
+  log.emit(EventType::kHeartbeat);
+  const std::uint64_t after = last_heartbeat_ns();
+  EXPECT_GT(after, 0u);
+  EXPECT_GE(after, before);
+  // Throttled progress calls still count as signs of life.
+  const std::uint64_t t0 = last_heartbeat_ns();
+  log.progress("stage", 1, 1000, /*every=*/1 << 30);  // never emits a line
+  EXPECT_GE(last_heartbeat_ns(), t0);
+}
+
+TEST(EventLogTest, RingRetainsRecentEventsAndCountsDrops) {
+  EventLog log;  // ring-only: no stream, nothing written anywhere
+  const std::size_t total = EventLog::kRingCapacity + 40;
+  for (std::size_t i = 0; i < total; ++i)
+    log.emit(EventType::kKpiVerdict, [&](JsonWriter& w) {
+      w.member("i", static_cast<std::uint64_t>(i));
+    });
+  EXPECT_EQ(log.events_written(), total);
+  EXPECT_EQ(log.ring_dropped(), 40u);
+
+  const EventTail all = log.tail();
+  EXPECT_EQ(all.dropped, 40u);
+  EXPECT_EQ(all.first_seq, 40u);  // oldest retained
+  EXPECT_EQ(all.lines.size(), 256u);  // default page bound
+  EXPECT_EQ(parse_line(all.lines.front()).member_number("seq", -1), 40.0);
+
+  // Paging: since cursor and max bound are honored, and next_seq chains.
+  const EventTail page = log.tail(/*since=*/total - 3, /*max_lines=*/2);
+  EXPECT_EQ(page.first_seq, total - 3);
+  EXPECT_EQ(page.next_seq, total - 1);
+  ASSERT_EQ(page.lines.size(), 2u);
+  const EventTail rest = log.tail(page.next_seq);
+  ASSERT_EQ(rest.lines.size(), 1u);
+  EXPECT_EQ(rest.next_seq, total);
+
+  // A since cursor in the dropped range starts at the oldest retained.
+  EXPECT_EQ(log.tail(/*since=*/5).first_seq, 40u);
+  // A cursor past the end returns an empty page, not an error.
+  EXPECT_TRUE(log.tail(total + 10).lines.empty());
+}
+
+TEST(EventLogTest, LastProgressSnapshotIncludesThrottledCalls) {
+  EventLog log;
+  EXPECT_EQ(log.last_progress().total, 0u);  // none yet
+  log.progress("batch", 3, 500, /*every=*/1 << 30);  // throttled
+  const ProgressSnapshot p = log.last_progress();
+  EXPECT_EQ(p.stage, "batch");
+  EXPECT_EQ(p.done, 3u);
+  EXPECT_EQ(p.total, 500u);
+}
+
+TEST(EventLogTest, RssBytesReportsThisProcessOnLinux) {
+#if defined(__linux__)
+  EXPECT_GT(rss_bytes(), 0u);
+#else
+  SUCCEED();
+#endif
+}
+
 }  // namespace
 }  // namespace litmus::obs

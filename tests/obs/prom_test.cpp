@@ -1,0 +1,188 @@
+// Tests for the Prometheus text-exposition translation (obs/promexport.h):
+// name sanitization and deterministic collision suffixes, golden counter /
+// gauge / histogram families, cumulative bucket monotonicity, the
+// mandatory +Inf bucket equalling _count, and the export-bucket cap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/promexport.h"
+
+namespace litmus::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) out.push_back(line);
+  return out;
+}
+
+bool contains_line(const std::string& text, const std::string& wanted) {
+  for (const auto& line : lines_of(text))
+    if (line == wanted) return true;
+  return false;
+}
+
+TEST(PromSanitizeTest, PrefixesAndReplacesIllegalCharacters) {
+  EXPECT_EQ(prom_sanitize("panel_cache.hits"), "litmus_panel_cache_hits");
+  EXPECT_EQ(prom_sanitize("serve.requests.not_found"),
+            "litmus_serve_requests_not_found");
+  EXPECT_EQ(prom_sanitize("a-b c/d"), "litmus_a_b_c_d");
+  EXPECT_EQ(prom_sanitize(""), "litmus_");
+}
+
+TEST(PromExportTest, CounterGoldenText) {
+  MetricsSnapshot s;
+  s.counters.emplace_back("panel_cache.hits", 42u);
+  const std::string text = prometheus_text(s);
+  EXPECT_TRUE(contains_line(
+      text, "# HELP litmus_panel_cache_hits_total litmus metric "
+            "panel_cache.hits"))
+      << text;
+  EXPECT_TRUE(
+      contains_line(text, "# TYPE litmus_panel_cache_hits_total counter"))
+      << text;
+  EXPECT_TRUE(contains_line(text, "litmus_panel_cache_hits_total 42"))
+      << text;
+}
+
+TEST(PromExportTest, GaugeGoldenText) {
+  MetricsSnapshot s;
+  s.gauges.emplace_back("ingest.mb_per_s", 1.5);
+  const std::string text = prometheus_text(s);
+  EXPECT_TRUE(contains_line(text, "# TYPE litmus_ingest_mb_per_s gauge"))
+      << text;
+  EXPECT_TRUE(contains_line(text, "litmus_ingest_mb_per_s 1.5")) << text;
+}
+
+TEST(PromExportTest, HistogramRendersCumulativeBucketsSumAndCount) {
+  Histogram h;
+  h.record(1.0);
+  h.record(2.0);
+  h.record(4.0);
+  h.record(100.0);
+  MetricsSnapshot s;
+  s.histograms.emplace_back("litmus.iter_us", h.snapshot());
+  const std::string text = prometheus_text(s);
+
+  EXPECT_TRUE(contains_line(text, "# TYPE litmus_litmus_iter_us histogram"))
+      << text;
+  EXPECT_TRUE(contains_line(text, "litmus_litmus_iter_us_count 4")) << text;
+  EXPECT_TRUE(contains_line(text, "litmus_litmus_iter_us_sum 107")) << text;
+  EXPECT_TRUE(
+      contains_line(text, "litmus_litmus_iter_us_bucket{le=\"+Inf\"} 4"))
+      << text;
+
+  // Every explicit bucket line parses, bounds ascend, cumulative counts
+  // are monotone, and no explicit bucket exceeds _count.
+  double prev_bound = -std::numeric_limits<double>::infinity();
+  std::uint64_t prev_cum = 0;
+  std::size_t explicit_buckets = 0;
+  for (const auto& line : lines_of(text)) {
+    const std::string prefix = "litmus_litmus_iter_us_bucket{le=\"";
+    if (line.rfind(prefix, 0) != 0 || line.find("+Inf") != std::string::npos)
+      continue;
+    ++explicit_buckets;
+    const auto close = line.find("\"}");
+    ASSERT_NE(close, std::string::npos) << line;
+    const double bound = std::stod(line.substr(prefix.size()));
+    const std::uint64_t cum = std::stoull(line.substr(close + 2));
+    EXPECT_GT(bound, prev_bound) << line;
+    EXPECT_GE(cum, prev_cum) << line;
+    EXPECT_LE(cum, 4u) << line;
+    prev_bound = bound;
+    prev_cum = cum;
+  }
+  EXPECT_GE(explicit_buckets, 3u) << text;  // 4 distinct values recorded
+  EXPECT_EQ(prev_cum, 4u) << "last explicit bucket must reach _count";
+}
+
+TEST(PromExportTest, EmptyHistogramStillEmitsInfBucket) {
+  Histogram h;
+  MetricsSnapshot s;
+  s.histograms.emplace_back("idle", h.snapshot());
+  const std::string text = prometheus_text(s);
+  EXPECT_TRUE(contains_line(text, "litmus_idle_bucket{le=\"+Inf\"} 0"))
+      << text;
+  EXPECT_TRUE(contains_line(text, "litmus_idle_count 0")) << text;
+  EXPECT_TRUE(contains_line(text, "litmus_idle_sum 0")) << text;
+}
+
+TEST(PromExportTest, SnapshotBucketListIsCappedAndMonotone) {
+  Histogram h;
+  // Spread observations over far more raw buckets than the export cap.
+  for (int i = 0; i < 400; ++i)
+    h.record(std::pow(1.21, i));  // ~400 distinct log-linear buckets
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_FALSE(s.buckets.empty());
+  EXPECT_LE(s.buckets.size(), Histogram::kMaxExportBuckets);
+  for (std::size_t i = 1; i < s.buckets.size(); ++i) {
+    EXPECT_GT(s.buckets[i].upper_bound, s.buckets[i - 1].upper_bound);
+    EXPECT_GE(s.buckets[i].cumulative, s.buckets[i - 1].cumulative);
+  }
+  // Coalescing drops intermediate points, never tail mass: the last
+  // exported point still accounts for every observation.
+  EXPECT_EQ(s.buckets.back().cumulative, s.count);
+}
+
+TEST(PromExportTest, NegativeObservationsKeepBoundsAscending) {
+  Histogram h;
+  h.record(-8.0);
+  h.record(-1.0);
+  h.record(0.0);
+  h.record(3.0);
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_GE(s.buckets.size(), 3u);
+  for (std::size_t i = 1; i < s.buckets.size(); ++i)
+    EXPECT_GT(s.buckets[i].upper_bound, s.buckets[i - 1].upper_bound);
+  EXPECT_EQ(s.buckets.back().cumulative, 4u);
+  EXPECT_LT(s.buckets.front().upper_bound, 0.0);
+}
+
+TEST(PromExportTest, CollidingNamesGetDeterministicSuffixes) {
+  // All three sanitize to litmus_a_b; the first claimant keeps the name,
+  // later ones gain _2, _3 in exposition order.
+  MetricsSnapshot s;
+  s.gauges.emplace_back("a.b", 1.0);
+  s.gauges.emplace_back("a/b", 2.0);
+  s.gauges.emplace_back("a b", 3.0);
+  const std::string text = prometheus_text(s);
+  EXPECT_TRUE(contains_line(text, "litmus_a_b 1")) << text;
+  EXPECT_TRUE(contains_line(text, "litmus_a_b_2 2")) << text;
+  EXPECT_TRUE(contains_line(text, "litmus_a_b_3 3")) << text;
+  // Deterministic: rendering twice gives byte-identical output.
+  EXPECT_EQ(text, prometheus_text(s));
+}
+
+TEST(PromExportTest, CounterTotalSuffixCollisionIsAlsoResolved) {
+  // The counter's conventional _total suffix can itself collide with a
+  // sanitized gauge name; the table resolves it the same way.
+  MetricsSnapshot s;
+  s.counters.emplace_back("a.b", 1u);          // litmus_a_b_total
+  s.gauges.emplace_back("a.b_total", 2.0);     // litmus_a_b_total too
+  const std::string text = prometheus_text(s);
+  EXPECT_TRUE(contains_line(text, "litmus_a_b_total 1")) << text;
+  EXPECT_TRUE(contains_line(text, "litmus_a_b_total_2 2")) << text;
+}
+
+TEST(PromExportTest, NonFiniteGaugesRenderPrometheusSpellings) {
+  MetricsSnapshot s;
+  s.gauges.emplace_back("weird.nan", std::nan(""));
+  s.gauges.emplace_back("weird.inf",
+                        std::numeric_limits<double>::infinity());
+  const std::string text = prometheus_text(s);
+  EXPECT_TRUE(contains_line(text, "litmus_weird_nan NaN")) << text;
+  EXPECT_TRUE(contains_line(text, "litmus_weird_inf +Inf")) << text;
+}
+
+}  // namespace
+}  // namespace litmus::obs

@@ -102,6 +102,43 @@ TEST_F(RunDiffTest, ThreadCountDeltaIsInformationalOnly) {
   EXPECT_TRUE(mentioned);
 }
 
+TEST_F(RunDiffTest, ServeTrafficAndAddressNeverGate) {
+  // Run A never served; run B ran with --serve on an ephemeral port and
+  // absorbed scrapes (serve.* counters, scrape-latency histogram). The
+  // plane is read-only, so the runs must diff clean.
+  const std::string a = make_run("a");
+  const fs::path b_dir = root_ / "b";
+  fs::copy(a, b_dir, fs::copy_options::recursive);
+  std::ofstream(b_dir / "run_manifest.json")
+      << "{\"schema\":1,\"tool\":\"litmus_cli assess\","
+         "\"version\":\"0.4.0\",\"build_flags\":\"obs=on,assert=off\","
+         "\"threads\":1,\"seed\":42,"
+         "\"rng_scheme\":\"counter-fork-v1\","
+         "\"started_at_utc\":\"2026-08-06T00:00:00Z\","
+         "\"config\":{\"--kpi\":\"voice_retainability\","
+         "\"--serve\":\"127.0.0.1:0\",\"--ready-stale-ms\":\"500\","
+         "\"serve.addr\":\"127.0.0.1:40441\"},"
+         "\"inputs\":[{\"path\":\"demo/series.csv\",\"bytes\":10,"
+         "\"fnv1a64\":\"00000000000000aa\",\"ok\":true}]}\n";
+  std::ofstream(b_dir / "metrics.json")
+      << "{\"counters\":{\"litmus.iterations\":1000,"
+         "\"stage.fit.calls\":123,\"serve.requests\":17,"
+         "\"serve.requests.metrics\":9},"
+         "\"histograms\":{\"litmus.fit.r_squared\":{\"count\":10,"
+         "\"p50\":0.9},\"serve.scrape_us\":{\"count\":9,\"p50\":120}}}\n";
+
+  const RunData ra = load_run_dir(a);
+  const RunData rb = load_run_dir(b_dir.string());
+  const RunDiffReport report = diff_runs(ra, rb);
+  EXPECT_FALSE(report.drift) << format_run_diff(report, ra, rb);
+  for (const auto& line : report.metrics)
+    if (line.text.find("serve.") != std::string::npos)
+      EXPECT_FALSE(line.gating) << line.text;
+  for (const auto& line : report.manifest)
+    if (line.text.find("serve") != std::string::npos)
+      EXPECT_FALSE(line.gating) << line.text;
+}
+
 TEST_F(RunDiffTest, VerdictFlipGatesAndMaxFlipsRaisesTheBar) {
   const RunData a = load_run_dir(make_run("a", 42, 1, "improvement"));
   const RunData b = load_run_dir(make_run("b", 42, 1, "degradation"));

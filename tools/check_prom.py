@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (format 0.0.4) scraped from the
+litmus /metrics endpoint.
+
+Checks, in order:
+  1. the file is readable and every line is a comment, blank, or a sample
+     with a parseable value;
+  2. metric and label names are syntactically legal
+     ([a-zA-Z_:][a-zA-Z0-9_:]* and [a-zA-Z_][a-zA-Z0-9_]*), label values
+     are properly quoted, and no sample line precedes its # TYPE;
+  3. every emitted family has exactly one # HELP and one # TYPE line, the
+     TYPE is a known kind, and no family is emitted twice;
+  4. counter sample names end in _total (or the histogram series
+     suffixes), and no sample belongs to a family that was never typed;
+  5. histogram families are complete and coherent: _bucket le bounds
+     strictly ascend, cumulative counts are monotone, the mandatory
+     le="+Inf" bucket is present and equals _count, and _sum/_count
+     exist.
+
+Exit status: 0 valid, 1 validation failure, 2 usage / unreadable file.
+
+Usage:
+  check_prom.py METRICS.txt [--require NAME ...]
+
+--require fails the check when a named sample family (e.g.
+litmus_serve_requests_total) is absent — the CI smoke uses it to prove a
+live scrape actually carried the serve counters.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?$"
+)
+LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$'
+)
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def fail(msg):
+    print(f"check_prom: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    try:
+        return float(text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    except ValueError:
+        fail(f"{where}: unparseable sample value {text!r}")
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family (histogram series sample
+    names carry a suffix the # TYPE line does not)."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="validate a Prometheus 0.0.4 text exposition"
+    )
+    ap.add_argument("path")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a sample with this exact name is present",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"check_prom: cannot read {args.path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    helps = {}
+    types = {}
+    samples = []  # (lineno, name, labels-dict, value)
+    sample_names = set()
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                fail(f"{where}: malformed HELP: {line!r}")
+            name = parts[2]
+            if not METRIC_RE.match(name):
+                fail(f"{where}: illegal metric name {name!r}")
+            if name in helps:
+                fail(f"{where}: duplicate # HELP for {name}")
+            helps[name] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"{where}: malformed TYPE: {line!r}")
+            name, kind = parts[2], parts[3]
+            if not METRIC_RE.match(name):
+                fail(f"{where}: illegal metric name {name!r}")
+            if kind not in KNOWN_TYPES:
+                fail(f"{where}: unknown type {kind!r} for {name}")
+            if name in types:
+                fail(f"{where}: family {name} emitted twice")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: unparseable sample line: {line!r}")
+        name = m.group("name")
+        labels = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                pm = LABEL_PAIR_RE.match(pair.strip())
+                if not pm:
+                    fail(f"{where}: malformed label pair {pair!r}")
+                if not LABEL_RE.match(pm.group("key")):
+                    fail(f"{where}: illegal label name {pm.group('key')!r}")
+                if pm.group("key") in labels:
+                    fail(f"{where}: duplicate label {pm.group('key')!r}")
+                labels[pm.group("key")] = pm.group("val")
+        value = parse_value(m.group("value"), where)
+        samples.append((lineno, name, labels, value))
+        sample_names.add(name)
+
+    # Every sample belongs to a declared family, declared before use.
+    for lineno, name, labels, value in samples:
+        fam = family_of(name, types)
+        if fam is None:
+            fail(f"line {lineno}: sample {name} has no # TYPE family")
+        if fam not in helps:
+            fail(f"line {lineno}: family {fam} lacks a # HELP line")
+        if types[fam] == "counter":
+            if not name.endswith("_total"):
+                fail(f"line {lineno}: counter sample {name} lacks _total")
+            if value < 0 or math.isnan(value):
+                fail(f"line {lineno}: counter {name} value {value}")
+
+    # Histogram coherence per family.
+    for fam, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = []  # (le, cumulative)
+        sum_seen = count_seen = None
+        for lineno, name, labels, value in samples:
+            if name == fam + "_bucket":
+                if "le" not in labels:
+                    fail(f"line {lineno}: {name} without le label")
+                buckets.append(
+                    (parse_value(labels["le"], f"line {lineno}"), value)
+                )
+            elif name == fam + "_sum":
+                sum_seen = value
+            elif name == fam + "_count":
+                count_seen = value
+        if sum_seen is None or count_seen is None:
+            fail(f"histogram {fam} lacks _sum or _count")
+        if not buckets:
+            fail(f"histogram {fam} has no _bucket series")
+        prev_le = -math.inf
+        prev_cum = -1.0
+        for le, cum in buckets:
+            if le <= prev_le:
+                fail(f"histogram {fam}: le bounds not ascending at {le}")
+            if cum < prev_cum:
+                fail(f"histogram {fam}: cumulative count drops at le={le}")
+            prev_le, prev_cum = le, cum
+        if not math.isinf(buckets[-1][0]):
+            fail(f"histogram {fam}: missing le=\"+Inf\" bucket")
+        if buckets[-1][1] != count_seen:
+            fail(
+                f"histogram {fam}: +Inf bucket {buckets[-1][1]} "
+                f"!= _count {count_seen}"
+            )
+
+    for wanted in args.require:
+        if wanted not in sample_names:
+            fail(f"required sample {wanted} not present")
+
+    histograms = sum(1 for k in types.values() if k == "histogram")
+    print(
+        f"OK: {args.path}: {len(samples)} sample(s), "
+        f"{len(types)} family(ies), {histograms} histogram(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
