@@ -30,6 +30,8 @@
 //       summarizes a profile trace (--profile-json output, a --trace-json
 //       span dump, or a run directory containing either) into a per-stage
 //       table: count, total, exact p50/p99, % of wall, slowest spans.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +51,7 @@
 #include "io/changes.h"
 #include "io/csv.h"
 #include "io/ingest.h"
+#include "io/mapped_store.h"
 #include "io/store.h"
 #include "litmus/batch.h"
 #include "litmus/did.h"
@@ -70,6 +73,7 @@
 #include "simkit/generator.h"
 #include "tsmath/simd/dispatch.h"
 #include "simkit/network_events.h"
+#include "simkit/scale.h"
 #include "simkit/seasonality.h"
 
 using namespace litmus;
@@ -92,14 +96,23 @@ int usage() {
                "              [--metrics-json FILE] [--trace-json FILE] "
                "[--events-jsonl FILE]\n"
                "              [--profile-json FILE] [--profile-sample N]\n"
-               "  litmus_cli batch --topology FILE --series FILE --changes "
-               "FILE\n"
+               "  litmus_cli batch --topology FILE --changes FILE\n"
+               "              (--series FILE [--store heap|mmap] | "
+               "--series-snap SNAP)\n"
+               "              [--select region|msc|zip] [--shards N]\n"
+               "              [--before-bins N] [--after-bins N] "
+               "[--iterations N]\n"
                "              [--threads N] [--panel-cache-mb N] "
                "[--snapshot-cache DIR] [--seed N]\n"
                "              [--simd TIER] [--fast-math-kernels]\n"
                "              [--metrics-json FILE] [--trace-json FILE] "
                "[--events-jsonl FILE]\n"
                "              [--profile-json FILE] [--profile-sample N]\n"
+               "  litmus_cli gen-corpus <dir> [--elements N] "
+               "[--cluster-size N]\n"
+               "              [--change-stride N] [--improve-stride N] "
+               "[--before-bins N]\n"
+               "              [--after-bins N] [--shift-sigma F] [--seed N]\n"
                "  litmus_cli monitor --topology FILE --series FILE --study "
                "IDS --kpi NAME --change-bin N\n"
                "              [--controls IDS | --select region|msc|zip]\n"
@@ -122,6 +135,16 @@ int usage() {
                "series-ingest cache keyed by the CSV's fingerprint; repeated\n"
                "runs over an unchanged export skip parsing entirely and are\n"
                "bit-identical to a parsed run.\n"
+               "batch --store mmap serves the series from the snapshot via\n"
+               "mmap (read-only shared pages, zero-copy); --series-snap SNAP\n"
+               "maps a .litmus-snap directly with no CSV at all. batch\n"
+               "--shards N (or LITMUS_SHARDS) partitions records by element\n"
+               "across shard-local panel caches; with --events-jsonl each\n"
+               "shard persists shard-NN/{run_manifest.json,events.jsonl}.\n"
+               "All three stores and any shard count are bit-identical.\n"
+               "gen-corpus streams a zip-clustered synthetic corpus\n"
+               "(topology/changes CSV + series snapshot) at any element\n"
+               "count with bounded memory.\n"
                "--simd TIER (or LITMUS_SIMD): force the SIMD kernel tier\n"
                "instead of the detected best; results are bit-identical at\n"
                "any tier. --fast-math-kernels enables reassociated (FMA)\n"
@@ -239,6 +262,21 @@ class ObsSession {
     status_fn_ = std::move(fn);
   }
   bool serving() const noexcept { return server_.running(); }
+
+  /// Run directory (the --events-jsonl file's parent); empty when the run
+  /// is not persisted. Valid after start().
+  const std::string& run_dir() const noexcept { return run_dir_; }
+
+  /// Writes a copy of the run manifest into a shard directory with the
+  /// shard's identity appended, so each shard-NN/ is itself a loadable
+  /// run directory and diff-runs can stitch the pieces back together.
+  void write_shard_manifest(const std::string& dir, std::size_t shard,
+                            std::size_t records) const {
+    obs::RunManifest m = manifest_;
+    m.add_config("shard.index", std::to_string(shard));
+    m.add_config("shard.records", std::to_string(records));
+    m.write_file(dir + "/run_manifest.json");
+  }
 
   /// Freezes the manifest, persists it, and opens the event stream; call
   /// after inputs are registered and before the pipeline runs. With
@@ -458,6 +496,50 @@ io::IngestReport load_series_input(const std::string& path,
   return rep;
 }
 
+// --select mode -> control predicate, shared by assess/monitor/batch. The
+// batch driver additionally gets a conservative equivalence-group key
+// (BatchConfig::group_key) for each mode, so candidate enumeration scales
+// with the group size instead of the network size: every element the
+// predicate could accept shares the study element's key (the predicate
+// still runs per candidate, so the key only has to be conservative).
+struct SelectionMode {
+  core::ControlPredicate predicate;
+  std::function<std::uint64_t(const net::Topology&, net::ElementId)>
+      group_key;
+};
+
+SelectionMode make_selection_mode(const std::string& mode) {
+  SelectionMode out;
+  if (mode == "region") {
+    out.predicate =
+        core::all_of({core::same_region(), core::same_technology()});
+    out.group_key = [](const net::Topology& t, net::ElementId id) {
+      const auto& e = t.get(id);
+      return static_cast<std::uint64_t>(e.region) * 8 +
+             static_cast<std::uint64_t>(e.technology);
+    };
+  } else if (mode == "msc") {
+    out.predicate =
+        core::all_of({core::same_upstream(net::ElementKind::kMsc),
+                      core::same_technology()});
+    out.group_key = [](const net::Topology& t, net::ElementId id) {
+      const auto up = t.ancestor_of_kind(id, net::ElementKind::kMsc);
+      const std::uint64_t msc = up ? up->value + 1ull : 0ull;
+      return msc * 8 + static_cast<std::uint64_t>(t.get(id).technology);
+    };
+  } else if (mode == "zip") {
+    out.predicate = core::all_of({core::same_zip(), core::same_technology()});
+    out.group_key = [](const net::Topology& t, net::ElementId id) {
+      const auto& e = t.get(id);
+      return static_cast<std::uint64_t>(e.zip.value) * 8 +
+             static_cast<std::uint64_t>(e.technology);
+    };
+  } else {
+    throw std::runtime_error("unknown --select mode: " + mode);
+  }
+  return out;
+}
+
 std::vector<net::ElementId> parse_ids(const std::string& csv) {
   std::vector<net::ElementId> out;
   std::stringstream ss(csv);
@@ -584,17 +666,8 @@ int assess(const std::map<std::string, std::string>& args) {
     std::string mode = "region";
     if (const auto sel = args.find("select"); sel != args.end())
       mode = sel->second;
-    core::ControlPredicate pred;
-    if (mode == "region")
-      pred = core::all_of({core::same_region(), core::same_technology()});
-    else if (mode == "msc")
-      pred = core::all_of({core::same_upstream(net::ElementKind::kMsc),
-                           core::same_technology()});
-    else if (mode == "zip")
-      pred = core::all_of({core::same_zip(), core::same_technology()});
-    else
-      throw std::runtime_error("unknown --select mode: " + mode);
-    a = assessor.assess_with_selection(study, pred, *kpi_id, *change_bin);
+    a = assessor.assess_with_selection(
+        study, make_selection_mode(mode).predicate, *kpi_id, *change_bin);
   }
 
   const bool explain = args.contains("explain");
@@ -613,6 +686,22 @@ int assess(const std::map<std::string, std::string>& args) {
   return 0;
 }
 
+// --shards N (else LITMUS_SHARDS, else 1) runs the batch through the
+// sharded driver: deterministic element partition, shard-local panel
+// caches, per-shard run artifacts. Results are bit-identical to an
+// unsharded run over the same inputs.
+std::size_t resolve_shards(const std::map<std::string, std::string>& args) {
+  std::string spec;
+  if (const auto it = args.find("shards"); it != args.end())
+    spec = it->second;
+  else if (const char* env = std::getenv("LITMUS_SHARDS"))
+    spec = env;
+  if (spec.empty()) return 1;
+  const auto v = io::parse_int(spec);
+  if (!v || *v <= 0) throw std::runtime_error("bad --shards: " + spec);
+  return static_cast<std::size_t>(*v);
+}
+
 int batch(const std::map<std::string, std::string>& args) {
   const auto need = [&](const char* key) -> const std::string& {
     const auto it = args.find(key);
@@ -624,6 +713,7 @@ int batch(const std::map<std::string, std::string>& args) {
   apply_threads_flag(args);  // validate before the expensive loads
   apply_panel_cache_flag(args);
   apply_simd_flags(args);
+  const std::size_t n_shards = resolve_shards(args);
 
   ObsSession obs_session("batch", args);
 
@@ -632,8 +722,57 @@ int batch(const std::map<std::string, std::string>& args) {
   const net::Topology topo = io::load_topology_csv(topo_in);
   obs_session.add_input(need("topology"));
 
-  io::SeriesStore store;
-  load_series_input(need("series"), store, args, obs_session);
+  // Series source: a snapshot mapped in place (--series-snap, the
+  // million-element path — series stay on shared read-only pages), a CSV
+  // served through the mapped snapshot cache (--store mmap), or the heap
+  // store (--store heap, the default for --series). All three providers
+  // produce bit-identical windows.
+  std::shared_ptr<const io::MappedStore> mapped;
+  io::SeriesStore heap_store;  // unused on the mapped paths
+  core::SeriesProvider provider;
+  const std::string store_mode =
+      args.contains("store") ? args.at("store") : "";
+  if (const auto it = args.find("series-snap"); it != args.end()) {
+    if (args.contains("series"))
+      throw std::runtime_error("--series and --series-snap are exclusive");
+    std::string why;
+    mapped = io::MappedStore::open(it->second, &why);
+    if (!mapped)
+      throw std::runtime_error("cannot map snapshot " + it->second + ": " +
+                               why);
+    provider = mapped->provider();
+    obs_session.add_input(it->second);
+    obs_session.note("ingest.series", "mapped-snapshot");
+    std::printf("mapped %zu series (%.1f MiB) from %s in %.0f ms\n",
+                mapped->size(),
+                static_cast<double>(mapped->bytes_mapped()) / (1 << 20),
+                it->second.c_str(), mapped->open_stats().seconds * 1e3);
+  } else if (store_mode == "mmap") {
+    io::IngestOptions opts;
+    opts.snapshot_dir = resolve_snapshot_dir(args);
+    if (opts.snapshot_dir.empty())
+      throw std::runtime_error(
+          "--store mmap needs --snapshot-cache DIR (or "
+          "LITMUS_SNAPSHOT_CACHE)");
+    const io::MappedIngest mi =
+        io::ingest_series_file_mapped(need("series"), opts);
+    mapped = mi.store;
+    provider = mapped->provider();
+    obs_session.add_input(need("series"), mi.report.bytes,
+                          mi.report.fingerprint);
+    obs_session.note("ingest.series", mi.report.from_snapshot
+                                          ? "snapshot-mapped"
+                                          : "parsed+snapshot-mapped");
+    std::printf("mapped %zu series (%.1f MiB, %s)\n", mapped->size(),
+                static_cast<double>(mapped->bytes_mapped()) / (1 << 20),
+                mi.report.from_snapshot ? "snapshot hit" : "parsed once");
+  } else if (store_mode.empty() || store_mode == "heap") {
+    load_series_input(need("series"), heap_store, args, obs_session);
+    provider = heap_store.provider();
+  } else {
+    throw std::runtime_error("unknown --store mode: " + store_mode +
+                             " (want heap|mmap)");
+  }
 
   std::ifstream changes_in(need("changes"));
   if (!changes_in) throw std::runtime_error("cannot open changes file");
@@ -648,13 +787,151 @@ int batch(const std::map<std::string, std::string>& args) {
     if (!v || *v < 0) throw std::runtime_error("bad --seed: " + it->second);
     config.assessment.regression.seed = static_cast<std::uint64_t>(*v);
   }
+  const auto bins_flag = [&](const char* key, std::size_t& out) {
+    const auto it = args.find(key);
+    if (it == args.end()) return;
+    const auto v = io::parse_int(it->second);
+    if (!v || *v <= 0)
+      throw std::runtime_error(std::string("bad --") + key + ": " +
+                               it->second);
+    out = static_cast<std::size_t>(*v);
+  };
+  bins_flag("before-bins", config.assessment.before_bins);
+  bins_flag("after-bins", config.assessment.after_bins);
+  std::size_t iterations = config.assessment.regression.n_iterations;
+  bins_flag("iterations", iterations);
+  config.assessment.regression.n_iterations = iterations;
+  if (const auto it = args.find("select"); it != args.end()) {
+    SelectionMode mode = make_selection_mode(it->second);
+    config.predicate = std::move(mode.predicate);
+    config.group_key = std::move(mode.group_key);
+  }
+
+  // Live shard progress for /status while the sweep runs.
+  const auto live_shard = std::make_shared<std::atomic<long long>>(-1);
+  if (n_shards > 1) {
+    const auto total_shards = n_shards;
+    obs_session.set_status_fn([live_shard, total_shards](obs::JsonWriter& w) {
+      w.key("batch").begin_object();
+      w.member("shards", static_cast<std::uint64_t>(total_shards))
+          .member("current_shard",
+                  static_cast<std::int64_t>(live_shard->load()));
+      w.end_object();
+    });
+  }
 
   obs_session.set_seed(config.assessment.regression.seed);
   obs_session.start();
-  const core::BatchReport report =
-      core::assess_change_log(log, topo, store.provider(), config);
-  std::printf("%s", core::format_batch_report(report, topo).c_str());
+
+  if (n_shards <= 1) {
+    const core::BatchReport report =
+        core::assess_change_log(log, topo, provider, config);
+    std::printf("%s", core::format_batch_report(report, topo).c_str());
+    obs_session.finish();
+    return 0;
+  }
+
+  // Sharded run: when the run is persisted, each shard gets its own run
+  // directory (shard-NN/run_manifest.json + events.jsonl). The driver
+  // swaps the process event sink to the shard's log in on_start and back
+  // in on_finish — both run on this thread while no worker is in flight —
+  // so assessment events land with their shard while run_start/run_end
+  // stay in the parent stream. diff-runs stitches shard-*/events.jsonl
+  // back into one verdict set.
+  std::unique_ptr<obs::EventLog> shard_log;
+  obs::EventLog* parent_log = nullptr;
+  core::ShardCallbacks cb;
+  cb.on_start = [&](std::size_t s, std::size_t records) {
+    live_shard->store(static_cast<long long>(s));
+    if (obs_session.run_dir().empty()) return;
+    char name[16];
+    std::snprintf(name, sizeof name, "shard-%02zu", s);
+    const std::string sdir = obs_session.run_dir() + "/" + name;
+    obs_session.write_shard_manifest(sdir, s, records);
+    shard_log = obs::EventLog::open(sdir + "/events.jsonl");
+    parent_log = obs::events();
+    obs::set_events(shard_log.get());
+    shard_log->emit(obs::EventType::kRunStart, [&](obs::JsonWriter& w) {
+      w.member("shard", static_cast<std::uint64_t>(s))
+          .member("records", static_cast<std::uint64_t>(records));
+    });
+  };
+  cb.on_finish = [&](const core::ShardSummary& sum) {
+    if (shard_log) {
+      shard_log->emit(obs::EventType::kRunEnd, [&](obs::JsonWriter& w) {
+        w.member("shard", static_cast<std::uint64_t>(sum.shard))
+            .member("records", static_cast<std::uint64_t>(sum.records))
+            .member("wall_s", sum.seconds)
+            .member("cache_hits", sum.cache.hits)
+            .member("cache_misses", sum.cache.misses)
+            .member("status", "ok");
+      });
+      obs::set_events(parent_log);
+      shard_log.reset();  // flush + close
+      parent_log = nullptr;
+    }
+  };
+
+  const core::ShardedBatchReport sharded =
+      core::assess_change_log_sharded(log, topo, provider, n_shards, config,
+                                      cb);
+  std::printf("%s", core::format_batch_report(sharded.merged, topo).c_str());
+  std::printf("shards: %zu\n", sharded.shards.size());
+  std::printf("shard  records  seconds  panel-cache hit/miss\n");
+  for (const auto& s : sharded.shards)
+    std::printf("%5zu  %7zu  %7.2f  %llu/%llu\n", s.shard, s.records,
+                s.seconds, static_cast<unsigned long long>(s.cache.hits),
+                static_cast<unsigned long long>(s.cache.misses));
   obs_session.finish();
+  return 0;
+}
+
+// gen-corpus: stream a large synthetic corpus (topology.csv, changes.csv,
+// series.litmus-snap) to disk with bounded memory — the workload generator
+// for the mapped-store scale path (DESIGN.md §15).
+int gen_corpus(const std::string& dir,
+               const std::map<std::string, std::string>& args) {
+  sim::ScaleCorpusConfig cfg;
+  const auto size_flag = [&](const char* key, std::size_t& out) {
+    const auto it = args.find(key);
+    if (it == args.end()) return;
+    const auto v = io::parse_int(it->second);
+    if (!v || *v <= 0)
+      throw std::runtime_error(std::string("bad --") + key + ": " +
+                               it->second);
+    out = static_cast<std::size_t>(*v);
+  };
+  size_flag("elements", cfg.elements);
+  size_flag("cluster-size", cfg.cluster_size);
+  size_flag("change-stride", cfg.change_stride);
+  size_flag("improve-stride", cfg.improve_stride);
+  size_flag("before-bins", cfg.before_bins);
+  size_flag("after-bins", cfg.after_bins);
+  if (const auto it = args.find("shift-sigma"); it != args.end()) {
+    const auto v = io::parse_double(it->second);
+    if (!v) throw std::runtime_error("bad --shift-sigma: " + it->second);
+    cfg.shift_sigma = *v;
+  }
+  if (const auto it = args.find("seed"); it != args.end()) {
+    const auto v = io::parse_int(it->second);
+    if (!v || *v < 0) throw std::runtime_error("bad --seed: " + it->second);
+    cfg.seed = static_cast<std::uint64_t>(*v);
+  }
+
+  const std::uint64_t t0 = obs::now_ns();
+  const sim::ScaleCorpusReport rep = sim::write_scale_corpus(dir, cfg);
+  const double secs = static_cast<double>(obs::now_ns() - t0) / 1e9;
+  std::printf("wrote %s: %zu elements (%zu NodeBs in %zu clusters), "
+              "%zu change(s), %llu series (%.1f MiB payload) in %.1fs\n",
+              dir.c_str(), rep.elements, rep.nodebs, rep.clusters,
+              rep.changes, static_cast<unsigned long long>(rep.series),
+              static_cast<double>(rep.snapshot_payload_bytes) / (1 << 20),
+              secs);
+  std::printf("try: litmus_cli batch --topology %s/topology.csv "
+              "--series-snap %s/series.litmus-snap --changes %s/changes.csv "
+              "--select zip --before-bins %zu --after-bins %zu --shards 4\n",
+              dir.c_str(), dir.c_str(), dir.c_str(), cfg.before_bins,
+              cfg.after_bins);
   return 0;
 }
 
@@ -728,18 +1005,8 @@ int monitor_cmd(const std::map<std::string, std::string>& args) {
     std::string mode = "region";
     if (const auto sel = args.find("select"); sel != args.end())
       mode = sel->second;
-    core::ControlPredicate pred;
-    if (mode == "region")
-      pred = core::all_of({core::same_region(), core::same_technology()});
-    else if (mode == "msc")
-      pred = core::all_of({core::same_upstream(net::ElementKind::kMsc),
-                           core::same_technology()});
-    else if (mode == "zip")
-      pred = core::all_of({core::same_zip(), core::same_technology()});
-    else
-      throw std::runtime_error("unknown --select mode: " + mode);
-    const core::SelectionResult sel =
-        core::select_control_group(topo, study, pred);
+    const core::SelectionResult sel = core::select_control_group(
+        topo, study, make_selection_mode(mode).predicate);
     if (!sel.meets_min_size)
       throw std::runtime_error(
           "control selection too small; pass --controls explicitly");
@@ -877,12 +1144,53 @@ int diff_runs_cmd(const std::string& dir_a, const std::string& dir_b,
 
 // profile: summarize a trace file (or a run directory holding one) into a
 // per-stage table, no browser required.
+/// Prints the per-shard summary table of a sharded run directory (from
+/// each shard-NN/events.jsonl run_end event). Returns false when the
+/// directory holds no shard sub-runs.
+bool print_shard_summaries(const std::string& run_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> shard_dirs;
+  for (const auto& entry : fs::directory_iterator(run_dir, ec)) {
+    if (ec) break;
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("shard-", 0) == 0)
+      shard_dirs.push_back(entry.path().string());
+  }
+  std::sort(shard_dirs.begin(), shard_dirs.end());
+  if (shard_dirs.empty()) return false;
+  std::printf("shards:\n  dir        records  seconds  "
+              "panel-cache hit/miss\n");
+  for (const std::string& sd : shard_dirs) {
+    std::ifstream ev(sd + "/events.jsonl");
+    std::string line, last_end;
+    while (std::getline(ev, line))
+      if (line.find("\"type\":\"run_end\"") != std::string::npos)
+        last_end = line;
+    const std::string label = fs::path(sd).filename().string();
+    if (last_end.empty()) {
+      std::printf("  %-9s  (no run_end event)\n", label.c_str());
+      continue;
+    }
+    const auto doc = obs::parse_json(last_end, nullptr);
+    if (!doc) continue;
+    std::printf("  %-9s  %7.0f  %7.2f  %.0f/%.0f\n", label.c_str(),
+                doc->member_number("records", 0),
+                doc->member_number("wall_s", 0),
+                doc->member_number("cache_hits", 0),
+                doc->member_number("cache_misses", 0));
+  }
+  return true;
+}
+
 int profile_cmd(const std::string& target,
                 const std::map<std::string, std::string>& args) {
   namespace fs = std::filesystem;
   std::string path = target;
+  std::string run_dir;
   std::error_code ec;
   if (fs::is_directory(path, ec)) {
+    run_dir = path;
     // A run directory: prefer the chrome trace, fall back to the span dump.
     std::string found;
     for (const char* candidate : {"profile.json", "trace.json"}) {
@@ -892,9 +1200,14 @@ int profile_cmd(const std::string& target,
         break;
       }
     }
-    if (found.empty())
+    if (found.empty()) {
+      // A sharded run dir is still summarizable without any trace: the
+      // shard-NN event streams carry records/wall/cache per shard.
+      std::printf("%s\n", run_dir.c_str());
+      if (print_shard_summaries(run_dir)) return 0;
       throw std::runtime_error(
           "no profile.json or trace.json in directory: " + path);
+    }
     path = found;
   }
 
@@ -933,6 +1246,10 @@ int profile_cmd(const std::string& target,
     for (const auto& [tid, name] : parsed->thread_names)
       std::printf("  %3u  %s\n", tid, name.c_str());
   }
+
+  // A sharded run directory: summarize each shard-NN/ sub-run from its
+  // run_end event (records, wall, shard-local panel-cache outcome).
+  if (!run_dir.empty()) (void)print_shard_summaries(run_dir);
   return 0;
 }
 
@@ -986,6 +1303,22 @@ int main(int argc, char** argv) {
       if (argc != 3) return usage();
       return export_demo(argv[2]);
     }
+    if (cmd == "gen-corpus") {
+      if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+        std::fprintf(stderr, "gen-corpus needs an output directory\n");
+        return usage();
+      }
+      static const std::set<std::string> kValued = {
+          "elements",     "cluster-size", "change-stride",
+          "improve-stride", "before-bins", "after-bins",
+          "shift-sigma",  "seed"};
+      std::map<std::string, std::string> args;
+      if (const int rc = parse_flags(argc, argv, kValued, {}, args,
+                                     /*first=*/3);
+          rc != 0)
+        return rc;
+      return gen_corpus(argv[2], args);
+    }
     if (cmd == "assess" || cmd == "batch") {
       static const std::set<std::string> kSharedFlags = {
           "metrics-json",   "trace-json",     "threads",
@@ -999,7 +1332,9 @@ int main(int argc, char** argv) {
                        "controls", "select", "before-days", "after-days"});
         boolean.insert("explain");
       } else {
-        valued.insert({"topology", "series", "changes"});
+        valued.insert({"topology", "series", "series-snap", "changes",
+                       "select", "store", "shards", "before-bins",
+                       "after-bins", "iterations"});
       }
       std::map<std::string, std::string> args;
       if (const int rc = parse_flags(argc, argv, valued, boolean, args);

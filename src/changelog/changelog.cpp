@@ -21,8 +21,10 @@ std::vector<ChangeRecord> ChangeLog::at_element(net::ElementId element) const {
   std::vector<ChangeRecord> out;
   for (const auto& r : records_)
     if (r.element == element) out.push_back(r);
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.bin < b.bin; });
+  // Stable: ties on bin keep log order, so query results are a pure
+  // function of the log's contents (and indexed queries can match them).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.bin < b.bin; });
   return out;
 }
 
@@ -31,8 +33,8 @@ std::vector<ChangeRecord> ChangeLog::in_window(std::int64_t from,
   std::vector<ChangeRecord> out;
   for (const auto& r : records_)
     if (r.bin >= from && r.bin < to) out.push_back(r);
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.bin < b.bin; });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.bin < b.bin; });
   return out;
 }
 
@@ -45,6 +47,41 @@ std::vector<ChangeRecord> ChangeLog::conflicting_changes(
     if (r.id == exclude_id) continue;
     if (scope.contains(r.element)) out.push_back(r);
   }
+  return out;
+}
+
+ChangeIndex::ChangeIndex(const ChangeLog& log) : log_(&log) {
+  const auto records = log.all();
+  for (std::size_t i = 0; i < records.size(); ++i)
+    by_element_[records[i].element.value].push_back(i);
+}
+
+std::vector<ChangeRecord> ChangeIndex::conflicting_changes(
+    const net::Topology& topo, net::ElementId element, std::int64_t from,
+    std::int64_t to, ChangeId exclude_id) const {
+  const auto scope = topo.impact_scope(element);
+  const auto records = log_->all();
+  std::vector<std::size_t> hits;
+  for (const auto s : scope) {
+    const auto it = by_element_.find(s.value);
+    if (it == by_element_.end()) continue;
+    for (const std::size_t i : it->second) {
+      const auto& r = records[i];
+      if (r.bin >= from && r.bin < to && r.id != exclude_id)
+        hits.push_back(i);
+    }
+  }
+  // Log order first (neutralizes the unordered scope iteration), then a
+  // stable sort by bin: identical ordering to filtering the stable-sorted
+  // in_window() result, i.e. to ChangeLog::conflicting_changes.
+  std::sort(hits.begin(), hits.end());
+  std::stable_sort(hits.begin(), hits.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return records[a].bin < records[b].bin;
+                   });
+  std::vector<ChangeRecord> out;
+  out.reserve(hits.size());
+  for (const std::size_t i : hits) out.push_back(records[i]);
   return out;
 }
 

@@ -74,7 +74,7 @@ InputBuffer InputBuffer::from_string(std::string data) {
   return buf;
 }
 
-InputBuffer InputBuffer::map_file(const std::string& path) {
+InputBuffer InputBuffer::map_impl(const std::string& path, bool shared) {
 #if LITMUS_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
@@ -85,11 +85,12 @@ InputBuffer InputBuffer::map_file(const std::string& path) {
         ::close(fd);
         return InputBuffer{};
       }
-      void* p = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+      void* p = ::mmap(nullptr, len, PROT_READ,
+                       shared ? MAP_SHARED : MAP_PRIVATE, fd, 0);
       ::close(fd);
       if (p != MAP_FAILED) {
 #ifdef MADV_SEQUENTIAL
-        ::madvise(p, len, MADV_SEQUENTIAL);
+        if (!shared) ::madvise(p, len, MADV_SEQUENTIAL);
 #endif
         InputBuffer buf;
         buf.map_ = p;
@@ -104,12 +105,22 @@ InputBuffer InputBuffer::map_file(const std::string& path) {
   } else {
     throw std::runtime_error("cannot open " + path);
   }
+#else
+  (void)shared;
 #endif
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::ostringstream os;
   os << in.rdbuf();
   return from_string(std::move(os).str());
+}
+
+InputBuffer InputBuffer::map_file(const std::string& path) {
+  return map_impl(path, /*shared=*/false);
+}
+
+InputBuffer InputBuffer::map_file_shared(const std::string& path) {
+  return map_impl(path, /*shared=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -337,8 +348,10 @@ void parse_series_chunk(std::string_view chunk, ChunkOutcome& out) {
   }
 }
 
-/// Source mtime in nanoseconds since the epoch, 0 when unavailable. Used
-/// only as a freshness shortcut — a 0 simply forces the full re-hash.
+}  // namespace
+
+namespace detail {
+
 std::uint64_t file_mtime_ns(const std::string& path) noexcept {
 #if LITMUS_HAVE_MMAP
   struct stat st {};
@@ -374,7 +387,7 @@ void record_ingest_metrics(const IngestReport& rep) {
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 std::size_t load_series_csv_fast(std::string_view data, SeriesStore& store,
                                  const IngestOptions& opts,
@@ -431,7 +444,7 @@ IngestReport ingest_series_file(const std::string& path, SeriesStore& store,
 
   const InputBuffer buf = InputBuffer::map_file(path);
   rep.bytes = buf.size();
-  const std::uint64_t mtime_ns = file_mtime_ns(path);
+  const std::uint64_t mtime_ns = detail::file_mtime_ns(path);
   bool have_fingerprint = false;
 
   if (!opts.snapshot_dir.empty()) {
@@ -475,7 +488,7 @@ IngestReport ingest_series_file(const std::string& path, SeriesStore& store,
         rep.seconds = static_cast<double>(obs::now_ns() - t0) / 1e9;
         if (obs::enabled())
           obs::Registry::global().counter("ingest.snapshot_hits").add();
-        record_ingest_metrics(rep);
+        detail::record_ingest_metrics(rep);
         return rep;
       }
       if (got == SnapshotLoad::kStale)
@@ -496,7 +509,7 @@ IngestReport ingest_series_file(const std::string& path, SeriesStore& store,
                            rep.bytes, mtime_ns);
   }
   rep.seconds = static_cast<double>(obs::now_ns() - t0) / 1e9;
-  record_ingest_metrics(rep);
+  detail::record_ingest_metrics(rep);
   return rep;
 }
 

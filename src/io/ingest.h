@@ -57,6 +57,12 @@ class InputBuffer {
   /// Maps (or reads) `path`; throws std::runtime_error when unreadable.
   static InputBuffer map_file(const std::string& path);
 
+  /// As map_file, but with MAP_SHARED so every process mapping the same
+  /// file shares physical pages (the mapped columnar store's mode; for a
+  /// PROT_READ mapping the semantics are otherwise identical). Falls back
+  /// to a heap read where mmap is unavailable.
+  static InputBuffer map_file_shared(const std::string& path);
+
   /// Wraps in-memory data (tests, synthetic corpora).
   static InputBuffer from_string(std::string data);
 
@@ -65,6 +71,8 @@ class InputBuffer {
   bool mapped() const noexcept { return map_ != nullptr; }
 
  private:
+  static InputBuffer map_impl(const std::string& path, bool shared);
+
   void* map_ = nullptr;       // non-null iff mmap'd
   std::size_t map_len_ = 0;
   std::string owned_;         // fallback / from_string storage
@@ -118,6 +126,13 @@ std::vector<std::size_t> chunk_boundaries(std::string_view data,
 /// Physical line count of `data`: '\n' count plus a trailing unterminated
 /// line, matching what std::getline would yield.
 std::uint64_t count_lines(std::string_view data) noexcept;
+
+/// Source mtime in nanoseconds since the epoch, 0 when unavailable. Only a
+/// freshness shortcut — 0 simply forces the full re-hash.
+std::uint64_t file_mtime_ns(const std::string& path) noexcept;
+
+/// Records the ingest.* counters and gauges for a completed ingest.
+void record_ingest_metrics(const IngestReport& rep);
 
 }  // namespace detail
 

@@ -97,41 +97,86 @@ void refresh_snapshot_mtime(const std::string& path,
           sizeof source_mtime_ns);
 }
 
+SnapshotWriter::SnapshotWriter(const std::string& path,
+                               std::uint64_t source_fingerprint,
+                               std::uint64_t source_bytes,
+                               std::uint64_t source_mtime_ns)
+    : path_(path),
+      out_(obs::open_output_file(path)),
+      payload_fnv_(14695981039346656037ull) {  // FNV-1a offset basis
+  ByteSink header;
+  header.raw(kSnapshotMagic.data(), kSnapshotMagic.size());
+  header.u32(kSnapshotVersion);
+  header.u32(kEndianTag);
+  header.u64(source_fingerprint);
+  header.u64(source_bytes);
+  header.u64(source_mtime_ns);
+  header.u64(0);  // n_series, patched in finish()
+  header.u64(0);  // payload_bytes, patched in finish()
+  out_.write(header.bytes.data(),
+             static_cast<std::streamsize>(header.bytes.size()));
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // A destructor cannot report I/O failure; callers that care call
+    // finish() explicitly and see the throw.
+  }
+}
+
+void SnapshotWriter::append(net::ElementId element, kpi::KpiId kpi,
+                            const ts::TimeSeries& series) {
+  append(element.value, kpi, series.start_bin(), series.bin_minutes(),
+         series.values());
+}
+
+void SnapshotWriter::append(std::uint32_t element, kpi::KpiId kpi,
+                            std::int64_t start_bin, std::int32_t bin_minutes,
+                            std::span<const double> values) {
+  ByteSink rec;
+  rec.u32(element);
+  rec.u32(static_cast<std::uint32_t>(kpi));
+  rec.i64(start_bin);
+  rec.i32(bin_minutes);
+  rec.u32(0);  // reserved
+  rec.u64(values.size());
+  rec.raw(values.data(), values.size() * sizeof(double));
+  out_.write(rec.bytes.data(),
+             static_cast<std::streamsize>(rec.bytes.size()));
+  payload_fnv_ =
+      obs::fnv1a64(rec.bytes.data(), rec.bytes.size(), payload_fnv_);
+  payload_bytes_ += rec.bytes.size();
+  ++n_series_;
+}
+
+void SnapshotWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.write(reinterpret_cast<const char*>(&payload_fnv_),
+             sizeof payload_fnv_);
+  // magic(8) + version(4) + endian(4) + fingerprint(8) + source_bytes(8)
+  // + source_mtime_ns(8) = 40: the n_series / payload_bytes slots.
+  out_.seekp(40);
+  out_.write(reinterpret_cast<const char*>(&n_series_), sizeof n_series_);
+  out_.write(reinterpret_cast<const char*>(&payload_bytes_),
+             sizeof payload_bytes_);
+  out_.flush();
+  if (!out_) throw std::runtime_error("cannot write snapshot: " + path_);
+}
+
 void save_series_snapshot(const std::string& path, const SeriesStore& store,
                           std::uint64_t source_fingerprint,
                           std::uint64_t source_bytes,
                           std::uint64_t source_mtime_ns) {
   obs::ScopedSpan span("snapshot.save");
-  ByteSink payload;
-  for (const auto& [key, series] : store.entries()) {
-    payload.u32(key.first);
-    payload.u32(static_cast<std::uint32_t>(key.second));
-    payload.i64(series.start_bin());
-    payload.i32(series.bin_minutes());
-    payload.u32(0);  // reserved
-    payload.u64(series.size());
-    payload.raw(series.values().data(), series.size() * sizeof(double));
-  }
-
-  ByteSink out;
-  out.raw(kSnapshotMagic.data(), kSnapshotMagic.size());
-  out.u32(kSnapshotVersion);
-  out.u32(kEndianTag);
-  out.u64(source_fingerprint);
-  out.u64(source_bytes);
-  out.u64(source_mtime_ns);
-  out.u64(store.entries().size());
-  out.u64(payload.bytes.size());
-
-  std::ofstream f = obs::open_output_file(path);
-  f.write(out.bytes.data(), static_cast<std::streamsize>(out.bytes.size()));
-  f.write(payload.bytes.data(),
-          static_cast<std::streamsize>(payload.bytes.size()));
-  const std::uint64_t payload_fnv =
-      obs::fnv1a64(payload.bytes.data(), payload.bytes.size());
-  f.write(reinterpret_cast<const char*>(&payload_fnv), sizeof payload_fnv);
-  f.flush();
-  if (!f) throw std::runtime_error("cannot write snapshot: " + path);
+  SnapshotWriter writer(path, source_fingerprint, source_bytes,
+                        source_mtime_ns);
+  for (const auto& [key, series] : store.entries())
+    writer.append(key.first, key.second, series.start_bin(),
+                  series.bin_minutes(), series.values());
+  writer.finish();
 }
 
 SnapshotLoad load_series_snapshot(const std::string& path, SeriesStore& store,

@@ -8,7 +8,7 @@
 //
 // Format (all fixed-width little-endian fields, no struct padding):
 //
-//   header  (64 bytes)
+//   header  (56 bytes)
 //     magic            8 bytes  "LITSNAP1"
 //     version          u32      kSnapshotVersion
 //     endian_tag       u32      0x01020304 as written by the producer
@@ -43,10 +43,17 @@
 // for belt and braces — the caller re-hashes the source and the
 // fingerprint comparison above decides. The payload checksum is verified
 // on every load regardless.
+// Alignment guarantee (relied on by io/mapped_store.h): the header is 56
+// bytes and every record header is 32 bytes followed by n*8 value bytes,
+// so each record's value column starts 8-byte aligned in the file. A
+// mapped reader can expose the columns as const double* views directly
+// over the pages.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "io/store.h"
@@ -65,6 +72,48 @@ void save_series_snapshot(const std::string& path, const SeriesStore& store,
                           std::uint64_t source_fingerprint,
                           std::uint64_t source_bytes,
                           std::uint64_t source_mtime_ns);
+
+/// Streaming snapshot producer: writes records one series at a time with
+/// bounded memory, so a million-series corpus never has to exist as a heap
+/// SeriesStore first. The header is written up front with placeholder
+/// counts and patched in finish(); the payload checksum is accumulated
+/// incrementally, so the resulting file is byte-identical to what
+/// save_series_snapshot would produce from an equivalent store.
+///
+/// Records must be appended in ascending (element, kpi) key order — the
+/// mapped reader (io/mapped_store.h) binary-searches the record index and
+/// save_series_snapshot's std::map iteration provides the same order.
+class SnapshotWriter {
+ public:
+  /// Opens `path` via obs::open_output_file (mkdir-p + rotation). Throws
+  /// when unwritable.
+  SnapshotWriter(const std::string& path, std::uint64_t source_fingerprint,
+                 std::uint64_t source_bytes, std::uint64_t source_mtime_ns);
+  ~SnapshotWriter();  ///< finishes the file if finish() was not called
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void append(net::ElementId element, kpi::KpiId kpi,
+              const ts::TimeSeries& series);
+  void append(std::uint32_t element, kpi::KpiId kpi, std::int64_t start_bin,
+              std::int32_t bin_minutes, std::span<const double> values);
+
+  /// Writes the trailer checksum and patches the header counts; flushes.
+  /// Throws std::runtime_error on I/O failure. Idempotent.
+  void finish();
+
+  std::uint64_t series_written() const noexcept { return n_series_; }
+  std::uint64_t payload_bytes() const noexcept { return payload_bytes_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t n_series_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t payload_fnv_;  ///< chained FNV-1a over payload bytes so far
+  bool finished_ = false;
+};
 
 /// Source identity recorded in a snapshot header.
 struct SnapshotMeta {

@@ -118,8 +118,13 @@ ChangeAssessment Assessor::assess_windows(
   if (auto* ev = obs::events()) {
     ev->emit(obs::EventType::kKpiVerdict, [&](obs::JsonWriter& w) {
       w.member("kpi", kpi::to_string(kpi))
-          .member("bin", static_cast<std::int64_t>(change_bin))
-          .member("verdict", to_string(a.summary.verdict))
+          .member("bin", static_cast<std::int64_t>(change_bin));
+      // A single-element study (every batch record) names its element so
+      // the verdict keys stay distinct across records sharing (kpi, bin)
+      // — diff-runs relies on this when stitching sharded event streams.
+      if (study.size() == 1)
+        w.member("element", static_cast<std::uint64_t>(study[0].value));
+      w.member("verdict", to_string(a.summary.verdict))
           .member("elements",
                   static_cast<std::uint64_t>(a.per_element.size()))
           .member("confidence", a.summary.confidence);

@@ -1,7 +1,12 @@
 #include "litmus/batch.h"
 
+#include <algorithm>
 #include <atomic>
+#include <iterator>
+#include <span>
 #include <sstream>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/events.h"
@@ -22,82 +27,131 @@ Verdict expected_verdict(chg::Expectation e) {
   return Verdict::kNoImpact;
 }
 
-}  // namespace
+/// Records prepared and assessed per block: bounds peak memory to one
+/// block of fetched windows (a million-record log would otherwise
+/// materialize every window up front) while leaving the parallel phase
+/// enough records to keep the pool busy.
+constexpr std::size_t kBlockRecords = 1024;
 
-BatchReport assess_change_log(const chg::ChangeLog& log,
-                              const net::Topology& topo,
-                              const SeriesProvider& provider,
-                              BatchConfig config) {
-  if (!config.predicate)
-    config.predicate = all_of({same_region(), same_technology()});
+/// Shared state for one batch run (unsharded, or all shards of one
+/// sharded run — the progress counter spans the whole log either way).
+struct BatchContext {
+  const chg::ChangeLog* log = nullptr;
+  const net::Topology* topo = nullptr;
+  const BatchConfig* config = nullptr;
+  Assessor* assessor = nullptr;
+  chg::ChangeIndex conflict_index;
+  /// Control-candidate groups by group_key value, each in topology
+  /// (insertion) order; empty when config->group_key is unset.
+  std::unordered_map<std::uint64_t, std::vector<net::ElementId>> groups;
+  std::atomic<std::uint64_t> done{0};
+  std::uint64_t total = 0;
+  int shard = -1;  ///< current shard for heartbeat lines; -1 = unsharded
 
-  Assessor assessor(topo, provider, config.assessment);
+  BatchContext(const chg::ChangeLog& l, const net::Topology& t,
+               const BatchConfig& c, Assessor& a)
+      : log(&l), topo(&t), config(&c), assessor(&a), conflict_index(l) {
+    if (c.group_key)
+      for (const auto id : t.all())
+        groups[c.group_key(t, id)].push_back(id);
+  }
+
+  std::span<const net::ElementId> candidates_for(net::ElementId study) const {
+    if (!config->group_key) return topo->all();
+    const auto it = groups.find(config->group_key(*topo, study));
+    if (it == groups.end()) return {};
+    return it->second;
+  }
+};
+
+/// Prepares and assesses `indices` (ascending record indices) into their
+/// slots of `report.items`, blocked to bound window memory. Tallies are
+/// NOT updated here — callers recompute them in record order at the end.
+void assess_indices_into(BatchContext& ctx,
+                         std::span<const std::size_t> indices,
+                         BatchReport& report) {
+  const auto& records = ctx.log->all();
+  const auto& config = *ctx.config;
   const auto lookback =
       static_cast<std::int64_t>(config.assessment.before_bins);
   const auto lookahead =
       static_cast<std::int64_t>(config.assessment.after_bins);
 
-  // Phase 1 (sequential): conflict scan, control selection, and window
-  // fetch per record — the SeriesProvider is only ever invoked from this
-  // thread.
-  const auto& records = log.all();
-  BatchReport report;
-  report.items.resize(records.size());
   struct PreparedRecord {
     std::vector<net::ElementId> study;
     std::vector<net::ElementId> controls;
     std::vector<ElementWindows> windows;
   };
-  std::vector<PreparedRecord> prepared(records.size());
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& record = records[i];
-    BatchItem& item = report.items[i];
-    item.record = record;
-    item.conflicts = log.conflicting_changes(
-        topo, record.element, record.bin - lookback, record.bin + lookahead,
-        record.id);
-    item.window_clean = item.conflicts.empty();
 
-    PreparedRecord& prep = prepared[i];
-    prep.study = {record.element};
-    prep.controls = select_control_group(topo, prep.study, config.predicate,
-                                         config.selection)
-                        .controls;
-    prep.windows.reserve(prep.study.size());
-    for (const auto s : prep.study)
-      prep.windows.push_back(
-          assessor.windows_for(s, prep.controls, record.target_kpi,
-                               record.bin));
+  for (std::size_t base = 0; base < indices.size(); base += kBlockRecords) {
+    const std::size_t n =
+        std::min(kBlockRecords, indices.size() - base);
+
+    // Phase 1 (sequential): conflict check, control selection, window
+    // fetch — the SeriesProvider is only ever invoked from this thread.
+    std::vector<PreparedRecord> prepared(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = indices[base + j];
+      const auto& record = records[i];
+      BatchItem& item = report.items[i];
+      item.record = record;
+      item.conflicts = ctx.conflict_index.conflicting_changes(
+          *ctx.topo, record.element, record.bin - lookback,
+          record.bin + lookahead, record.id);
+      item.window_clean = item.conflicts.empty();
+
+      PreparedRecord& prep = prepared[j];
+      prep.study = {record.element};
+      prep.controls =
+          select_control_group_among(*ctx.topo,
+                                     ctx.candidates_for(record.element),
+                                     prep.study, config.predicate,
+                                     config.selection)
+              .controls;
+      prep.windows.reserve(prep.study.size());
+      for (const auto s : prep.study)
+        prep.windows.push_back(ctx.assessor->windows_for(
+            s, prep.controls, record.target_kpi, record.bin));
+    }
+
+    // Phase 2 (parallel): the regressions, one change record per task;
+    // records are independent and results land in their record's slot.
+    // Long batches stay watchable: a heartbeat event every few completed
+    // records, plus one at the end of the log.
+    par::parallel_for(n, [&](std::size_t j) {
+      obs::ScopedSpan record_span("batch.record");
+      if (obs::enabled())
+        obs::Registry::global().counter("batch.records").add();
+      const std::size_t i = indices[base + j];
+      const auto& record = records[i];
+      const PreparedRecord& prep = prepared[j];
+      BatchItem& item = report.items[i];
+      item.assessment = ctx.assessor->assess_windows(
+          prep.study, prep.controls, prep.windows, record.target_kpi,
+          record.bin);
+      item.met_expectation = item.assessment.summary.verdict ==
+                             expected_verdict(record.expectation);
+      if (auto* ev = obs::events())
+        ev->progress("batch",
+                     ctx.done.fetch_add(1, std::memory_order_relaxed) + 1,
+                     ctx.total, /*every=*/16, [&](obs::JsonWriter& w) {
+                       const par::PoolStats pool = par::pool_stats();
+                       w.member("pool.queue_depth",
+                                static_cast<std::uint64_t>(
+                                    pool.queue_depth))
+                           .member("pool.tasks_completed",
+                                   pool.tasks_completed);
+                       if (ctx.shard >= 0)
+                         w.member("shard", static_cast<std::int64_t>(
+                                               ctx.shard));
+                     });
+    });
   }
+}
 
-  // Phase 2 (parallel): the regressions, one change record per task;
-  // records are independent and results land in their record's slot.
-  // Long batches stay watchable: a heartbeat event every few completed
-  // records, plus one at the end.
-  std::atomic<std::uint64_t> done{0};
-  par::parallel_for(records.size(), [&](std::size_t i) {
-    obs::ScopedSpan record_span("batch.record");
-    if (obs::enabled()) obs::Registry::global().counter("batch.records").add();
-    const auto& record = records[i];
-    const PreparedRecord& prep = prepared[i];
-    BatchItem& item = report.items[i];
-    item.assessment =
-        assessor.assess_windows(prep.study, prep.controls, prep.windows,
-                                record.target_kpi, record.bin);
-    item.met_expectation =
-        item.assessment.summary.verdict == expected_verdict(record.expectation);
-    if (auto* ev = obs::events())
-      ev->progress("batch", done.fetch_add(1, std::memory_order_relaxed) + 1,
-                   records.size(), /*every=*/16, [](obs::JsonWriter& w) {
-                     const par::PoolStats pool = par::pool_stats();
-                     w.member("pool.queue_depth",
-                              static_cast<std::uint64_t>(pool.queue_depth))
-                         .member("pool.tasks_completed",
-                                 pool.tasks_completed);
-                   });
-  });
-
-  // Phase 3: tallies, in record order.
+/// Tallies, in record order (the same order whether the items were filled
+/// by one pass or by shards).
+void tally(BatchReport& report) {
   for (const BatchItem& item : report.items) {
     switch (item.assessment.summary.verdict) {
       case Verdict::kImprovement: ++report.improvements; break;
@@ -107,7 +161,107 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
     if (!item.window_clean) ++report.dirty_windows;
     if (!item.met_expectation) ++report.expectation_misses;
   }
+}
+
+void apply_default_predicate(BatchConfig& config) {
+  if (!config.predicate)
+    config.predicate = all_of({same_region(), same_technology()});
+}
+
+/// Static span labels: ScopedSpan stores the pointer, not a copy.
+const char* shard_span_name(std::size_t shard) noexcept {
+  static constexpr const char* kNames[] = {
+      "shard-0",  "shard-1",  "shard-2",  "shard-3",
+      "shard-4",  "shard-5",  "shard-6",  "shard-7",
+      "shard-8",  "shard-9",  "shard-10", "shard-11",
+      "shard-12", "shard-13", "shard-14", "shard-15",
+  };
+  return shard < std::size(kNames) ? kNames[shard] : "shard";
+}
+
+}  // namespace
+
+BatchReport assess_change_log(const chg::ChangeLog& log,
+                              const net::Topology& topo,
+                              const SeriesProvider& provider,
+                              BatchConfig config) {
+  apply_default_predicate(config);
+  Assessor assessor(topo, provider, config.assessment);
+  BatchContext ctx(log, topo, config, assessor);
+  ctx.total = log.size();
+
+  BatchReport report;
+  report.items.resize(log.size());
+  std::vector<std::size_t> indices(log.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  assess_indices_into(ctx, indices, report);
+  tally(report);
   return report;
+}
+
+std::size_t shard_of(net::ElementId element, std::size_t n_shards) noexcept {
+  return n_shards <= 1 ? 0 : element.value % n_shards;
+}
+
+std::vector<std::vector<std::size_t>> plan_shards(const chg::ChangeLog& log,
+                                                  std::size_t n_shards) {
+  std::vector<std::vector<std::size_t>> plan(
+      std::max<std::size_t>(1, n_shards));
+  const auto records = log.all();
+  for (std::size_t i = 0; i < records.size(); ++i)
+    plan[shard_of(records[i].element, plan.size())].push_back(i);
+  return plan;
+}
+
+ShardedBatchReport assess_change_log_sharded(const chg::ChangeLog& log,
+                                             const net::Topology& topo,
+                                             const SeriesProvider& provider,
+                                             std::size_t n_shards,
+                                             BatchConfig config,
+                                             const ShardCallbacks& cb) {
+  apply_default_predicate(config);
+  Assessor assessor(topo, provider, config.assessment);
+  BatchContext ctx(log, topo, config, assessor);
+  ctx.total = log.size();
+
+  const auto plan = plan_shards(log, n_shards);
+  ShardedBatchReport out;
+  out.merged.items.resize(log.size());
+  out.shards.reserve(plan.size());
+  // Each shard's private cache gets the same budget the process-wide cache
+  // runs with, so sharded and unsharded runs see comparable hit behavior
+  // (cache state never changes produced bits either way).
+  const std::size_t cache_budget = PanelCache::global().capacity_bytes();
+
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    if (cb.on_start) cb.on_start(s, plan[s].size());
+    const std::uint64_t t0 = obs::now_ns();
+    ShardSummary sum;
+    sum.shard = s;
+    sum.records = plan[s].size();
+    {
+      obs::ScopedSpan shard_span(shard_span_name(s));
+      PanelCache shard_cache(cache_budget);
+      ScopedPanelCacheOverride override_cache(shard_cache);
+      ctx.shard = static_cast<int>(s);
+      assess_indices_into(ctx, plan[s], out.merged);
+      sum.cache = shard_cache.stats();
+    }
+    ctx.shard = -1;
+    sum.seconds = static_cast<double>(obs::now_ns() - t0) / 1e9;
+    if (obs::enabled()) {
+      auto& reg = obs::Registry::global();
+      reg.gauge("shard.count").set(static_cast<double>(plan.size()));
+      reg.gauge("shard." + std::to_string(s) + ".records")
+          .set(static_cast<double>(sum.records));
+      reg.gauge("shard." + std::to_string(s) + ".seconds")
+          .set(sum.seconds);
+    }
+    if (cb.on_finish) cb.on_finish(sum);
+    out.shards.push_back(sum);
+  }
+  tally(out.merged);
+  return out;
 }
 
 std::string format_batch_report(const BatchReport& report,

@@ -127,6 +127,14 @@ SelectionResult select_control_group(const net::Topology& topo,
                                      std::span<const net::ElementId> study,
                                      const ControlPredicate& predicate,
                                      const SelectionPolicy& policy) {
+  return select_control_group_among(topo, topo.all(), study, predicate,
+                                    policy);
+}
+
+SelectionResult select_control_group_among(
+    const net::Topology& topo, std::span<const net::ElementId> candidates,
+    std::span<const net::ElementId> study, const ControlPredicate& predicate,
+    const SelectionPolicy& policy) {
   SelectionResult result;
   if (study.empty()) return result;
 
@@ -143,7 +151,7 @@ SelectionResult select_control_group(const net::Topology& topo,
     double distance_km;
   };
   std::vector<Scored> accepted;
-  for (const auto cand : topo.all()) {
+  for (const auto cand : candidates) {
     bool is_study = false;
     for (const auto s : study)
       if (s == cand) is_study = true;

@@ -87,4 +87,19 @@ SelectionResult select_control_group(const net::Topology& topo,
                                      const ControlPredicate& predicate,
                                      const SelectionPolicy& policy = {});
 
+/// As select_control_group, but drawing candidates from `candidates`
+/// (insertion order, as topo.all() iterates) instead of the whole
+/// topology. Every per-candidate rule — study exclusion, impact-scope
+/// exclusion, kind match, the predicate, distance scoring, the policy cap
+/// — still applies, so any candidate list that is a superset of the
+/// predicate's matches (in topology order) selects the identical control
+/// group; only the candidates_considered / excluded_by_scope tallies
+/// reflect the narrowed pool. Batch sweeps pass a precomputed equivalence
+/// group (BatchConfig::group_key) so per-record cost scales with the group
+/// size, not the network size.
+SelectionResult select_control_group_among(
+    const net::Topology& topo, std::span<const net::ElementId> candidates,
+    std::span<const net::ElementId> study, const ControlPredicate& predicate,
+    const SelectionPolicy& policy = {});
+
 }  // namespace litmus::core

@@ -11,7 +11,7 @@
 //   * span   — obs::current_span_id() at emission (omitted when 0), so an
 //              event correlates with the --trace-json timeline
 //   * type   — run_start | heartbeat | element_assessed | kpi_verdict |
-//              iteration_retry | fallback_qr | run_end
+//              iteration_retry | fallback_qr | warning | run_end
 //   plus per-type fields appended by the emitter (run_start embeds the
 //   RunManifest; run_end carries wall_s and status).
 //
@@ -49,6 +49,7 @@ enum class EventType : std::uint8_t {
   kKpiVerdict,
   kIterationRetry,
   kFallbackQr,
+  kWarning,
   kRunEnd,
 };
 

@@ -25,7 +25,7 @@ namespace litmus::obs {
 class JsonWriter;
 
 /// Library semantic version, single-sourced for the CLI and the benches.
-inline constexpr const char* kLitmusVersion = "0.8.0";
+inline constexpr const char* kLitmusVersion = "0.9.0";
 
 /// Identifier of the RNG substream scheme (DESIGN.md §8): per-iteration
 /// counter-based forks, Rng(seed).fork(iteration). Recorded so a future

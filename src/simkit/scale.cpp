@@ -1,0 +1,199 @@
+#include "simkit/scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "io/csv.h"
+#include "io/snapshot.h"
+#include "obs/manifest.h"
+#include "simkit/injection.h"
+
+namespace litmus::sim {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double u01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Ids are a pure function of the cluster layout: each cluster owns
+/// cluster_size + 1 consecutive ids, the RNC first (ids start at 1 —
+/// id 0 is net::kInvalidElement).
+std::uint32_t rnc_id(const ScaleCorpusConfig& cfg, std::size_t cluster) {
+  return static_cast<std::uint32_t>(cluster * (cfg.cluster_size + 1) + 1);
+}
+
+void check(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("scale corpus: ") + what);
+}
+
+}  // namespace
+
+double scale_corpus_value(const ScaleCorpusConfig& config,
+                          std::uint32_t element_id, std::size_t cluster,
+                          kpi::KpiId id, std::int64_t bin,
+                          bool improved) noexcept {
+  const kpi::KpiInfo& k = kpi::info(id);
+  const std::uint64_t kpi_tag = static_cast<std::uint64_t>(id) + 1;
+
+  // Shared per-(cluster, kpi) diurnal component: 24-bin sinusoid with a
+  // hash-derived phase, so clusters differ but cluster-mates co-move.
+  const std::uint64_t ch =
+      splitmix64(splitmix64(config.seed ^ 0xC1A57E12ull) ^
+                 (static_cast<std::uint64_t>(cluster) * 0x9E3779B1ull +
+                  kpi_tag));
+  const double phase = u01(ch) * kTwoPi;
+  const double common =
+      std::sin(kTwoPi * static_cast<double>(bin) / 24.0 + phase);
+
+  // Per-element loading on the shared component, in [0.5, 1.5].
+  const std::uint64_t lh =
+      splitmix64(splitmix64(config.seed ^ 0x10AD1064ull) ^
+                 (static_cast<std::uint64_t>(element_id) * 0x85EBCA6Bull +
+                  kpi_tag));
+  const double loading = 0.5 + u01(lh);
+
+  // Per-(element, kpi, bin) noise: Irwin-Hall(4), rescaled to sigma 1.
+  std::uint64_t nh =
+      splitmix64(splitmix64(config.seed ^ 0x4015E000ull) ^
+                 (static_cast<std::uint64_t>(element_id) * 0xC2B2AE35ull +
+                  kpi_tag));
+  nh = splitmix64(nh ^ static_cast<std::uint64_t>(bin));
+  double sum = 0.0;
+  for (int draw = 0; draw < 4; ++draw) {
+    nh = splitmix64(nh);
+    sum += u01(nh);
+  }
+  const double noise = (sum - 2.0) * 1.7320508075688772;  // sqrt(3)
+
+  double value =
+      k.typical_value + k.typical_noise * (0.6 * loading * common + noise);
+  if (improved && bin >= config.change_bin)
+    value += sigma_to_kpi_delta(id, config.shift_sigma);
+  if (k.is_ratio) value = std::clamp(value, 0.0, 1.0);
+  return value;
+}
+
+ScaleCorpusReport write_scale_corpus(const std::string& dir,
+                                     const ScaleCorpusConfig& config) {
+  check(config.elements > 0, "elements must be > 0");
+  check(config.cluster_size > 0, "cluster_size must be > 0");
+  check(config.change_stride > 0, "change_stride must be > 0");
+  check(config.improve_stride > 0, "improve_stride must be > 0");
+  check(!config.kpis.empty(), "kpis must be non-empty");
+  check(config.before_bins + config.guard_bins + config.after_bins > 0,
+        "series would be empty");
+
+  // Snapshot records must be ascending by (element, kpi): sort the KPI
+  // list by id (deduplicated) once up front.
+  std::vector<kpi::KpiId> kpis = config.kpis;
+  std::sort(kpis.begin(), kpis.end());
+  kpis.erase(std::unique(kpis.begin(), kpis.end()), kpis.end());
+
+  ScaleCorpusReport report;
+  report.nodebs = config.elements;
+  report.clusters =
+      (config.elements + config.cluster_size - 1) / config.cluster_size;
+  report.elements = report.nodebs + report.clusters;
+
+  const std::int64_t start_bin =
+      config.change_bin - static_cast<std::int64_t>(config.before_bins);
+  const std::size_t n_bins =
+      config.before_bins + config.guard_bins + config.after_bins;
+
+  std::ofstream topo_out = obs::open_output_file(dir + "/topology.csv");
+  std::ofstream chg_out = obs::open_output_file(dir + "/changes.csv");
+  io::SnapshotWriter snap(dir + "/series.litmus-snap",
+                          /*source_fingerprint=*/0, /*source_bytes=*/0,
+                          /*source_mtime_ns=*/0);
+
+  topo_out << "# id, kind, technology, name, lat, lon, zip, region, "
+              "parent_id, market\n";
+  chg_out << "# element_id, type, bin, expectation, target_kpi, parameter, "
+             "description\n";
+
+  static constexpr const char* kRegions[] = {"Northeast", "Southeast",
+                                             "Midwest", "Southwest", "West"};
+  std::vector<double> values(n_bins);
+  std::size_t nodeb_index = 0;  // global 0-based NodeB counter
+
+  for (std::size_t c = 0; c < report.clusters; ++c) {
+    const std::size_t members = std::min(
+        config.cluster_size, config.elements - c * config.cluster_size);
+    // ~0.02-degree grid of clusters over a continental box; members get
+    // sub-milli-degree offsets so prefer_closest has real distances.
+    const double base_lat = 25.0 + static_cast<double>(c / 1000) * 0.02;
+    const double base_lon = -120.0 + static_cast<double>(c % 1000) * 0.02;
+    const std::uint32_t zip = static_cast<std::uint32_t>(10000 + c);
+    const char* region = kRegions[c % 5];
+    const std::uint32_t rnc = rnc_id(config, c);
+
+    char lat[32], lon[32];
+    std::snprintf(lat, sizeof lat, "%.6f", base_lat);
+    std::snprintf(lon, sizeof lon, "%.6f", base_lon);
+    io::write_csv_row(
+        topo_out,
+        {std::to_string(rnc), "RNC", "UMTS", "RNC-" + std::to_string(c), lat,
+         lon, std::to_string(zip), region, "0", std::to_string(c)});
+
+    for (std::size_t j = 0; j < members; ++j, ++nodeb_index) {
+      const std::uint32_t id = rnc + 1 + static_cast<std::uint32_t>(j);
+      std::snprintf(lat, sizeof lat, "%.6f",
+                    base_lat + static_cast<double>(j % 8) * 0.001);
+      std::snprintf(lon, sizeof lon, "%.6f",
+                    base_lon + static_cast<double>(j / 8) * 0.001);
+      io::write_csv_row(
+          topo_out,
+          {std::to_string(id), "NodeB", "UMTS",
+           "NB-" + std::to_string(c) + "-" + std::to_string(j), lat, lon,
+           std::to_string(zip), region, std::to_string(rnc),
+           std::to_string(c)});
+
+      const bool changed = nodeb_index % config.change_stride == 0;
+      const std::size_t ordinal = nodeb_index / config.change_stride;
+      const bool improved = changed && ordinal % config.improve_stride == 0;
+      const kpi::KpiId target = kpis[ordinal % kpis.size()];
+      if (changed) {
+        io::write_csv_row(
+            chg_out,
+            {std::to_string(id),
+             improved ? "software_upgrade" : "config_change",
+             std::to_string(config.change_bin),
+             improved ? "improvement" : "no_impact",
+             std::string(kpi::to_string(target)), "scale-corpus",
+             improved ? "baked shift" : "placebo"});
+        ++report.changes;
+      }
+
+      for (const kpi::KpiId k : kpis) {
+        const bool shifted = improved && k == target;
+        for (std::size_t b = 0; b < n_bins; ++b)
+          values[b] = scale_corpus_value(config, id, c, k,
+                                         start_bin +
+                                             static_cast<std::int64_t>(b),
+                                         shifted);
+        snap.append(id, k, start_bin, /*bin_minutes=*/60, values);
+      }
+    }
+  }
+
+  check(topo_out.good() && chg_out.good(), "CSV write failed");
+  snap.finish();
+  report.series = snap.series_written();
+  report.snapshot_payload_bytes = snap.payload_bytes();
+  return report;
+}
+
+}  // namespace litmus::sim

@@ -1,0 +1,85 @@
+// Million-element corpus generator for the mapped-store scale path
+// (DESIGN.md §15).
+//
+// The fidelity-first KpiGenerator holds AR(1) state per element and is
+// superb at thousands of elements; at a million it is the wrong tool. This
+// generator trades the latent model for a *closed-form* per-value formula —
+// every value is a pure function of (seed, element, kpi, bin) — so the
+// corpus streams straight to disk with O(1) memory through SnapshotWriter
+// and regenerates bit-identically on any machine.
+//
+// Shape of the corpus:
+//   * clusters of `cluster_size` NodeBs under one RNC each, one zip code
+//     per cluster and no neighbor links, so a change's impact scope is the
+//     changed element alone and the natural control group is "the rest of
+//     the cluster" (litmus_cli --select zip);
+//   * per (cluster, kpi) a smooth shared component with per-element
+//     loadings, so control regression has genuine signal to fit, plus
+//     hash-derived per-bin element noise;
+//   * every `change_stride`-th NodeB carries one change record at
+//     `change_bin`; every `improve_stride`-th of those gets a real
+//     `shift_sigma` service improvement baked into its after window
+//     (expectation: improvement), the rest are no-impact controls of the
+//     assessment itself.
+//
+// Outputs (into `dir`): topology.csv, changes.csv, series.litmus-snap.
+// The snapshot is the store — litmus_cli batch --series-snap mmaps it
+// directly and never materialises the series on the heap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kpi/kpi.h"
+
+namespace litmus::sim {
+
+struct ScaleCorpusConfig {
+  /// NodeB count; RNC parents (one per cluster) come on top.
+  std::size_t elements = 100'000;
+  std::size_t cluster_size = 40;
+  /// Every Nth NodeB gets a change record at `change_bin`.
+  std::size_t change_stride = 64;
+  /// Every Nth change record is a real improvement; the rest are
+  /// no-impact placebo changes.
+  std::size_t improve_stride = 2;
+  std::int64_t change_bin = 0;
+  /// Series cover exactly [change_bin - before_bins,
+  /// change_bin + guard_bins + after_bins) — the assessment windows for a
+  /// batch run with matching --before-bins/--after-bins.
+  std::size_t before_bins = 48;
+  std::size_t guard_bins = 0;
+  std::size_t after_bins = 24;
+  /// Injected improvement magnitude in sigma units (see
+  /// sim::sigma_to_kpi_delta).
+  double shift_sigma = 2.0;
+  std::uint64_t seed = 20260808;
+  /// KPIs generated per element (written in ascending id order).
+  std::vector<kpi::KpiId> kpis = {kpi::KpiId::kVoiceRetainability,
+                                  kpi::KpiId::kDroppedVoiceCallRatio};
+};
+
+struct ScaleCorpusReport {
+  std::size_t clusters = 0;
+  std::size_t nodebs = 0;
+  std::size_t elements = 0;  ///< total rows in topology.csv (incl. RNCs)
+  std::size_t changes = 0;
+  std::uint64_t series = 0;  ///< records in the snapshot
+  std::uint64_t snapshot_payload_bytes = 0;
+};
+
+/// Streams the corpus into `dir` (created if needed). Deterministic for a
+/// given config; throws std::runtime_error on I/O failure.
+ScaleCorpusReport write_scale_corpus(const std::string& dir,
+                                     const ScaleCorpusConfig& config);
+
+/// The closed-form series value for (element, kpi, bin) — exposed so tests
+/// can cross-check snapshot contents against the formula.
+double scale_corpus_value(const ScaleCorpusConfig& config,
+                          std::uint32_t element_id, std::size_t cluster,
+                          kpi::KpiId kpi, std::int64_t bin,
+                          bool improved) noexcept;
+
+}  // namespace litmus::sim
