@@ -89,6 +89,8 @@ int usage() {
                "              [--controls IDS | --select region|msc|zip]\n"
                "              [--before-days N] [--after-days N] [--seed N] "
                "[--explain]\n"
+               "              [--adaptive-sampling on|off] "
+               "[--min-iterations N] [--stability-rounds N]\n"
                "              [--threads N] [--panel-cache-mb N] "
                "[--snapshot-cache DIR]\n"
                "              [--simd scalar|sse2|avx2|avx512|neon] "
@@ -102,6 +104,8 @@ int usage() {
                "              [--select region|msc|zip] [--shards N]\n"
                "              [--before-bins N] [--after-bins N] "
                "[--iterations N]\n"
+               "              [--adaptive-sampling on|off] "
+               "[--min-iterations N] [--stability-rounds N]\n"
                "              [--threads N] [--panel-cache-mb N] "
                "[--snapshot-cache DIR] [--seed N]\n"
                "              [--simd TIER] [--fast-math-kernels]\n"
@@ -145,6 +149,14 @@ int usage() {
                "gen-corpus streams a zip-clustered synthetic corpus\n"
                "(topology/changes CSV + series snapshot) at any element\n"
                "count with bounded memory.\n"
+               "--adaptive-sampling on|off: sequential early stopping of\n"
+               "the robustness iterations — sample in geometric rounds\n"
+               "(first checkpoint --min-iterations, default 8) and stop\n"
+               "after --stability-rounds (default 2) consecutive checkpoints\n"
+               "where the verdict is insensitive to further rounds under a\n"
+               "jackknife perturbation of the median forecast. Deterministic\n"
+               "at any thread/shard count; borderline elements spend the\n"
+               "full --iterations budget. Default off (pre-adaptive bits).\n"
                "--simd TIER (or LITMUS_SIMD): force the SIMD kernel tier\n"
                "instead of the detected best; results are bit-identical at\n"
                "any tier. --fast-math-kernels enables reassociated (FMA)\n"
@@ -467,6 +479,37 @@ void apply_simd_flags(const std::map<std::string, std::string>& args) {
   if (args.contains("fast-math-kernels")) ts::simd::set_fast_math(true);
 }
 
+// --adaptive-sampling on|off toggles sequential early stopping of the
+// robustness iterations (DESIGN.md §16); --min-iterations N sets the first
+// stability checkpoint and --stability-rounds N the consecutive stable
+// checkpoints required to stop. Off (default) preserves pre-adaptive
+// output bit-for-bit; on changes iterations-used (and therefore forecast
+// bits) but is CI-validated to flip no Table-2 verdict. The manifest
+// records all three, and diff-runs gates when they differ across runs.
+void apply_adaptive_flags(const std::map<std::string, std::string>& args,
+                          core::SpatialRegressionParams& params) {
+  if (const auto it = args.find("adaptive-sampling"); it != args.end()) {
+    if (it->second == "on")
+      params.adaptive_sampling = true;
+    else if (it->second == "off")
+      params.adaptive_sampling = false;
+    else
+      throw std::runtime_error("bad --adaptive-sampling: " + it->second +
+                               " (want on|off)");
+  }
+  const auto count_flag = [&](const char* key, std::size_t& out) {
+    const auto it = args.find(key);
+    if (it == args.end()) return;
+    const auto v = io::parse_int(it->second);
+    if (!v || *v <= 0)
+      throw std::runtime_error(std::string("bad --") + key + ": " +
+                               it->second);
+    out = static_cast<std::size_t>(*v);
+  };
+  count_flag("min-iterations", params.min_iterations);
+  count_flag("stability-rounds", params.stability_rounds);
+}
+
 // --snapshot-cache DIR (else LITMUS_SNAPSHOT_CACHE) enables the binary
 // series-ingest cache (DESIGN.md §11); loaded results are bit-identical
 // to parsing, so the setting never gates diff-runs.
@@ -655,6 +698,7 @@ int assess(const std::map<std::string, std::string>& args) {
     if (!v || *v < 0) throw std::runtime_error("bad --seed: " + it->second);
     cfg.regression.seed = static_cast<std::uint64_t>(*v);
   }
+  apply_adaptive_flags(args, cfg.regression);
   core::Assessor assessor(topo, store.provider(), cfg);
 
   obs_session.set_seed(cfg.regression.seed);
@@ -801,6 +845,7 @@ int batch(const std::map<std::string, std::string>& args) {
   std::size_t iterations = config.assessment.regression.n_iterations;
   bins_flag("iterations", iterations);
   config.assessment.regression.n_iterations = iterations;
+  apply_adaptive_flags(args, config.assessment.regression);
   if (const auto it = args.find("select"); it != args.end()) {
     SelectionMode mode = make_selection_mode(it->second);
     config.predicate = std::move(mode.predicate);
@@ -877,11 +922,20 @@ int batch(const std::map<std::string, std::string>& args) {
                                       cb);
   std::printf("%s", core::format_batch_report(sharded.merged, topo).c_str());
   std::printf("shards: %zu\n", sharded.shards.size());
-  std::printf("shard  records  seconds  panel-cache hit/miss\n");
-  for (const auto& s : sharded.shards)
-    std::printf("%5zu  %7zu  %7.2f  %llu/%llu\n", s.shard, s.records,
+  const bool adaptive = config.assessment.regression.adaptive_sampling;
+  std::printf("shard  records  seconds  panel-cache hit/miss%s\n",
+              adaptive ? "  early-stops  iters-used/budget" : "");
+  for (const auto& s : sharded.shards) {
+    std::printf("%5zu  %7zu  %7.2f  %llu/%llu", s.shard, s.records,
                 s.seconds, static_cast<unsigned long long>(s.cache.hits),
                 static_cast<unsigned long long>(s.cache.misses));
+    if (adaptive)
+      std::printf("  %11zu  %llu/%llu", s.adaptive_stopped_early,
+                  static_cast<unsigned long long>(s.adaptive_iterations_used),
+                  static_cast<unsigned long long>(
+                      s.adaptive_iterations_budget));
+    std::printf("\n");
+  }
   obs_session.finish();
   return 0;
 }
@@ -985,6 +1039,7 @@ int monitor_cmd(const std::map<std::string, std::string>& args) {
     if (!v || *v < 0) throw std::runtime_error("bad --seed: " + it->second);
     mcfg.regression.seed = static_cast<std::uint64_t>(*v);
   }
+  apply_adaptive_flags(args, mcfg.regression);
 
   const auto parse_ms = [&](const char* key) -> std::uint64_t {
     const auto it = args.find(key);
@@ -1324,7 +1379,8 @@ int main(int argc, char** argv) {
           "metrics-json",   "trace-json",     "threads",
           "seed",           "events-jsonl",   "panel-cache-mb",
           "snapshot-cache", "profile-json",   "profile-sample",
-          "simd",           "serve",          "ready-stale-ms"};
+          "simd",           "serve",          "ready-stale-ms",
+          "adaptive-sampling", "min-iterations", "stability-rounds"};
       std::set<std::string> valued = kSharedFlags;
       std::set<std::string> boolean = {"fast-math-kernels"};
       if (cmd == "assess") {
@@ -1352,7 +1408,8 @@ int main(int argc, char** argv) {
           "threads",        "seed",         "events-jsonl",
           "panel-cache-mb", "snapshot-cache", "profile-json",
           "profile-sample", "simd",         "serve",
-          "ready-stale-ms"};
+          "ready-stale-ms", "adaptive-sampling", "min-iterations",
+          "stability-rounds"};
       static const std::set<std::string> kBoolean = {"fast-math-kernels"};
       std::map<std::string, std::string> args;
       if (const int rc = parse_flags(argc, argv, kValued, kBoolean, args);

@@ -132,6 +132,43 @@ void BM_LitmusAssess_MultiElement(benchmark::State& state) {
 }
 BENCHMARK(BM_LitmusAssess_MultiElement);
 
+// Adaptive early stopping (DESIGN.md §16) at the gen-corpus batch shape
+// (48h before / 24h after, 16 controls) and the high-robustness budget of
+// 100 iterations — the regime the layer is built for: each checkpoint
+// costs a fixed ~6-8us of verdict evaluation (bands + 3 jackknife rank
+// tests), so the win scales with iterations *saved*. At the default
+// budget of 25 a decisive element saves 13 Gram-path iterations and
+// roughly breaks even; at 100 it saves 88 and assessment time drops ~4x.
+//
+// First arg picks the element: 0 = easy (a clear 2-sigma shift, the
+// dominant population in a scale corpus; stops at the second checkpoint),
+// 1 = borderline (z rides the significance threshold; spends the full
+// budget by design). Second arg toggles adaptive sampling. CI gates
+// BM_AssessAdaptive/0/1 vs /0/0 with a speedup floor, while the /1/*
+// pair bounds the checkpoint overhead on the worst case.
+void BM_AssessAdaptive(benchmark::State& state) {
+  eval::EpisodeSpec spec;
+  spec.n_control = 16;
+  spec.before_bins = 48;
+  spec.after_bins = 24;
+  spec.true_sigma = state.range(0) == 0 ? 2.0 : 0.20;
+  spec.seed = 97;
+  const auto w = eval::simulate_episode(spec).study_windows.front();
+  core::SpatialRegressionParams params;
+  params.n_iterations = 100;
+  params.adaptive_sampling = state.range(1) != 0;
+  const core::RobustSpatialRegression alg(params);
+  for (auto _ : state) {
+    auto out = alg.assess(w, kpi::KpiId::kVoiceRetainability);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_AssessAdaptive)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
 void BM_DiDAssess(benchmark::State& state) {
   const auto w = make_windows(16, 14);
   const core::DiDAnalyzer alg;

@@ -6,24 +6,62 @@
 // method see, and what does control contamination cost? The crossover
 // where DiD falls away from Litmus under contamination is the operational
 // payoff of the robust spatial regression.
+//
+// A second sweep pits adaptive early stopping (DESIGN.md §16) against the
+// full iteration budget on the same episodes: statistical power must be
+// the tentpole's free lunch, so the table shows detection rate off vs on
+// alongside the iterations actually spent. Results also land in
+// BENCH_power.json (with a run manifest) so the power trajectory is
+// machine-trackable across commits next to the perf benches.
 #include <cstdio>
+#include <fstream>
+#include <utility>
 #include <vector>
 
 #include "eval/group_sim.h"
 #include "litmus/did.h"
 #include "litmus/spatial_regression.h"
 #include "litmus/study_only.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "parallel/pool.h"
 #include "tsmath/random.h"
 
 using namespace litmus;
 
 namespace {
 
+constexpr std::size_t kTrials = 30;
+/// High-robustness budget for the adaptive sweep — the regime adaptive
+/// sampling targets (at the default 25 the Gram fast path makes early
+/// stopping roughly break even; see bench_perf BM_AssessAdaptive).
+constexpr std::size_t kAdaptiveBudget = 100;
+
 struct Rates {
   double study_only = 0;
   double did = 0;
   double litmus = 0;
 };
+
+eval::EpisodeSpec episode_spec(double magnitude_sigma, bool contaminated,
+                               ts::Rng& seeder) {
+  eval::EpisodeSpec spec;
+  spec.true_sigma = magnitude_sigma;
+  spec.n_control = 12;
+  if (contaminated) {
+    spec.contaminated_controls = 3;
+    spec.contamination_sigma = seeder.uniform(3.0, 9.0);
+    spec.contamination_sign = +1;  // same direction: the masking regime
+    spec.contamination_at_change = true;
+  }
+  spec.seed = seeder.next_u64() | 1;
+  return spec;
+}
+
+ts::Rng point_seeder(double magnitude_sigma, bool contaminated) {
+  return ts::Rng(0xB0B + static_cast<std::uint64_t>(1000 * magnitude_sigma) +
+                 (contaminated ? 7 : 0));
+}
 
 Rates detection_rates(double magnitude_sigma, bool contaminated,
                       std::size_t trials) {
@@ -32,19 +70,10 @@ Rates detection_rates(double magnitude_sigma, bool contaminated,
   static const core::RobustSpatialRegression lit;
 
   Rates r;
-  ts::Rng seeder(0xB0B + static_cast<std::uint64_t>(1000 * magnitude_sigma) +
-                 (contaminated ? 7 : 0));
+  ts::Rng seeder = point_seeder(magnitude_sigma, contaminated);
   for (std::size_t t = 0; t < trials; ++t) {
-    eval::EpisodeSpec spec;
-    spec.true_sigma = magnitude_sigma;
-    spec.n_control = 12;
-    if (contaminated) {
-      spec.contaminated_controls = 3;
-      spec.contamination_sigma = seeder.uniform(3.0, 9.0);
-      spec.contamination_sign = +1;  // same direction: the masking regime
-      spec.contamination_at_change = true;
-    }
-    spec.seed = seeder.next_u64() | 1;
+    const eval::EpisodeSpec spec =
+        episode_spec(magnitude_sigma, contaminated, seeder);
     const eval::Episode ep = eval::simulate_episode(spec);
     const auto& w = ep.study_windows.front();
     const auto expected = core::Verdict::kImprovement;
@@ -59,11 +88,104 @@ Rates detection_rates(double magnitude_sigma, bool contaminated,
   return r;
 }
 
+/// Litmus at the kAdaptiveBudget iteration budget, full vs adaptive, on
+/// identical episodes (the seeder replays the detection_rates stream).
+struct AdaptivePoint {
+  double magnitude = 0;
+  bool contaminated = false;
+  double full_rate = 0;      ///< detection rate, budget exhausted every time
+  double adaptive_rate = 0;  ///< detection rate with early stopping on
+  double mean_iterations = 0;  ///< iterations attempted, adaptive on
+  std::size_t flips = 0;       ///< per-episode verdict disagreements
+};
+
+AdaptivePoint adaptive_rates(double magnitude_sigma, bool contaminated,
+                             std::size_t trials) {
+  core::SpatialRegressionParams full_p;
+  full_p.n_iterations = kAdaptiveBudget;
+  core::SpatialRegressionParams on_p = full_p;
+  on_p.adaptive_sampling = true;
+  const core::RobustSpatialRegression full(full_p);
+  const core::RobustSpatialRegression adaptive(on_p);
+
+  AdaptivePoint r;
+  r.magnitude = magnitude_sigma;
+  r.contaminated = contaminated;
+  ts::Rng seeder = point_seeder(magnitude_sigma, contaminated);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const eval::EpisodeSpec spec =
+        episode_spec(magnitude_sigma, contaminated, seeder);
+    const eval::Episode ep = eval::simulate_episode(spec);
+    const auto& w = ep.study_windows.front();
+    const auto expected = core::Verdict::kImprovement;
+    const core::AnalysisOutcome a = full.assess(w, spec.kpi);
+    const core::AnalysisOutcome b = adaptive.assess(w, spec.kpi);
+    if (a.verdict == expected) r.full_rate += 1;
+    if (b.verdict == expected) r.adaptive_rate += 1;
+    if (a.verdict != b.verdict) ++r.flips;
+    r.mean_iterations += static_cast<double>(b.explanation.iterations_used);
+  }
+  const double n = static_cast<double>(trials);
+  r.full_rate /= n;
+  r.adaptive_rate /= n;
+  r.mean_iterations /= n;
+  return r;
+}
+
+void write_json(const std::vector<std::pair<bool, Rates>>& detection,
+                const std::vector<double>& magnitudes,
+                const std::vector<AdaptivePoint>& adaptive) {
+  std::ofstream out("BENCH_power.json");
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write BENCH_power.json\n");
+    return;
+  }
+  obs::RunManifest manifest;
+  manifest.tool = "bench_power";
+  manifest.threads = par::threads();
+  manifest.seed = 0xB0B;
+  manifest.started_at_utc = obs::utc_timestamp_now();
+  manifest.add_config("trials_per_point", std::to_string(kTrials));
+  manifest.add_config("adaptive_budget", std::to_string(kAdaptiveBudget));
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.member("bench", "power");
+  w.key("manifest");
+  manifest.write(w);
+  w.key("detection").begin_array();
+  for (std::size_t i = 0; i < detection.size(); ++i) {
+    w.begin_object();
+    w.member("magnitude_sigma", magnitudes[i % magnitudes.size()])
+        .member("contaminated", detection[i].first)
+        .member("study_only", detection[i].second.study_only)
+        .member("did", detection[i].second.did)
+        .member("litmus", detection[i].second.litmus);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("adaptive").begin_array();
+  for (const AdaptivePoint& p : adaptive) {
+    w.begin_object();
+    w.member("magnitude_sigma", p.magnitude)
+        .member("contaminated", p.contaminated)
+        .member("litmus_full_budget", p.full_rate)
+        .member("litmus_adaptive", p.adaptive_rate)
+        .member("mean_iterations_adaptive", p.mean_iterations)
+        .member("budget", static_cast<std::uint64_t>(kAdaptiveBudget))
+        .member("verdict_flips", static_cast<std::uint64_t>(p.flips));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
 }  // namespace
 
 int main() {
-  constexpr std::size_t kTrials = 30;
   const std::vector<double> magnitudes{0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0};
+  std::vector<std::pair<bool, Rates>> detection;
+  std::vector<AdaptivePoint> adaptive;
 
   for (const bool contaminated : {false, true}) {
     std::printf("=== detection rate vs impact magnitude (%s control group, "
@@ -72,6 +194,7 @@ int main() {
     std::printf("magnitude   study_only     did        litmus\n");
     for (const double m : magnitudes) {
       const Rates r = detection_rates(m, contaminated, kTrials);
+      detection.emplace_back(contaminated, r);
       std::printf("  %4.2f sigma   %6.1f%%   %6.1f%%    %6.1f%%\n", m,
                   100 * r.study_only, 100 * r.did, 100 * r.litmus);
     }
@@ -81,6 +204,33 @@ int main() {
               "and survives contamination; DiD loses mid-range detections "
               "when contamination masks the shift; study-only is noisy at "
               "every magnitude because external variation moves the study "
-              "series regardless.\n");
+              "series regardless.\n\n");
+
+  for (const bool contaminated : {false, true}) {
+    std::printf("=== adaptive early stopping vs full budget (%s controls, "
+                "Litmus @ %zu iterations, %zu trials/point) ===\n",
+                contaminated ? "contaminated" : "clean", kAdaptiveBudget,
+                kTrials);
+    std::printf("magnitude   full       adaptive   mean iters   flips\n");
+    std::size_t total_flips = 0;
+    for (const double m : magnitudes) {
+      const AdaptivePoint p = adaptive_rates(m, contaminated, kTrials);
+      adaptive.push_back(p);
+      total_flips += p.flips;
+      std::printf("  %4.2f sigma  %6.1f%%    %6.1f%%    %6.1f/%zu    %zu\n",
+                  m, 100 * p.full_rate, 100 * p.adaptive_rate,
+                  p.mean_iterations, kAdaptiveBudget, p.flips);
+    }
+    std::printf("  verdict flips across all %zu episodes: %zu\n\n",
+                magnitudes.size() * kTrials, total_flips);
+  }
+  std::printf("expected shape: the adaptive column tracks the full-budget "
+              "column point for point (the stopping rule only fires on "
+              "decisive verdicts), while mean iterations collapse toward "
+              "the first checkpoints at decisive magnitudes and stay near "
+              "the budget where the verdict is genuinely borderline.\n");
+
+  write_json(detection, magnitudes, adaptive);
+  std::printf("wrote BENCH_power.json\n");
   return 0;
 }

@@ -234,6 +234,32 @@ void BM_BatchAssess(benchmark::State& state) {
 // BM_AssessOne's, so both must stay in google-benchmark's default ns.
 BENCHMARK(BM_BatchAssess)->Arg(1)->Arg(4);
 
+// The adaptive-sampling headline (DESIGN.md §16): the same change log at
+// the high-robustness budget of 100 iterations, adaptive off (/0) vs on
+// (/1). Most corpus elements are decisively null or decisively shifted
+// and stop after ~12 iterations, so records/s multiplies — CI gates the
+// /0 vs /1 ratio with a 1.5x floor (machine-independent: both rows come
+// from the same process). At the default budget of 25 the Gram fast path
+// makes iterations cheap enough that early stopping only breaks even;
+// the adaptive layer is what makes budgets like 100 affordable at scale.
+void BM_BatchAssessAdaptive(benchmark::State& state) {
+  const Corpus& c = corpus();
+  const core::SeriesProvider provider = c.mapped->provider();
+  core::BatchConfig config = c.config;
+  config.assessment.regression.n_iterations = 100;
+  config.assessment.regression.adaptive_sampling = state.range(0) != 0;
+  std::size_t assessed = 0;
+  for (auto _ : state) {
+    const core::BatchReport rep =
+        core::assess_change_log(c.log, c.topo, provider, config);
+    assessed = rep.items.size();
+    benchmark::DoNotOptimize(rep);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * assessed));
+}
+BENCHMARK(BM_BatchAssessAdaptive)->Arg(0)->Arg(1);
+
 // Same manifest-embedding scheme as the other benches.
 void embed_manifest(const std::string& path) {
   std::ifstream in(path);

@@ -174,6 +174,37 @@ std::vector<KnownChangeRow> table2_rows() {
   return rows;
 }
 
+namespace {
+
+EpisodeSpec episode_spec_for(const KnownChangeRow& row, const KpiTruth& kt,
+                             std::uint64_t seed, std::uint64_t kpi_counter) {
+  EpisodeSpec spec;
+  spec.kpi = kt.kpi;
+  spec.kind = row.location;
+  spec.tech = row.tech;
+  spec.region = row.region;
+  spec.n_study = row.n_study;
+  spec.n_control = 16;
+  spec.true_sigma = kt.true_sigma;
+  spec.factor_sigma = row.factor_sigma;
+  spec.factor_shape = row.factor_shape;
+  spec.factor_heterogeneity = row.factor_heterogeneity;
+  // Contamination models unrelated events masking the change's real
+  // impact; it applies to the KPIs the change actually moved.
+  const bool has_impact = kt.true_sigma != 0.0;
+  spec.contaminated_controls = has_impact ? row.contaminated_controls : 0;
+  spec.contamination_sigma = has_impact ? row.contamination_sigma : 0.0;
+  spec.contamination_at_change = true;
+  spec.contamination_sign =
+      row.contamination_sign != 0
+          ? row.contamination_sign
+          : (kt.true_sigma > 0 ? 1 : (kt.true_sigma < 0 ? -1 : 0));
+  spec.seed = seed * 0x9E3779B97F4A7C15ULL + kpi_counter * 7919;
+  return spec;
+}
+
+}  // namespace
+
 RowResult run_row(const KnownChangeRow& row, std::uint64_t seed) {
   RowResult result;
   static const core::StudyOnlyAnalyzer study_only;
@@ -182,29 +213,7 @@ RowResult run_row(const KnownChangeRow& row, std::uint64_t seed) {
 
   std::uint64_t kpi_counter = 0;
   for (const KpiTruth& kt : row.kpis) {
-    EpisodeSpec spec;
-    spec.kpi = kt.kpi;
-    spec.kind = row.location;
-    spec.tech = row.tech;
-    spec.region = row.region;
-    spec.n_study = row.n_study;
-    spec.n_control = 16;
-    spec.true_sigma = kt.true_sigma;
-    spec.factor_sigma = row.factor_sigma;
-    spec.factor_shape = row.factor_shape;
-    spec.factor_heterogeneity = row.factor_heterogeneity;
-    // Contamination models unrelated events masking the change's real
-    // impact; it applies to the KPIs the change actually moved.
-    const bool has_impact = kt.true_sigma != 0.0;
-    spec.contaminated_controls = has_impact ? row.contaminated_controls : 0;
-    spec.contamination_sigma = has_impact ? row.contamination_sigma : 0.0;
-    spec.contamination_at_change = true;
-    spec.contamination_sign =
-        row.contamination_sign != 0
-            ? row.contamination_sign
-            : (kt.true_sigma > 0 ? 1 : (kt.true_sigma < 0 ? -1 : 0));
-    spec.seed = seed * 0x9E3779B97F4A7C15ULL + (++kpi_counter) * 7919;
-
+    const EpisodeSpec spec = episode_spec_for(row, kt, seed, ++kpi_counter);
     const Episode ep = simulate_episode(spec);
     for (const core::ElementWindows& w : ep.study_windows) {
       result.study_only.add(label(ep.truth, study_only.assess(w, kt.kpi).verdict));
@@ -213,6 +222,21 @@ RowResult run_row(const KnownChangeRow& row, std::uint64_t seed) {
     }
   }
   return result;
+}
+
+std::vector<core::Verdict> row_litmus_verdicts(
+    const KnownChangeRow& row, std::uint64_t seed,
+    const core::SpatialRegressionParams& litmus_params) {
+  std::vector<core::Verdict> verdicts;
+  const core::RobustSpatialRegression litmus(litmus_params);
+  std::uint64_t kpi_counter = 0;
+  for (const KpiTruth& kt : row.kpis) {
+    const EpisodeSpec spec = episode_spec_for(row, kt, seed, ++kpi_counter);
+    const Episode ep = simulate_episode(spec);
+    for (const core::ElementWindows& w : ep.study_windows)
+      verdicts.push_back(litmus.assess(w, kt.kpi).verdict);
+  }
+  return verdicts;
 }
 
 KnownAssessmentResults run_known_assessments(std::uint64_t seed) {

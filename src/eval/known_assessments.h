@@ -16,6 +16,7 @@
 
 #include "eval/group_sim.h"
 #include "eval/labeling.h"
+#include "litmus/spatial_regression.h"
 
 namespace litmus::eval {
 
@@ -63,6 +64,14 @@ KnownAssessmentResults run_known_assessments(std::uint64_t seed = 2011);
 
 /// Runs a single row.
 RowResult run_row(const KnownChangeRow& row, std::uint64_t seed);
+
+/// Per-case Litmus verdicts for one row, in simulation order, under a
+/// caller-supplied Litmus configuration. Episodes are deterministic in
+/// `seed`, so two calls with the same seed align case-for-case — the
+/// zero-flip gates compare adaptive-on vs adaptive-off this way.
+std::vector<core::Verdict> row_litmus_verdicts(
+    const KnownChangeRow& row, std::uint64_t seed,
+    const core::SpatialRegressionParams& litmus_params);
 
 /// Formats the per-row and summary table in the shape of the paper's
 /// Table 2.

@@ -49,11 +49,20 @@ struct VerdictExplanation {
   const char* test = "";         ///< two-sample test applied, "" if none
   const char* aggregation = "";  ///< forecast aggregation (Litmus only)
   std::size_t n_controls = 0;    ///< control series offered to the analyzer
-  /// Sampling diagnostics (Litmus): controls per iteration, iterations
-  /// requested, and iterations whose OLS fit succeeded.
+  /// Sampling diagnostics (Litmus): controls per iteration, the configured
+  /// iteration budget, the iterations actually *attempted* (fewer than the
+  /// budget when adaptive sampling stopped early; 0 when the input was
+  /// degenerate before any sampling ran), and the attempted iterations
+  /// whose OLS fit succeeded.
   std::size_t effective_k = 0;
   std::size_t iterations_requested = 0;
+  std::size_t iterations_used = 0;
   std::size_t successful_iterations = 0;
+  /// Adaptive early stopping (Litmus): whether it was enabled, and why the
+  /// sampling loop ended — "stable-verdict", "budget-exhausted" or
+  /// "fit-failures" ("" when no sampling ran).
+  bool adaptive_sampling = false;
+  const char* stop_reason = "";
   /// Two-sample sizes entering the comparison test (after / before).
   std::size_t n_after = 0;
   std::size_t n_before = 0;

@@ -47,10 +47,17 @@ struct BatchContext {
   std::atomic<std::uint64_t> done{0};
   std::uint64_t total = 0;
   int shard = -1;  ///< current shard for heartbeat lines; -1 = unsharded
+  /// Live adaptive-sampling counters for heartbeat lines (relaxed — the
+  /// deterministic per-record numbers are recomputed in record order by
+  /// the tallies, these only feed progress events).
+  bool adaptive = false;
+  std::atomic<std::uint64_t> adaptive_stopped{0};
+  std::atomic<std::uint64_t> adaptive_saved{0};
 
   BatchContext(const chg::ChangeLog& l, const net::Topology& t,
                const BatchConfig& c, Assessor& a)
-      : log(&l), topo(&t), config(&c), assessor(&a), conflict_index(l) {
+      : log(&l), topo(&t), config(&c), assessor(&a), conflict_index(l),
+        adaptive(c.assessment.regression.adaptive_sampling) {
     if (c.group_key)
       for (const auto id : t.all())
         groups[c.group_key(t, id)].push_back(id);
@@ -131,6 +138,17 @@ void assess_indices_into(BatchContext& ctx,
           record.bin);
       item.met_expectation = item.assessment.summary.verdict ==
                              expected_verdict(record.expectation);
+      if (ctx.adaptive)
+        for (const auto& e : item.assessment.per_element) {
+          const VerdictExplanation& x = e.outcome.explanation;
+          if (x.iterations_used > 0 &&
+              x.iterations_used < x.iterations_requested) {
+            ctx.adaptive_stopped.fetch_add(1, std::memory_order_relaxed);
+            ctx.adaptive_saved.fetch_add(
+                x.iterations_requested - x.iterations_used,
+                std::memory_order_relaxed);
+          }
+        }
       if (auto* ev = obs::events())
         ev->progress("batch",
                      ctx.done.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -144,14 +162,37 @@ void assess_indices_into(BatchContext& ctx,
                        if (ctx.shard >= 0)
                          w.member("shard", static_cast<std::int64_t>(
                                                ctx.shard));
+                       if (ctx.adaptive)
+                         w.member("adaptive.stopped_early",
+                                  ctx.adaptive_stopped.load(
+                                      std::memory_order_relaxed))
+                             .member("adaptive.iterations_saved",
+                                     ctx.adaptive_saved.load(
+                                         std::memory_order_relaxed));
                      });
     });
   }
 }
 
+/// Adaptive-sampling stats of one item's per-element outcomes, added onto
+/// the caller's counters. Budget is only counted for outcomes whose
+/// sampling loop ran, so used/budget compares like with like.
+template <typename Counts>
+void add_adaptive_stats(const BatchItem& item, Counts& out) {
+  for (const auto& e : item.assessment.per_element) {
+    const VerdictExplanation& x = e.outcome.explanation;
+    if (x.iterations_used == 0) continue;
+    out.adaptive_iterations_used += x.iterations_used;
+    out.adaptive_iterations_budget += x.iterations_requested;
+    if (x.iterations_used < x.iterations_requested)
+      ++out.adaptive_stopped_early;
+  }
+}
+
 /// Tallies, in record order (the same order whether the items were filled
 /// by one pass or by shards).
-void tally(BatchReport& report) {
+void tally(BatchReport& report, bool adaptive) {
+  report.adaptive_sampling = adaptive;
   for (const BatchItem& item : report.items) {
     switch (item.assessment.summary.verdict) {
       case Verdict::kImprovement: ++report.improvements; break;
@@ -160,6 +201,7 @@ void tally(BatchReport& report) {
     }
     if (!item.window_clean) ++report.dirty_windows;
     if (!item.met_expectation) ++report.expectation_misses;
+    if (adaptive) add_adaptive_stats(item, report);
   }
 }
 
@@ -195,7 +237,7 @@ BatchReport assess_change_log(const chg::ChangeLog& log,
   std::vector<std::size_t> indices(log.size());
   for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   assess_indices_into(ctx, indices, report);
-  tally(report);
+  tally(report, ctx.adaptive);
   return report;
 }
 
@@ -248,6 +290,9 @@ ShardedBatchReport assess_change_log_sharded(const chg::ChangeLog& log,
       sum.cache = shard_cache.stats();
     }
     ctx.shard = -1;
+    if (ctx.adaptive)
+      for (const std::size_t i : plan[s])
+        add_adaptive_stats(out.merged.items[i], sum);
     sum.seconds = static_cast<double>(obs::now_ns() - t0) / 1e9;
     if (obs::enabled()) {
       auto& reg = obs::Registry::global();
@@ -256,11 +301,14 @@ ShardedBatchReport assess_change_log_sharded(const chg::ChangeLog& log,
           .set(static_cast<double>(sum.records));
       reg.gauge("shard." + std::to_string(s) + ".seconds")
           .set(sum.seconds);
+      if (ctx.adaptive)
+        reg.gauge("shard." + std::to_string(s) + ".adaptive_stopped_early")
+            .set(static_cast<double>(sum.adaptive_stopped_early));
     }
     if (cb.on_finish) cb.on_finish(sum);
     out.shards.push_back(sum);
   }
-  tally(out.merged);
+  tally(out.merged, ctx.adaptive);
   return out;
 }
 
@@ -291,6 +339,10 @@ std::string format_batch_report(const BatchReport& report,
      << " no-impact; " << report.expectation_misses
      << " expectation miss(es); " << report.dirty_windows
      << " dirty window(s)\n";
+  if (report.adaptive_sampling)
+    os << "adaptive sampling: " << report.adaptive_stopped_early
+       << " early stop(s); " << report.adaptive_iterations_used << "/"
+       << report.adaptive_iterations_budget << " iteration(s) of budget\n";
   return os.str();
 }
 

@@ -74,6 +74,13 @@ struct BatchReport {
   std::size_t no_impacts = 0;
   std::size_t dirty_windows = 0;
   std::size_t expectation_misses = 0;
+  /// Adaptive-sampling tallies over every (element, KPI) outcome whose
+  /// sampling loop actually ran, recomputed in record order like the
+  /// verdict tallies (all zero when adaptive sampling is off).
+  bool adaptive_sampling = false;
+  std::size_t adaptive_stopped_early = 0;
+  std::uint64_t adaptive_iterations_used = 0;
+  std::uint64_t adaptive_iterations_budget = 0;
 };
 
 /// Assesses every record in `log` against `topo` and `provider`.
@@ -99,6 +106,11 @@ struct ShardSummary {
   std::size_t records = 0;
   double seconds = 0.0;
   PanelCache::Stats cache;  ///< the shard-local panel cache's final stats
+  /// Adaptive-sampling stats for this shard's records (zero adaptive-off).
+  /// Deterministic: re-running a shard reproduces the same iterations-used.
+  std::size_t adaptive_stopped_early = 0;
+  std::uint64_t adaptive_iterations_used = 0;
+  std::uint64_t adaptive_iterations_budget = 0;
 };
 
 /// Driver-thread hooks around each shard, for per-shard run artifacts

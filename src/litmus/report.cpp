@@ -53,14 +53,26 @@ std::string format_explanation(const AnalysisOutcome& o,
   if (o.degenerate) {
     os << indent << "abstained: "
        << (x.note.empty() ? "insufficient data" : x.note) << "\n";
+    if (x.iterations_used > 0 && x.stop_reason[0] != '\0')
+      os << indent << "sampling: " << x.successful_iterations << "/"
+         << x.iterations_used << " iteration(s) of budget "
+         << x.iterations_requested << "; stop: " << x.stop_reason << "\n";
     return os.str();
   }
   if (x.n_controls > 0) {
     os << indent << "controls: " << x.n_controls;
-    if (x.effective_k > 0)
+    if (x.effective_k > 0) {
       os << "; sampled k=" << x.effective_k << " over "
-         << x.successful_iterations << "/" << x.iterations_requested
-         << " iteration(s)";
+         << x.successful_iterations << "/" << x.iterations_used
+         << " iteration(s) of budget " << x.iterations_requested;
+      if (x.stop_reason[0] != '\0') {
+        os << "; stop: " << x.stop_reason;
+        if (x.adaptive_sampling &&
+            x.iterations_used < x.iterations_requested)
+          os << " (saved " << x.iterations_requested - x.iterations_used
+             << ")";
+      }
+    }
     os << "\n";
   }
   os << indent << "samples: " << x.n_after << " after vs " << x.n_before

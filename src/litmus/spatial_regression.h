@@ -65,7 +65,41 @@ struct SpatialRegressionParams {
   /// O(m·N²) cost (GramPanel::worthwhile); otherwise the run is pure QR
   /// even with this on. Off = always QR (ablation / numerical cross-check).
   bool use_gram_fast_path = true;
+  /// Sequential early stopping: run the sampling iterations in
+  /// counter-ordered rounds (geometric schedule starting at
+  /// `min_iterations`) and stop once the downstream rank-test verdict has
+  /// been insensitive to further rounds for `stability_rounds` consecutive
+  /// checkpoints under a jackknife-style perturbation of the per-bin
+  /// aggregate (see DESIGN.md §16). Off (the default) runs the full
+  /// `n_iterations` budget in one round through the same code path, so the
+  /// output is unchanged from pre-adaptive releases. Stopping decisions are
+  /// a pure function of (seed, completed-round results) — never of thread
+  /// scheduling — so results stay bit-identical at any thread/shard count.
+  bool adaptive_sampling = false;
+  /// First stability checkpoint; also the minimum iterations ever spent.
+  std::size_t min_iterations = 8;
+  /// Consecutive stable (and mutually consistent) checkpoints required
+  /// before stopping.
+  std::size_t stability_rounds = 2;
+  /// A checkpoint counts as stable when the three jackknife forecast
+  /// variants agree on the verdict AND the decision is not borderline:
+  /// every variant's |z| must clear the alpha critical value by at least
+  /// this margin (on whichever side), and the effect size must clear the
+  /// materiality floor by 10%. Borderline elements therefore always spend
+  /// the full budget. (The raw z is deliberately not required to be close
+  /// across variants: the rank statistic saturates under near-separation,
+  /// where its magnitude swings wildly while the decision is settled.)
+  double stability_z_margin = 0.5;
 };
+
+/// Why the sampling loop ended (Forecast::stop_reason).
+enum class StopReason : std::uint8_t {
+  kBudgetExhausted,  ///< ran all n_iterations (always the case adaptive-off)
+  kStableVerdict,    ///< adaptive early stop: verdict insensitive to more rounds
+  kFitFailures,      ///< every attempted iteration failed to fit
+};
+
+const char* to_string(StopReason r) noexcept;
 
 class RobustSpatialRegression final : public ChangeAnalyzer {
  public:
@@ -88,11 +122,21 @@ class RobustSpatialRegression final : public ChangeAnalyzer {
     double median_r_squared = ts::kMissing;
     std::size_t effective_k = 0;
     std::size_t successful_iterations = 0;
+    /// Iterations actually attempted (== n_iterations unless adaptive
+    /// sampling stopped early; 0 when the input was degenerate before any
+    /// sampling ran).
+    std::size_t iterations_attempted = 0;
+    StopReason stop_reason = StopReason::kBudgetExhausted;
   };
 
   /// Runs steps 1-5 and returns the artifacts; ok == false on degenerate
-  /// inputs (no usable controls or too little data).
+  /// inputs (no usable controls or too little data). The second overload
+  /// supplies the materiality floor (min_effect_sigma * KPI noise) so the
+  /// adaptive stability check can evaluate the *full* downstream verdict,
+  /// materiality included, at every checkpoint.
   bool forecast(const ElementWindows& windows, Forecast& out) const;
+  bool forecast(const ElementWindows& windows, Forecast& out,
+                double effect_floor_kpi_units) const;
 
  private:
   SpatialRegressionParams params_;

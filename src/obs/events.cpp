@@ -53,6 +53,7 @@ const char* to_string(EventType t) noexcept {
     case EventType::kKpiVerdict: return "kpi_verdict";
     case EventType::kIterationRetry: return "iteration_retry";
     case EventType::kFallbackQr: return "fallback_qr";
+    case EventType::kAdaptiveStop: return "adaptive_stop";
     case EventType::kWarning: return "warning";
     case EventType::kRunEnd: return "run_end";
   }

@@ -11,7 +11,8 @@
 //   * span   — obs::current_span_id() at emission (omitted when 0), so an
 //              event correlates with the --trace-json timeline
 //   * type   — run_start | heartbeat | element_assessed | kpi_verdict |
-//              iteration_retry | fallback_qr | warning | run_end
+//              iteration_retry | fallback_qr | adaptive_stop | warning |
+//              run_end
 //   plus per-type fields appended by the emitter (run_start embeds the
 //   RunManifest; run_end carries wall_s and status).
 //
@@ -49,6 +50,7 @@ enum class EventType : std::uint8_t {
   kKpiVerdict,
   kIterationRetry,
   kFallbackQr,
+  kAdaptiveStop,
   kWarning,
   kRunEnd,
 };

@@ -257,6 +257,15 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
                         const DiffThresholds& thresholds) {
   RunDiffReport report;
   const bool gate_manifest = !thresholds.ignore_manifest;
+  // Set while comparing the manifests, consumed by the metric comparison:
+  // when the two runs sampled under different adaptive configurations, the
+  // volume-of-computation metrics (litmus.iterations, litmus.fit.*,
+  // rank_test.*) differ by construction — the verdict set is the signal
+  // there, so those metrics turn informational. The adaptive config flags
+  // themselves stay GATING (an adaptive-on run is not interchangeable
+  // with an adaptive-off run), and litmus.adaptive.* diagnostics never
+  // gate: they describe how the budget was spent, not what was concluded.
+  bool adaptive_cfg_differs = false;
 
   // --- manifest ---------------------------------------------------------
   compare_scalar(report.manifest, a.manifest, b.manifest, "tool",
@@ -291,6 +300,18 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
     // one (DESIGN.md §11).
     auto cfg_a = object_as_map(a.manifest.find("config"));
     auto cfg_b = object_as_map(b.manifest.find("config"));
+    // Adaptive-sampling signature, defaults filled in for absent flags so
+    // an old run (no adaptive flags recorded) compares as adaptive-off.
+    const auto adaptive_sig = [](const std::map<std::string, std::string>& c) {
+      const auto get = [&](const char* k, const char* dflt) {
+        const auto it = c.find(k);
+        return it == c.end() ? std::string(dflt) : it->second;
+      };
+      return get("--adaptive-sampling", "off") + "/" +
+             get("--min-iterations", "8") + "/" +
+             get("--stability-rounds", "2");
+    };
+    adaptive_cfg_differs = adaptive_sig(cfg_a) != adaptive_sig(cfg_b);
     // The live observability plane is read-only: whether a run served
     // scrapes (and on which ephemeral port) cannot change its results,
     // so --serve and the recorded serve.addr never gate.
@@ -368,6 +389,19 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
   }
 
   // --- metrics ----------------------------------------------------------
+  // litmus.adaptive.* diagnostics describe how the sampling budget was
+  // spent, not what was concluded — they never gate. The volume-of-
+  // computation metrics (litmus.iterations, litmus.fit.*, and the
+  // rank_test.* call counters/distributions, which also count the
+  // stability checkpoints' diagnostic tests) gate only while the two runs
+  // sampled under the same adaptive configuration; across configs they
+  // differ by construction and the verdict set carries the signal.
+  const auto metric_informational = [&](const std::string& n) {
+    if (n.starts_with("litmus.adaptive.")) return true;
+    return adaptive_cfg_differs &&
+           (n == "litmus.iterations" || n.starts_with("litmus.fit.") ||
+            n.starts_with("rank_test."));
+  };
   if (a.metrics.is_object() && b.metrics.is_object()) {
     const auto ca = metrics_section(a.metrics, "counters", nullptr);
     const auto cb = metrics_section(b.metrics, "counters", nullptr);
@@ -378,10 +412,13 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
       if (scheduling_dependent(n)) continue;
       const double va = ca.contains(n) ? ca.at(n) : -1.0;
       const double vb = cb.contains(n) ? cb.at(n) : -1.0;
-      if (va != vb)
+      if (va != vb) {
+        const bool gate = !metric_informational(n);
         report.metrics.push_back({"counter " + n + ": " + fmt_exact(va) +
-                                      " -> " + fmt_exact(vb),
-                                  true});
+                                      " -> " + fmt_exact(vb) +
+                                      (gate ? "" : " (informational)"),
+                                  gate});
+      }
     }
 
     const auto ha = metrics_section(a.metrics, "histograms", "p50");
@@ -391,11 +428,13 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
     for (const auto& [n, _] : hb) names.insert(n);
     for (const std::string& n : names) {
       if (scheduling_dependent(n)) continue;
+      const bool gate = !metric_informational(n);
       if (!ha.contains(n) || !hb.contains(n)) {
         report.metrics.push_back(
             {"histogram " + n + ": only in " +
-                 (ha.contains(n) ? "A" : "B"),
-             true});
+                 (ha.contains(n) ? "A" : "B") +
+                 (gate ? "" : " (informational)"),
+             gate});
         continue;
       }
       const double d = rel_delta(ha.at(n), hb.at(n));
@@ -403,8 +442,9 @@ RunDiffReport diff_runs(const RunData& a, const RunData& b,
         report.metrics.push_back(
             {"histogram " + n + " p50: " + fmt(ha.at(n)) + " -> " +
                  fmt(hb.at(n)) + " (" + fmt(d * 100.0) + "% > " +
-                 fmt(thresholds.metric_rel_tolerance * 100.0) + "%)",
-             true});
+                 fmt(thresholds.metric_rel_tolerance * 100.0) + "%" +
+                 (gate ? "" : ", informational") + ")",
+             gate});
     }
   }
   if (a.wall_seconds >= 0.0 && b.wall_seconds >= 0.0) {

@@ -59,6 +59,31 @@ TEST(KnownAssessments, FullRunSummaryOrdering) {
   EXPECT_FALSE(format_table2(r).empty());
 }
 
+TEST(KnownAssessments, AdaptiveSamplingZeroVerdictFlipsOnTable2) {
+  // The ISSUE-10 accuracy gate: enabling adaptive early stopping must not
+  // flip a single verdict across all 313 Table-2 cases. Case-for-case, not
+  // just aggregate counts — episodes are deterministic in the seed, so the
+  // two verdict vectors align.
+  core::SpatialRegressionParams off;
+  core::SpatialRegressionParams on;
+  on.adaptive_sampling = true;
+  std::uint64_t row_counter = 0;
+  std::size_t cases = 0;
+  for (const KnownChangeRow& row : table2_rows()) {
+    const std::uint64_t seed = 2011 + (++row_counter) * 104729;
+    const std::vector<core::Verdict> full = row_litmus_verdicts(row, seed, off);
+    const std::vector<core::Verdict> adaptive =
+        row_litmus_verdicts(row, seed, on);
+    ASSERT_EQ(full.size(), adaptive.size()) << row.change_type;
+    for (std::size_t i = 0; i < full.size(); ++i)
+      EXPECT_EQ(full[i], adaptive[i])
+          << row.change_type << " case " << i << ": "
+          << core::to_string(full[i]) << " -> " << core::to_string(adaptive[i]);
+    cases += full.size();
+  }
+  EXPECT_EQ(cases, 313u);
+}
+
 TEST(Synthetic, TrialDeterministicForSameSeed) {
   const SyntheticConfig cfg;
   const TrialOutcome a = run_trial(cfg, InjectionPattern::kStudyOnly,

@@ -94,6 +94,66 @@ TEST(ParallelDeterminism, OutcomeBitIdenticalAcrossThreadCounts) {
   par::set_threads(1);
 }
 
+// The adaptive contract (ISSUE 10): stopping decisions are a pure function
+// of (seed, completed-round results), so adaptive-on runs are bit-identical
+// — verdicts, forecasts, AND iterations-used — at any thread count.
+TEST(ParallelDeterminism, AdaptiveForecastBitIdenticalAcrossThreadCounts) {
+  const ElementWindows w = make_windows(default_spec());
+  SpatialRegressionParams params;
+  params.adaptive_sampling = true;
+  params.n_iterations = 31;  // not a multiple of any thread count
+  const RobustSpatialRegression algo(params);
+
+  par::set_threads(1);
+  RobustSpatialRegression::Forecast sequential;
+  ASSERT_TRUE(algo.forecast(w, sequential));
+
+  for (const std::size_t n_threads : {4u, 16u}) {
+    par::set_threads(n_threads);
+    RobustSpatialRegression::Forecast parallel_run;
+    ASSERT_TRUE(algo.forecast(w, parallel_run));
+    EXPECT_EQ(parallel_run.iterations_attempted,
+              sequential.iterations_attempted)
+        << n_threads << " threads";
+    EXPECT_EQ(parallel_run.stop_reason, sequential.stop_reason);
+    expect_identical(sequential, parallel_run);
+  }
+  par::set_threads(1);
+}
+
+TEST(ParallelDeterminism, AdaptiveOutcomeBitIdenticalAcrossThreadCounts) {
+  // An easy shift (no contamination) so the adaptive loop actually stops
+  // early — the identity must hold on the early-stopped path, not just
+  // when the budget runs out.
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  const ElementWindows w = make_windows(spec);
+  SpatialRegressionParams params;
+  params.adaptive_sampling = true;
+  const RobustSpatialRegression algo(params);
+
+  par::set_threads(1);
+  const AnalysisOutcome sequential =
+      algo.assess(w, kpi::KpiId::kVoiceRetainability);
+  ASSERT_FALSE(sequential.degenerate);
+  ASSERT_LT(sequential.explanation.iterations_used,
+            sequential.explanation.iterations_requested);
+
+  for (const std::size_t n_threads : {4u, 16u}) {
+    par::set_threads(n_threads);
+    const AnalysisOutcome out = algo.assess(w, kpi::KpiId::kVoiceRetainability);
+    EXPECT_EQ(out.verdict, sequential.verdict);
+    EXPECT_TRUE(same_bits(out.p_value, sequential.p_value));
+    EXPECT_TRUE(same_bits(out.statistic, sequential.statistic));
+    EXPECT_TRUE(same_bits(out.effect_kpi_units, sequential.effect_kpi_units));
+    EXPECT_EQ(out.explanation.iterations_used,
+              sequential.explanation.iterations_used);
+    EXPECT_STREQ(out.explanation.stop_reason,
+                 sequential.explanation.stop_reason);
+  }
+  par::set_threads(1);
+}
+
 TEST(ParallelDeterminism, GramFastPathAgreesWithQrOnCompletePanel) {
   const ElementWindows w = make_windows(default_spec());
   SpatialRegressionParams with_gram;

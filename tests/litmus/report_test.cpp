@@ -85,6 +85,62 @@ TEST(Report, FfaDecisionShowsGoAndNoGo) {
   EXPECT_NE(stop_text.find("DECISION: NO-GO"), std::string::npos);
 }
 
+TEST(Report, ExplainPrintsIterationsUsedAndStopReason) {
+  net::Topology t = tiny_topo();
+  ChangeAssessment a = sample_assessment();
+  VerdictExplanation& x = a.per_element[0].outcome.explanation;
+  x.analyzer = "litmus_spatial_regression";
+  x.test = "robust_rank_order";
+  x.aggregation = "median";
+  x.n_controls = 9;
+  x.effective_k = 6;
+  x.iterations_requested = 25;
+  x.iterations_used = 12;
+  x.successful_iterations = 12;
+  x.adaptive_sampling = true;
+  x.stop_reason = "stable-verdict";
+  x.alpha = 0.05;
+  const std::string text = format_assessment(a, t, /*explain=*/true);
+  EXPECT_NE(text.find("sampled k=6 over 12/12 iteration(s) of budget 25"),
+            std::string::npos);
+  EXPECT_NE(text.find("stop: stable-verdict (saved 13)"), std::string::npos);
+}
+
+TEST(Report, ExplainFullBudgetHasNoSavedSuffix) {
+  net::Topology t = tiny_topo();
+  ChangeAssessment a = sample_assessment();
+  VerdictExplanation& x = a.per_element[0].outcome.explanation;
+  x.analyzer = "litmus_spatial_regression";
+  x.n_controls = 9;
+  x.effective_k = 6;
+  x.iterations_requested = 25;
+  x.iterations_used = 25;
+  x.successful_iterations = 25;
+  x.adaptive_sampling = false;
+  x.stop_reason = "budget-exhausted";
+  x.alpha = 0.05;
+  const std::string text = format_assessment(a, t, /*explain=*/true);
+  EXPECT_NE(text.find("25/25 iteration(s) of budget 25"), std::string::npos);
+  EXPECT_NE(text.find("stop: budget-exhausted"), std::string::npos);
+  EXPECT_EQ(text.find("saved"), std::string::npos);
+}
+
+TEST(Report, ExplainDegenerateAfterSamplingShowsStopReason) {
+  net::Topology t = tiny_topo();
+  ChangeAssessment a = sample_assessment();
+  AnalysisOutcome& o = a.per_element[2].outcome;  // the degenerate row
+  o.explanation.analyzer = "litmus_spatial_regression";
+  o.explanation.note = "every sampling iteration failed to fit";
+  o.explanation.iterations_requested = 25;
+  o.explanation.iterations_used = 25;
+  o.explanation.successful_iterations = 0;
+  o.explanation.stop_reason = "fit-failures";
+  const std::string text = format_assessment(a, t, /*explain=*/true);
+  EXPECT_NE(text.find("sampling: 0/25 iteration(s) of budget 25"),
+            std::string::npos);
+  EXPECT_NE(text.find("stop: fit-failures"), std::string::npos);
+}
+
 TEST(Report, MissingPValueRendersNa) {
   net::Topology t = tiny_topo();
   ChangeAssessment a = sample_assessment();

@@ -149,6 +149,70 @@ TEST(Shard, ShardedMergedReportBitIdenticalToUnsharded) {
   }
 }
 
+TEST(Shard, AdaptiveShardedBitIdenticalToUnsharded) {
+  // Adaptive-on: early-stop decisions are a pure function of (seed,
+  // completed rounds), so any shard count must reproduce the unsharded
+  // verdicts AND the per-record iterations-used (surfaced through the
+  // merged adaptive tallies and the per-outcome explanations).
+  Fixture f;
+  BatchConfig cfg;
+  cfg.assessment.regression.adaptive_sampling = true;
+  const BatchReport reference =
+      assess_change_log(f.log, f.topo, f.provider(), cfg);
+  EXPECT_TRUE(reference.adaptive_sampling);
+  EXPECT_GT(reference.adaptive_iterations_budget, 0u);
+  for (const std::size_t n : {1u, 4u}) {
+    const ShardedBatchReport sharded =
+        assess_change_log_sharded(f.log, f.topo, f.provider(), n, cfg);
+    SCOPED_TRACE("shards=" + std::to_string(n));
+    expect_reports_bit_identical(sharded.merged, reference);
+    EXPECT_EQ(sharded.merged.adaptive_stopped_early,
+              reference.adaptive_stopped_early);
+    EXPECT_EQ(sharded.merged.adaptive_iterations_used,
+              reference.adaptive_iterations_used);
+    EXPECT_EQ(sharded.merged.adaptive_iterations_budget,
+              reference.adaptive_iterations_budget);
+    // Per-record iterations-used survives the shard round-trip.
+    for (std::size_t i = 0; i < reference.items.size(); ++i) {
+      const auto& p = reference.items[i].assessment.per_element;
+      const auto& q = sharded.merged.items[i].assessment.per_element;
+      ASSERT_EQ(p.size(), q.size());
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        EXPECT_EQ(p[j].outcome.explanation.iterations_used,
+                  q[j].outcome.explanation.iterations_used);
+        EXPECT_STREQ(p[j].outcome.explanation.stop_reason,
+                     q[j].outcome.explanation.stop_reason);
+      }
+    }
+    // Shard tallies sum to the merged totals.
+    std::size_t stops = 0;
+    std::uint64_t used = 0, budget = 0;
+    for (const ShardSummary& s : sharded.shards) {
+      stops += s.adaptive_stopped_early;
+      used += s.adaptive_iterations_used;
+      budget += s.adaptive_iterations_budget;
+    }
+    EXPECT_EQ(stops, reference.adaptive_stopped_early);
+    EXPECT_EQ(used, reference.adaptive_iterations_used);
+    EXPECT_EQ(budget, reference.adaptive_iterations_budget);
+  }
+}
+
+TEST(Shard, AdaptiveOffReportMatchesDefaultConfig) {
+  // Adaptive-off must remain byte-for-byte the pre-adaptive behavior: a
+  // default-config run and an explicit adaptive_sampling=false run are the
+  // same code path, and the adaptive tallies stay zero.
+  Fixture f;
+  BatchConfig off;
+  off.assessment.regression.adaptive_sampling = false;
+  const BatchReport a = assess_change_log(f.log, f.topo, f.provider());
+  const BatchReport b = assess_change_log(f.log, f.topo, f.provider(), off);
+  expect_reports_bit_identical(a, b);
+  EXPECT_FALSE(a.adaptive_sampling);
+  EXPECT_EQ(a.adaptive_stopped_early, 0u);
+  EXPECT_EQ(a.adaptive_iterations_used, b.adaptive_iterations_used);
+}
+
 TEST(Shard, CallbacksFireOncePerShardInOrder) {
   Fixture f;
   std::vector<std::size_t> started, finished;

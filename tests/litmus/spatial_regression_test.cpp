@@ -200,6 +200,115 @@ TEST(SpatialRegression, WilcoxonKnobStillDetects) {
             Verdict::kImprovement);
 }
 
+TEST(SpatialRegression, AdaptiveStopsEarlyOnClearShift) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  SpatialRegressionParams params;
+  params.adaptive_sampling = true;
+  const RobustSpatialRegression alg(params);
+  const ElementWindows w = make_windows(spec);
+  RobustSpatialRegression::Forecast fc;
+  ASSERT_TRUE(alg.forecast(w, fc));
+  EXPECT_EQ(fc.stop_reason, StopReason::kStableVerdict);
+  EXPECT_GE(fc.iterations_attempted, params.min_iterations);
+  EXPECT_LT(fc.iterations_attempted, params.n_iterations);
+  EXPECT_LE(fc.successful_iterations, fc.iterations_attempted);
+  // The early stop must not change the conclusion.
+  EXPECT_EQ(alg.assess(w, spec.kpi).verdict, Verdict::kImprovement);
+}
+
+TEST(SpatialRegression, AdaptiveOffSpendsFullBudget) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  const RobustSpatialRegression alg;  // adaptive_sampling defaults off
+  RobustSpatialRegression::Forecast fc;
+  ASSERT_TRUE(alg.forecast(make_windows(spec), fc));
+  EXPECT_EQ(fc.iterations_attempted, SpatialRegressionParams{}.n_iterations);
+  EXPECT_EQ(fc.stop_reason, StopReason::kBudgetExhausted);
+}
+
+// Satellite regression: the explanation reports iterations *attempted*,
+// not the configured budget, and names the stop reason.
+TEST(SpatialRegression, ExplanationReportsAttemptedIterations) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  const ElementWindows w = make_windows(spec);
+
+  SpatialRegressionParams off;
+  const AnalysisOutcome full = RobustSpatialRegression(off).assess(w, spec.kpi);
+  EXPECT_FALSE(full.explanation.adaptive_sampling);
+  EXPECT_EQ(full.explanation.iterations_requested, off.n_iterations);
+  EXPECT_EQ(full.explanation.iterations_used, off.n_iterations);
+  EXPECT_STREQ(full.explanation.stop_reason, "budget-exhausted");
+  EXPECT_LE(full.explanation.successful_iterations,
+            full.explanation.iterations_used);
+
+  SpatialRegressionParams on = off;
+  on.adaptive_sampling = true;
+  const AnalysisOutcome early = RobustSpatialRegression(on).assess(w, spec.kpi);
+  EXPECT_TRUE(early.explanation.adaptive_sampling);
+  EXPECT_EQ(early.explanation.iterations_requested, on.n_iterations);
+  EXPECT_LT(early.explanation.iterations_used,
+            early.explanation.iterations_requested);
+  EXPECT_STREQ(early.explanation.stop_reason, "stable-verdict");
+  EXPECT_LE(early.explanation.successful_iterations,
+            early.explanation.iterations_used);
+  EXPECT_EQ(early.verdict, full.verdict);
+}
+
+TEST(SpatialRegression, AdaptiveDegenerateReportsNoSampling) {
+  WindowSpec spec;
+  spec.n_controls = 0;
+  SpatialRegressionParams params;
+  params.adaptive_sampling = true;
+  const AnalysisOutcome o =
+      RobustSpatialRegression(params).assess(make_windows(spec), spec.kpi);
+  EXPECT_TRUE(o.degenerate);
+  EXPECT_EQ(o.explanation.iterations_used, 0u);
+  EXPECT_STREQ(o.explanation.stop_reason, "");
+}
+
+TEST(SpatialRegression, AdaptiveDeterministicAcrossRuns) {
+  WindowSpec spec;
+  spec.study_shift_sigma = 2.0;
+  SpatialRegressionParams params;
+  params.adaptive_sampling = true;
+  const RobustSpatialRegression alg(params);
+  const ElementWindows w = make_windows(spec);
+  RobustSpatialRegression::Forecast a, b;
+  ASSERT_TRUE(alg.forecast(w, a));
+  ASSERT_TRUE(alg.forecast(w, b));
+  EXPECT_EQ(a.iterations_attempted, b.iterations_attempted);
+  EXPECT_EQ(a.stop_reason, b.stop_reason);
+  for (std::size_t i = 0; i < a.median_forecast_after.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.median_forecast_after[i], b.median_forecast_after[i]);
+}
+
+// Zero-flip property: enabling adaptive sampling never changes the verdict
+// across seeds, directions, and the null.
+class AdaptiveFlipProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(AdaptiveFlipProperty, VerdictMatchesFullBudget) {
+  const auto [seed, sigma] = GetParam();
+  WindowSpec spec;
+  spec.seed = static_cast<std::uint64_t>(seed);
+  spec.study_shift_sigma = sigma;
+  const ElementWindows w = make_windows(spec);
+  SpatialRegressionParams on;
+  on.adaptive_sampling = true;
+  const AnalysisOutcome full = RobustSpatialRegression().assess(w, spec.kpi);
+  const AnalysisOutcome adaptive =
+      RobustSpatialRegression(on).assess(w, spec.kpi);
+  EXPECT_EQ(adaptive.verdict, full.verdict)
+      << "seed=" << seed << " sigma=" << sigma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdaptiveFlipProperty,
+    ::testing::Combine(::testing::Values(3, 4, 5, 6, 7),
+                       ::testing::Values(-2.0, -1.0, 0.0, 1.0, 2.0)));
+
 // Property sweep: detection holds across seeds and both directions.
 class DetectionProperty
     : public ::testing::TestWithParam<std::tuple<int, double>> {};

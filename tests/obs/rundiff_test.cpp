@@ -183,6 +183,103 @@ TEST_F(RunDiffTest, LoadRequiresManifestAndEvents) {
   EXPECT_THROW(load_run_dir(dir.string()), std::runtime_error);
 }
 
+/// A run dir with explicit adaptive-sampling config flags and metrics, as
+/// `litmus_cli ... --adaptive-sampling on` records them.
+std::string make_adaptive_run(const fs::path& root, const std::string& name,
+                              const std::string& adaptive,
+                              double iterations, double rank_calls,
+                              double stopped_early) {
+  const fs::path dir = root / name;
+  fs::create_directories(dir);
+  std::ofstream(dir / "run_manifest.json")
+      << "{\"schema\":1,\"tool\":\"litmus_cli assess\","
+         "\"version\":\"0.4.0\",\"build_flags\":\"obs=on,assert=off\","
+         "\"threads\":1,\"seed\":42,"
+         "\"rng_scheme\":\"counter-fork-v1\","
+         "\"started_at_utc\":\"2026-08-06T00:00:00Z\","
+         "\"config\":{\"--kpi\":\"voice_retainability\","
+         "\"--adaptive-sampling\":\"" << adaptive << "\","
+         "\"--min-iterations\":\"8\",\"--stability-rounds\":\"2\"},"
+         "\"inputs\":[{\"path\":\"demo/series.csv\",\"bytes\":10,"
+         "\"fnv1a64\":\"00000000000000aa\",\"ok\":true}]}\n";
+  std::ofstream(dir / "events.jsonl")
+      << "{\"v\":1,\"seq\":0,\"t_us\":0,\"type\":\"run_start\"}\n"
+      << "{\"v\":1,\"seq\":1,\"t_us\":5,\"type\":\"element_assessed\","
+         "\"kpi\":\"voice_retainability\",\"element\":10,\"bin\":0,"
+         "\"verdict\":\"improvement\"}\n"
+      << "{\"v\":1,\"seq\":2,\"t_us\":9,\"type\":\"run_end\","
+         "\"wall_s\":0.5,\"status\":\"ok\"}\n";
+  std::ofstream metrics(dir / "metrics.json");
+  metrics << "{\"counters\":{\"litmus.iterations\":" << iterations
+          << ",\"rank_test.fp.calls\":" << rank_calls;
+  if (adaptive == "on")
+    metrics << ",\"litmus.adaptive.stopped_early\":" << stopped_early
+            << ",\"litmus.adaptive.iterations_saved\":13";
+  metrics << "},\"histograms\":{\"litmus.fit.r_squared\":{\"count\":10,"
+             "\"p50\":0.9}}}\n";
+  return dir.string();
+}
+
+TEST_F(RunDiffTest, AdaptiveConfigGatesAndVolumeMetricsTurnInformational) {
+  // Adaptive-off vs adaptive-on: the config flag gates (the runs are not
+  // interchangeable), but the volume-of-computation metrics — iteration
+  // counts, fit telemetry, rank-test call counts — differ by construction
+  // and must not gate; the verdict set carries the signal.
+  const RunData a = load_run_dir(
+      make_adaptive_run(root_, "a", "off", 1000, 40, 0));
+  const RunData b = load_run_dir(
+      make_adaptive_run(root_, "b", "on", 600, 130, 25));
+  const RunDiffReport gated = diff_runs(a, b);
+  EXPECT_TRUE(gated.drift);
+  bool config_gates = false;
+  for (const auto& line : gated.manifest)
+    if (line.text.find("--adaptive-sampling") != std::string::npos)
+      config_gates = line.gating;
+  EXPECT_TRUE(config_gates);
+
+  DiffThresholds ignore;
+  ignore.ignore_manifest = true;
+  const RunDiffReport report = diff_runs(a, b, ignore);
+  EXPECT_FALSE(report.drift) << format_run_diff(report, a, b);
+  EXPECT_EQ(report.verdict_flips, 0u);
+  for (const auto& line : report.metrics) {
+    EXPECT_FALSE(line.gating) << line.text;
+    if (line.text.find("litmus.iterations") != std::string::npos ||
+        line.text.find("rank_test.") != std::string::npos)
+      EXPECT_NE(line.text.find("informational"), std::string::npos)
+          << line.text;
+  }
+}
+
+TEST_F(RunDiffTest, AdaptiveDiagnosticsNeverGate) {
+  // Same adaptive config, different budget-spend diagnostics (e.g. two
+  // code versions stopping at different checkpoints): litmus.adaptive.*
+  // describes how the budget was spent, never gates.
+  const RunData a = load_run_dir(
+      make_adaptive_run(root_, "a", "on", 600, 130, 25));
+  const RunData b = load_run_dir(
+      make_adaptive_run(root_, "b", "on", 600, 130, 20));
+  const RunDiffReport report = diff_runs(a, b);
+  EXPECT_FALSE(report.drift) << format_run_diff(report, a, b);
+  bool mentioned = false;
+  for (const auto& line : report.metrics)
+    if (line.text.find("litmus.adaptive.") != std::string::npos) {
+      mentioned = true;
+      EXPECT_FALSE(line.gating) << line.text;
+    }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST_F(RunDiffTest, SameAdaptiveConfigKeepsIterationVolumeGating) {
+  // Two runs under the SAME adaptive config are deterministic, so an
+  // iteration-count delta is real drift, exactly as adaptive-off.
+  const RunData a = load_run_dir(
+      make_adaptive_run(root_, "a", "on", 600, 130, 25));
+  const RunData b = load_run_dir(
+      make_adaptive_run(root_, "b", "on", 601, 130, 25));
+  EXPECT_TRUE(diff_runs(a, b).drift);
+}
+
 /// A sharded run dir: the parent stream holds only the run bracket, the
 /// verdicts live in shard-NN/events.jsonl exactly as `litmus_cli batch
 /// --shards N` writes them.
